@@ -1,0 +1,85 @@
+"""Shared experiment runner for the benchmark suite.
+
+Campaign experiments are expensive, and several tables/figures consume
+the same runs (Table 3 and Figure 7; Table 4 and Figure 8), so results
+are memoized per pytest process and the rendered text is also written to
+``bench_results/`` for EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+import os
+import pathlib
+from typing import Dict, Optional
+
+from repro.bench.budget import BenchBudget
+from repro.bench.runner import SeedSummary, run_seeds
+from repro.fuzz.targets import get_target
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "bench_results"
+
+FULL_SYSTEM_OSES = ("nuttx", "rt-thread", "zephyr", "freertos", "pokos")
+APP_ENTRIES = {"http": "http_request_feed", "json": "json_parse"}
+
+_CACHE: Dict[tuple, SeedSummary] = {}
+
+
+def budget() -> BenchBudget:
+    return BenchBudget.default()
+
+
+def save_result(name: str, text: str) -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    return path
+
+
+def campaign(fuzzer: str, target_name: str,
+             entry_api: Optional[str] = None,
+             restrict_modules: Optional[tuple] = None,
+             module: Optional[str] = None) -> SeedSummary:
+    """Memoized multi-seed campaign of one fuzzer on one target.
+
+    Emulator-bound tools (Tardis, Gustave) run the target under QEMU
+    regardless of the hardware board it is registered on — the paper:
+    "Since Tardis does not support hardware fuzzing, the evaluations are
+    conducted on QEMU."
+    """
+    import dataclasses
+    b = budget()
+    key = (fuzzer, target_name, entry_api, restrict_modules, module,
+           b.campaign_cycles, b.seeds)
+    if key not in _CACHE:
+        target = get_target(target_name)
+        if fuzzer in ("tardis", "gustave"):
+            target = dataclasses.replace(target, board="qemu-virt")
+        _CACHE[key] = run_seeds(
+            fuzzer, target, seeds=b.seeds,
+            budget_cycles=b.campaign_cycles, entry_api=entry_api,
+            restrict_modules=restrict_modules, module=module)
+    return _CACHE[key]
+
+
+def full_system(fuzzer: str, os_name: str) -> Optional[SeedSummary]:
+    """Table 3 cell: full-system campaign, or None when the tool cannot
+    run this target (the '-' cells of the paper's tables)."""
+    from repro.errors import UnsupportedTargetError
+    try:
+        return campaign(fuzzer, os_name)
+    except UnsupportedTargetError:
+        return None
+
+
+def app_level(fuzzer: str, module: str) -> SeedSummary:
+    """Table 4 cell: the HTTP/JSON application target on the ESP32.
+
+    Every tool gets the full budget per module, like the paper's separate
+    HTTP-server and JSON experiments: EOF's generation is restricted to
+    the module's APIs; buffer tools hammer that module's entry point.
+    """
+    if fuzzer in ("eof", "eof-nf"):
+        return campaign(fuzzer, "freertos-app",
+                        restrict_modules=(module,), module=module)
+    return campaign(fuzzer, "freertos-app",
+                    entry_api=APP_ENTRIES[module], module=module)

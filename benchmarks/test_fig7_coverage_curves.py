@@ -1,0 +1,73 @@
+"""Figure 7: coverage-growth curves on the four RTOS targets, with
+min/max bands over seeds (EOF vs EOF-nf vs Tardis).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import render_curve
+
+from common import budget, full_system, save_result
+
+OSES = ("freertos", "rt-thread", "zephyr", "nuttx")
+FUZZERS = ("eof", "eof-nf", "tardis")
+
+
+@pytest.fixture(scope="module")
+def curves():
+    timestamps = budget().curve_samples()
+    data = {}
+    for os_name in OSES:
+        series = {}
+        for fuzzer in FUZZERS:
+            summary = full_system(fuzzer, os_name)
+            if summary is not None:
+                series[fuzzer] = summary.curve_band(timestamps)
+        data[os_name] = series
+    return timestamps, data
+
+
+def test_curves_are_monotonic(curves):
+    timestamps, data = curves
+    for os_name, series in data.items():
+        for fuzzer, band in series.items():
+            means = [point[0] for point in band]
+            assert all(a <= b + 1e-9 for a, b in zip(means, means[1:])), \
+                (os_name, fuzzer)
+
+
+def test_bands_contain_their_means(curves):
+    _, data = curves
+    for series in data.values():
+        for band in series.values():
+            for mean, lo, hi in band:
+                assert lo <= mean <= hi
+
+
+def test_early_growth_then_slowdown(curves):
+    """Figure 7 shape: most coverage arrives in the first half."""
+    timestamps, data = curves
+    half = len(timestamps) // 2
+    for os_name, series in data.items():
+        band = series["eof"]
+        first_half = band[half][0] - band[0][0]
+        second_half = band[-1][0] - band[half][0]
+        assert first_half >= second_half, os_name
+
+
+def test_fig7_render_and_benchmark(curves, benchmark):
+    timestamps, data = curves
+    chunks = []
+    for os_name, series in data.items():
+        chunks.append(render_curve(
+            f"Figure 7 ({os_name}): branch coverage over virtual time",
+            series, timestamps))
+    text = "\n\n".join(chunks)
+    print()
+    print(text)
+    save_result("fig7_coverage_curves", text)
+
+    band_source = data["freertos"]["eof"]
+    benchmark(lambda: render_curve("probe", {"eof": band_source},
+                                   timestamps))

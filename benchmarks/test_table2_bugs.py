@@ -1,0 +1,112 @@
+"""Table 2: previously-unknown bugs detected by EOF (RQ2), plus the
+paper's §5.4.1 bug-detection comparison (EOF vs EOF-nf vs Tardis).
+
+Ground truth comes from the injected-bug catalog; campaign crashes are
+attributed back to rows by signature matching.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import render_table
+from repro.oses.bugs import BUG_TABLE, bugs_for, match_crashes
+
+from common import campaign, full_system, save_result
+
+CAMPAIGN_OSES = ("zephyr", "rt-thread", "freertos", "nuttx")
+
+
+def crash_texts(summary):
+    texts = []
+    for result in summary.results:
+        for report in result.crash_db.unique_crashes():
+            texts.append(report.cause)
+            texts.extend(report.backtrace)
+            texts.extend(report.uart_tail)
+    return texts
+
+
+def found_by(fuzzer):
+    found = set()
+    for os_name in CAMPAIGN_OSES:
+        summary = full_system(fuzzer, os_name)
+        if summary is None:
+            continue
+        for number in match_crashes(os_name, crash_texts(summary)):
+            found.add(number)
+    return found
+
+
+@pytest.fixture(scope="module")
+def eof_found():
+    return found_by("eof")
+
+
+@pytest.fixture(scope="module")
+def nf_found():
+    return found_by("eof-nf")
+
+
+@pytest.fixture(scope="module")
+def tardis_found():
+    # Timeout-only detection cannot attribute crashes to operations; what
+    # Tardis "finds" is hangs.  We credit it with the bugs whose payloads
+    # demonstrably wedge the target under its engine — matched against
+    # the log text its UART capture would have contained is impossible
+    # (it has no log monitor), so its attributable count is 0 and its
+    # hang count is what we report.
+    total_hangs = 0
+    for os_name in CAMPAIGN_OSES:
+        summary = full_system("tardis", os_name)
+        if summary is None:
+            continue
+        total_hangs += max(len(r.crash_db) for r in summary.results)
+    return total_hangs
+
+
+def test_table2_eof_finds_most_bugs(eof_found):
+    # The paper finds all 19 over 24h x 5 runs; at bench scale EOF must
+    # rediscover a solid majority, including bugs in every OS.
+    assert len(eof_found) >= 10, sorted(eof_found)
+    for os_name in CAMPAIGN_OSES:
+        numbers = {bug.number for bug in bugs_for(os_name)}
+        assert eof_found & numbers, f"no bug found in {os_name}"
+
+
+def test_table2_detection_ordering(eof_found, nf_found):
+    # EOF >= EOF-nf on attributable bugs (the paper: 19 vs 11).
+    assert len(eof_found) >= len(nf_found)
+
+
+def test_log_monitor_bugs_need_log_monitor(eof_found):
+    # At least one of the assertion bugs (#5, #8, #17) must have been
+    # caught, and only engines with a log monitor can attribute them.
+    assert eof_found & {5, 8, 17}
+
+
+def test_table2_render_and_benchmark(eof_found, nf_found, tardis_found,
+                                     benchmark):
+    rows = []
+    for bug in BUG_TABLE:
+        rows.append([
+            bug.number, bug.os_name, bug.scope, bug.bug_type,
+            bug.operation,
+            "Y" if bug.number in eof_found else "",
+            "Y" if bug.number in nf_found else "",
+            "confirmed" if bug.confirmed else "",
+        ])
+    text = render_table(
+        f"Table 2: injected bugs rediscovered at bench scale "
+        f"(EOF {len(eof_found)}/19, EOF-nf {len(nf_found)}/19, "
+        f"Tardis: {tardis_found} unattributed hangs)",
+        ["#", "Target OS", "Scope", "Bug type", "Operation", "EOF",
+         "EOF-nf", "Status"], rows)
+    print()
+    print(text)
+    save_result("table2_bugs", text)
+
+    # Representative op: one crash-signature attribution pass.
+    texts = ["wild read in clock_getres", "dangling ring buffer in "
+             "z_impl_k_msgq_get"]
+    benchmark(lambda: [match_crashes(os, texts) for os in CAMPAIGN_OSES])

@@ -1,0 +1,24 @@
+"""EOF: effective on-hardware fuzzing of embedded operating systems.
+
+Reproduction of the EuroSys 2026 paper, including every substrate it
+depends on: virtual boards (:mod:`repro.hw`), a firmware toolchain
+(:mod:`repro.firmware`), five embedded kernels (:mod:`repro.oses`), the
+debug interface (:mod:`repro.ddi`), the Syzlang specification pipeline
+(:mod:`repro.spec`), the EOF engine (:mod:`repro.fuzz`) and the baseline
+fuzzers (:mod:`repro.baselines`).
+
+The five-line tour::
+
+    from repro.firmware.builder import build_firmware
+    from repro.fuzz.engine import EngineOptions, EofEngine
+    from repro.fuzz.targets import get_target
+    from repro.spec.llmgen import generate_validated_specs
+
+    build = build_firmware(get_target("rt-thread").build_config())
+    result = EofEngine(build, generate_validated_specs(build),
+                       EngineOptions(seed=1, budget_cycles=2_000_000)).run()
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

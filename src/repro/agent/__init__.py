@@ -1,0 +1,34 @@
+"""The cross-platform execution agent (§4.3.2).
+
+The agent is the small piece of code linked into every target image that
+deserializes test programs from a RAM buffer and executes them against
+the kernel's API table.  It uses only primitive operations (integer
+arithmetic, array reads/writes) and *no OS services*, which is what makes
+it portable across the five kernels.  The host synchronizes with it via
+hardware breakpoints at ``executor_main`` / ``read_prog`` /
+``execute_one`` / ``handle_exception`` (Figure 4).
+"""
+
+from repro.agent.protocol import (
+    ArgData,
+    ArgImm,
+    ArgRef,
+    Call,
+    TestProgram,
+    deserialize_program,
+    serialize_program,
+)
+from repro.agent.executor import AgentRuntime, AgentPhase, AGENT_STATUS_MAGIC
+
+__all__ = [
+    "ArgData",
+    "ArgImm",
+    "ArgRef",
+    "Call",
+    "TestProgram",
+    "deserialize_program",
+    "serialize_program",
+    "AgentRuntime",
+    "AgentPhase",
+    "AGENT_STATUS_MAGIC",
+]

@@ -1,0 +1,173 @@
+"""Wire format of test programs.
+
+A test program is an API-call sequence serialized into the agent's input
+buffer.  The format is deliberately primitive — fixed-width little-endian
+fields, no pointers — so the C-agent the paper describes could decode it
+with array reads and integer arithmetic alone::
+
+    u32  magic      0x454F4650 ("EOFP")
+    u16  version    1
+    u16  ncalls     <= MAX_CALLS
+    per call:
+        u16  api_id
+        u8   nargs   <= MAX_ARGS
+        per arg:
+            u8 tag   0 = immediate, 1 = result ref, 2 = data bytes
+            tag 0: i64 value
+            tag 1: u16 index of a previous call
+            tag 2: u16 length + bytes (<= MAX_DATA)
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple, Union
+
+from repro.errors import ProtocolError
+
+MAGIC = 0x454F4650
+VERSION = 1
+MAX_CALLS = 64
+MAX_ARGS = 8
+MAX_DATA = 1024
+
+TAG_IMM = 0
+TAG_REF = 1
+TAG_DATA = 2
+
+
+@dataclass(frozen=True)
+class ArgImm:
+    """An immediate integer argument."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class ArgRef:
+    """A reference to the result of an earlier call (resource handle)."""
+
+    index: int
+
+
+@dataclass(frozen=True)
+class ArgData:
+    """An inline byte buffer argument."""
+
+    data: bytes
+
+
+Argument = Union[ArgImm, ArgRef, ArgData]
+
+
+@dataclass(frozen=True)
+class Call:
+    """One API invocation."""
+
+    api_id: int
+    args: Tuple[Argument, ...] = ()
+
+
+@dataclass
+class TestProgram:
+    """An ordered API-call sequence."""
+
+    __test__ = False  # not a pytest test class, despite the name
+
+    calls: List[Call] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.calls)
+
+
+def serialize_program(program: TestProgram) -> bytes:
+    """Encode a program for the agent's input buffer."""
+    if len(program.calls) > MAX_CALLS:
+        raise ProtocolError(f"too many calls: {len(program.calls)}")
+    out = bytearray(struct.pack("<IHH", MAGIC, VERSION, len(program.calls)))
+    for call in program.calls:
+        if len(call.args) > MAX_ARGS:
+            raise ProtocolError(f"too many args in call {call.api_id}")
+        out += struct.pack("<HB", call.api_id & 0xFFFF, len(call.args))
+        for arg in call.args:
+            if isinstance(arg, ArgImm):
+                out += struct.pack("<Bq", TAG_IMM, _clamp_i64(arg.value))
+            elif isinstance(arg, ArgRef):
+                out += struct.pack("<BH", TAG_REF, arg.index & 0xFFFF)
+            elif isinstance(arg, ArgData):
+                if len(arg.data) > MAX_DATA:
+                    raise ProtocolError("data argument too long")
+                out += struct.pack("<BH", TAG_DATA, len(arg.data))
+                out += arg.data
+            else:
+                raise ProtocolError(f"unknown argument type: {arg!r}")
+    return bytes(out)
+
+
+def deserialize_program(raw: bytes) -> TestProgram:
+    """Decode a program; raises :class:`ProtocolError` on any violation.
+
+    This is the agent-side ``read_prog()`` body.
+    """
+    view = memoryview(raw)
+    if len(view) < 8:
+        raise ProtocolError("input shorter than the header")
+    magic, version, ncalls = struct.unpack_from("<IHH", view, 0)
+    if magic != MAGIC:
+        raise ProtocolError(f"bad magic 0x{magic:08x}")
+    if version != VERSION:
+        raise ProtocolError(f"unsupported version {version}")
+    if ncalls > MAX_CALLS:
+        raise ProtocolError(f"ncalls {ncalls} exceeds limit")
+    offset = 8
+    calls: List[Call] = []
+    for call_index in range(ncalls):
+        if offset + 3 > len(view):
+            raise ProtocolError(f"truncated call header at call {call_index}")
+        api_id, nargs = struct.unpack_from("<HB", view, offset)
+        offset += 3
+        if nargs > MAX_ARGS:
+            raise ProtocolError(f"nargs {nargs} exceeds limit")
+        args: List[Argument] = []
+        for arg_index in range(nargs):
+            if offset + 1 > len(view):
+                raise ProtocolError("truncated argument tag")
+            tag = view[offset]
+            offset += 1
+            if tag == TAG_IMM:
+                if offset + 8 > len(view):
+                    raise ProtocolError("truncated immediate")
+                (value,) = struct.unpack_from("<q", view, offset)
+                offset += 8
+                args.append(ArgImm(value))
+            elif tag == TAG_REF:
+                if offset + 2 > len(view):
+                    raise ProtocolError("truncated result reference")
+                (index,) = struct.unpack_from("<H", view, offset)
+                offset += 2
+                if index >= call_index:
+                    raise ProtocolError(
+                        f"forward reference: call {call_index} arg "
+                        f"{arg_index} refers to call {index}")
+                args.append(ArgRef(index))
+            elif tag == TAG_DATA:
+                if offset + 2 > len(view):
+                    raise ProtocolError("truncated data length")
+                (length,) = struct.unpack_from("<H", view, offset)
+                offset += 2
+                if length > MAX_DATA:
+                    raise ProtocolError(f"data length {length} exceeds limit")
+                if offset + length > len(view):
+                    raise ProtocolError("truncated data bytes")
+                args.append(ArgData(bytes(view[offset:offset + length])))
+                offset += length
+            else:
+                raise ProtocolError(f"unknown argument tag {tag}")
+        calls.append(Call(api_id=api_id, args=tuple(args)))
+    return TestProgram(calls=calls)
+
+
+def _clamp_i64(value: int) -> int:
+    lo, hi = -(1 << 63), (1 << 63) - 1
+    return max(lo, min(hi, value))

@@ -1,0 +1,32 @@
+"""Baseline fuzzers the paper compares against (§5.1).
+
+* :mod:`eof_nf`   — EOF without feedback guidance (the ablation).
+* :mod:`tardis`   — Syzkaller-derived, QEMU shared-memory transport,
+  timeout-only bug detection, no pseudo-call specs.
+* :mod:`gdbfuzz`  — byte-buffer inputs into one application entry point,
+  coverage from a handful of rotating hardware breakpoints.
+* :mod:`shift`    — semihosting-instrumented byte-buffer fuzzing,
+  FreeRTOS-only, full coverage at a steep per-exec cost.
+* :mod:`gustave`  — AFL-style syscall-image fuzzing of PoKOS on QEMU.
+
+Every baseline reports coverage with the same external meter (the
+ground-truth SanCov edge set the instrumented build records), so Table
+3/4 numbers are comparable across tools regardless of what feedback each
+tool itself can see.
+"""
+
+from repro.baselines.eof_nf import make_eof_nf_engine
+from repro.baselines.tardis import TardisEngine
+from repro.baselines.buffer_base import BufferFuzzerBase
+from repro.baselines.gdbfuzz import GdbFuzzEngine
+from repro.baselines.shift import ShiftEngine
+from repro.baselines.gustave import GustaveEngine
+
+__all__ = [
+    "make_eof_nf_engine",
+    "TardisEngine",
+    "BufferFuzzerBase",
+    "GdbFuzzEngine",
+    "ShiftEngine",
+    "GustaveEngine",
+]

@@ -1,0 +1,29 @@
+"""EOF-nf: EOF with the feedback guidance removed (§5.1).
+
+Same harness, same specs, same monitors and liveness machinery — but no
+coverage-driven corpus: every input is freshly generated, nothing is
+saved or mutated, and call selection carries no recency credit.  Coverage
+is still *measured* (the paper reports EOF-nf coverage), it just never
+guides anything.
+"""
+
+from __future__ import annotations
+
+from repro.firmware.builder import BuildInfo
+from repro.fuzz.engine import EngineOptions, EofEngine
+from repro.spec.model import SpecSet
+
+
+def make_eof_nf_engine(build: BuildInfo, spec: SpecSet,
+                       seed: int = 0,
+                       budget_cycles: int = 2_000_000,
+                       max_iterations: int = 1_000_000) -> EofEngine:
+    """Construct the no-feedback ablation engine."""
+    options = EngineOptions(
+        seed=seed,
+        budget_cycles=budget_cycles,
+        max_iterations=max_iterations,
+        feedback=False,
+        name="eof-nf",
+    )
+    return EofEngine(build, spec, options)

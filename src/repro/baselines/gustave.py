@@ -1,0 +1,77 @@
+"""Gustave (Duverger & Gantet) model.
+
+Gustave is AFL bolted onto a heavily customised QEMU board: it fuzzes POK
+by mutating a raw memory image that the guest interprets as syscall
+identifiers and arguments, with coverage from QEMU's TCG.  There is no
+type or resource awareness — the buffer bytes *are* the call stream — so
+most decoded calls bounce off validation, but full-trace coverage still
+guides the corpus (§2.2, Table 3's PoKOS row).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List
+
+from repro.agent.protocol import ArgImm, Call, TestProgram
+from repro.baselines.buffer_base import BufferFuzzerBase
+from repro.errors import UnsupportedTargetError
+from repro.firmware.builder import BuildInfo
+
+SUPPORTED_OSES = ("pokos",)
+MAX_DECODED_CALLS = 8
+BYTES_PER_CALL = 13  # 1 selector + 3 * u32 args
+
+
+class GustaveEngine(BufferFuzzerBase):
+    """Gustave bound to a PoKOS guest."""
+
+    NAME = "gustave"
+
+    def __init__(self, build: BuildInfo, seed: int = 0,
+                 budget_cycles: int = 2_000_000,
+                 max_iterations: int = 1_000_000):
+        if build.config.os_name not in SUPPORTED_OSES:
+            raise UnsupportedTargetError(
+                f"Gustave's board model only boots POK; got "
+                f"{build.config.os_name!r}")
+        if not build.board_spec.has_emulator:
+            raise UnsupportedTargetError(
+                f"Gustave is QEMU-based; {build.board_spec.name} has no "
+                f"emulator")
+        super().__init__(build, seed=seed, budget_cycles=budget_cycles,
+                         max_iterations=max_iterations,
+                         max_buffer=MAX_DECODED_CALLS * BYTES_PER_CALL)
+        self.n_apis = len(build.api_order)
+
+    def make_program(self, data: bytes) -> TestProgram:
+        """Decode the fuzzed memory image into a raw call stream.
+
+        The guest shim knows the syscall ABI (how many argument slots
+        each selector takes) but nothing about types or resources: every
+        slot is whatever 32-bit value AFL left in the image.
+        """
+        calls: List[Call] = []
+        offset = 0
+        while offset < len(data) and len(calls) < MAX_DECODED_CALLS:
+            api_id = data[offset] % max(self.n_apis, 1)
+            offset += 1
+            arity = len(self.build.api_defs[api_id].args)
+            args = []
+            for _ in range(arity):
+                if offset + 4 <= len(data):
+                    (value,) = struct.unpack_from("<I", data, offset)
+                    offset += 4
+                else:
+                    value = 0
+                    offset = len(data)
+                args.append(ArgImm(value))
+            calls.append(Call(api_id=api_id, args=tuple(args)))
+        if not calls and data:
+            calls.append(Call(api_id=data[0] % max(self.n_apis, 1), args=()))
+        return TestProgram(calls=calls)
+
+    def feedback_interesting(self, event_bp_hits: List[int],
+                             new_truth_edges: int) -> bool:
+        """TCG tracing sees everything the guest executes."""
+        return new_truth_edges > 0

@@ -1,0 +1,61 @@
+"""SHIFT (Mera et al., USENIX Security 2024) model.
+
+SHIFT brings sanitizer and coverage support to real hardware via
+**semihosting**: the target traps into the debugger for every
+instrumentation event, which buys full SanCov-quality feedback at a steep
+per-event cost and only on the platforms/OSes that were manually adapted
+— in our catalog, FreeRTOS (Table 1).  Inputs remain AFL-style byte
+buffers into one application entry point, so API preconditions are rarely
+satisfied (§5.4.2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.agent.protocol import ArgData, Call, TestProgram
+from repro.baselines.buffer_base import BufferFuzzerBase
+from repro.errors import UnsupportedTargetError
+from repro.firmware.builder import BuildInfo
+
+SUPPORTED_OSES = ("freertos",)
+# Each semihosting trap stops the core and round-trips the probe; the
+# paper bins SHIFT's per-exec overhead far above native SanCov.
+SEMIHOST_CYCLES_PER_BYTE = 6
+SEMIHOST_FIXED_CYCLES = 1200
+
+
+class ShiftEngine(BufferFuzzerBase):
+    """SHIFT bound to one application entry point."""
+
+    NAME = "shift"
+
+    def __init__(self, build: BuildInfo, entry_api: str, seed: int = 0,
+                 budget_cycles: int = 2_000_000,
+                 max_iterations: int = 1_000_000):
+        if build.config.os_name not in SUPPORTED_OSES:
+            raise UnsupportedTargetError(
+                f"SHIFT's semihosting runtime is only adapted to "
+                f"{SUPPORTED_OSES}; got {build.config.os_name!r}")
+        super().__init__(build, seed=seed, budget_cycles=budget_cycles,
+                         max_iterations=max_iterations)
+        if entry_api not in build.api_order:
+            raise UnsupportedTargetError(
+                f"entry function {entry_api!r} is not linked into the image")
+        self.entry_id = build.api_order.index(entry_api)
+
+    def make_program(self, data: bytes) -> TestProgram:
+        """One entry-point call per chunk of the fuzzed buffer."""
+        return TestProgram(calls=[
+            Call(api_id=self.entry_id, args=(ArgData(chunk),))
+            for chunk in self.chunk_buffer(data)])
+
+    def feedback_interesting(self, event_bp_hits: List[int],
+                             new_truth_edges: int) -> bool:
+        # Semihosting exposes the full edge stream, so SHIFT's feedback
+        # is the real coverage signal.
+        return new_truth_edges > 0
+
+    def per_exec_overhead_cycles(self, raw_len: int) -> int:
+        """Semihosting traps: fixed setup plus per-byte transfer cost."""
+        return SEMIHOST_FIXED_CYCLES + SEMIHOST_CYCLES_PER_BYTE * raw_len

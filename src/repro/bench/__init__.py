@@ -1,0 +1,31 @@
+"""Benchmark harness: budgets, runners and paper-style reporting.
+
+One module per concern:
+
+* :mod:`budget` — maps the paper's wall-clock durations (24 h campaigns,
+  10-minute overhead windows) onto deterministic virtual-cycle budgets,
+  scalable via ``EOF_BENCH_SCALE``.
+* :mod:`runner` — builds a target, constructs the requested engine and
+  runs it for one seed; plus multi-seed averaging.
+* :mod:`report` — renders Table 1-4 / Figure 7-8 style text output.
+"""
+
+from repro.bench.budget import BenchBudget, bench_scale
+from repro.bench.runner import (
+    run_engine,
+    run_seeds,
+    SeedSummary,
+    edges_in_module,
+)
+from repro.bench.report import render_table, render_curve
+
+__all__ = [
+    "BenchBudget",
+    "bench_scale",
+    "run_engine",
+    "run_seeds",
+    "SeedSummary",
+    "edges_in_module",
+    "render_table",
+    "render_curve",
+]

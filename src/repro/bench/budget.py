@@ -1,0 +1,48 @@
+"""Virtual-time budgets.
+
+The paper fuzzes each target for 24 hours, repeats every experiment 5
+times, and measures execution overhead over 10-minute windows.  Our
+substrate runs on a deterministic cycle clock, so "24 hours" maps to a
+cycle budget.  The default budgets are sized for a laptop-scale benchmark
+run (a few minutes for the whole suite); set ``EOF_BENCH_SCALE`` to grow
+or shrink every budget proportionally, e.g.::
+
+    EOF_BENCH_SCALE=4 pytest benchmarks/ --benchmark-only
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+
+
+def bench_scale() -> float:
+    """The global budget multiplier (``EOF_BENCH_SCALE``, default 1)."""
+    try:
+        return max(float(os.environ.get("EOF_BENCH_SCALE", "1")), 0.01)
+    except ValueError:
+        return 1.0
+
+
+@dataclass(frozen=True)
+class BenchBudget:
+    """Cycle budgets for one experiment family."""
+
+    campaign_cycles: int     # the "24 hour" fuzzing campaign
+    overhead_cycles: int     # the "10 minute" overhead window
+    seeds: int               # repetitions (the paper uses 5)
+
+    @classmethod
+    def default(cls) -> "BenchBudget":
+        """The laptop-scale defaults, scaled by EOF_BENCH_SCALE."""
+        scale = bench_scale()
+        return cls(
+            campaign_cycles=int(8_000_000 * scale),
+            overhead_cycles=int(600_000 * scale),
+            seeds=max(int(round(3 * min(scale, 1.67))), 1),
+        )
+
+    def curve_samples(self, points: int = 25):
+        """Evenly spaced cycle timestamps for coverage-growth curves."""
+        step = self.campaign_cycles // points
+        return [step * i for i in range(1, points + 1)]

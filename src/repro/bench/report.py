@@ -1,0 +1,68 @@
+"""Paper-style text rendering for tables and coverage curves."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+
+def render_table(title: str, columns: Sequence[str],
+                 rows: Sequence[Sequence[object]]) -> str:
+    """A fixed-width table with a title rule, like the paper's tables."""
+    widths = [len(str(column)) for column in columns]
+    str_rows = [[_fmt(cell) for cell in row] for row in rows]
+    for row in str_rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i])
+                         for i, cell in enumerate(cells))
+    rule = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    out = [title, rule, line([str(c) for c in columns]), rule]
+    out.extend(line(row) for row in str_rows)
+    out.append(rule)
+    return "\n".join(out)
+
+
+def _fmt(cell: object) -> str:
+    if isinstance(cell, float):
+        return f"{cell:.1f}"
+    return str(cell)
+
+
+def improvement(ours: float, theirs: float) -> str:
+    """The parenthesised "+X%" the paper's tables carry."""
+    if theirs <= 0:
+        return "(n/a)"
+    return f"(+{100.0 * (ours - theirs) / theirs:.2f}%)"
+
+
+def render_curve(title: str,
+                 series: Dict[str, List[Tuple[float, float, float]]],
+                 timestamps: Sequence[int], width: int = 60,
+                 height: int = 14) -> str:
+    """ASCII coverage-growth curves with min/max bands (Figure 7/8).
+
+    ``series`` maps a fuzzer name to [(mean, lo, hi)] aligned with
+    ``timestamps``.
+    """
+    peak = max((point[2] for band in series.values() for point in band),
+               default=1) or 1
+    grid = [[" "] * width for _ in range(height)]
+    marks = "ox+*#@"
+    legend = []
+    for index, (name, band) in enumerate(sorted(series.items())):
+        mark = marks[index % len(marks)]
+        legend.append(f"{mark}={name}")
+        for column in range(width):
+            sample = min(int(column * len(band) / width), len(band) - 1)
+            mean = band[sample][0]
+            row = height - 1 - int((mean / peak) * (height - 1))
+            grid[row][column] = mark
+    lines = [title, f"y: branches (peak {int(peak)}), "
+                    f"x: virtual time ({timestamps[-1]} cycles)"]
+    for row_index, row in enumerate(grid):
+        y_value = int(peak * (height - 1 - row_index) / (height - 1))
+        lines.append(f"{y_value:6d} |" + "".join(row))
+    lines.append("       +" + "-" * width)
+    lines.append("        " + "  ".join(legend))
+    return "\n".join(lines)

@@ -1,0 +1,141 @@
+"""Run one fuzzer on one target, repeatedly, and summarise.
+
+Every engine (EOF, EOF-nf, Tardis, GDBFuzz, SHIFT, Gustave) is built
+fresh per seed — new board, new image, new RNG — so seeds are genuinely
+independent repetitions, as in the paper's 5-run protocol.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence
+
+from repro.baselines import (
+    GdbFuzzEngine,
+    GustaveEngine,
+    ShiftEngine,
+    TardisEngine,
+    make_eof_nf_engine,
+)
+from repro.firmware.builder import BuildInfo, build_firmware
+from repro.fuzz.engine import EngineOptions, EofEngine, FuzzResult
+from repro.fuzz.targets import TargetConfig
+from repro.spec.llmgen import generate_validated_specs
+
+
+@dataclass
+class SeedSummary:
+    """Aggregated results of one fuzzer over several seeds."""
+
+    fuzzer: str
+    target: str
+    edges: List[int] = field(default_factory=list)
+    module_edges: List[int] = field(default_factory=list)
+    bugs: List[int] = field(default_factory=list)
+    execs: List[int] = field(default_factory=list)
+    curves: List[List[tuple]] = field(default_factory=list)
+    results: List[FuzzResult] = field(default_factory=list)
+
+    @property
+    def mean_edges(self) -> float:
+        """Mean branch coverage over seeds."""
+        return sum(self.edges) / max(len(self.edges), 1)
+
+    @property
+    def mean_module_edges(self) -> float:
+        """Mean module-confined coverage over seeds (Table 4 cells)."""
+        return sum(self.module_edges) / max(len(self.module_edges), 1)
+
+    def curve_band(self, timestamps: Sequence[int]):
+        """(mean, min, max) coverage at each timestamp across seeds."""
+        band = []
+        for when in timestamps:
+            values = [self._at(curve, when) for curve in self.curves]
+            band.append((sum(values) / max(len(values), 1),
+                         min(values, default=0), max(values, default=0)))
+        return band
+
+    @staticmethod
+    def _at(curve, when: int) -> int:
+        best = 0
+        for cycles, edges in curve:
+            if cycles > when:
+                break
+            best = edges
+        return best
+
+
+def edges_in_module(result: FuzzResult, build: BuildInfo,
+                    module: str) -> int:
+    """Ground-truth edge count confined to one module (Table 4 columns)."""
+    count = 0
+    for edge in result.coverage.edges:
+        symbol = build.site_table.symbol_of_site(edge & 0xFFFF)
+        if symbol is None:
+            continue
+        if build.site_table.for_symbol(symbol).module == module:
+            count += 1
+    return count
+
+
+def make_engine(fuzzer: str, build: BuildInfo, seed: int,
+                budget_cycles: int, entry_api: Optional[str] = None,
+                restrict_modules: Optional[Sequence[str]] = None):
+    """Construct a named engine for a built target."""
+    if fuzzer in ("eof", "eof-nf", "tardis"):
+        spec = generate_validated_specs(build)
+        if restrict_modules:
+            spec = spec.restricted_to(
+                [a.name for a in build.api_defs
+                 if a.module in set(restrict_modules)])
+        if fuzzer == "eof":
+            return EofEngine(build, spec, EngineOptions(
+                seed=seed, budget_cycles=budget_cycles))
+        if fuzzer == "eof-nf":
+            return make_eof_nf_engine(build, spec, seed=seed,
+                                      budget_cycles=budget_cycles)
+        return TardisEngine(build, spec, seed=seed,
+                            budget_cycles=budget_cycles)
+    if fuzzer == "gdbfuzz":
+        return GdbFuzzEngine(build, entry_api, seed=seed,
+                             budget_cycles=budget_cycles)
+    if fuzzer == "shift":
+        return ShiftEngine(build, entry_api, seed=seed,
+                           budget_cycles=budget_cycles)
+    if fuzzer == "gustave":
+        return GustaveEngine(build, seed=seed, budget_cycles=budget_cycles)
+    raise ValueError(f"unknown fuzzer {fuzzer!r}")
+
+
+def run_engine(fuzzer: str, target: TargetConfig, seed: int,
+               budget_cycles: int, entry_api: Optional[str] = None,
+               restrict_modules: Optional[Sequence[str]] = None,
+               module: Optional[str] = None):
+    """One seed of one fuzzer on one target; returns (result, build)."""
+    build = build_firmware(target.build_config())
+    engine = make_engine(fuzzer, build, seed, budget_cycles,
+                         entry_api=entry_api,
+                         restrict_modules=restrict_modules)
+    result = engine.run()
+    return result, build
+
+
+def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
+              budget_cycles: int, entry_api: Optional[str] = None,
+              restrict_modules: Optional[Sequence[str]] = None,
+              module: Optional[str] = None) -> SeedSummary:
+    """The paper's repeated-runs protocol."""
+    summary = SeedSummary(fuzzer=fuzzer, target=target.name)
+    for seed in range(1, seeds + 1):
+        result, build = run_engine(fuzzer, target, seed, budget_cycles,
+                                   entry_api=entry_api,
+                                   restrict_modules=restrict_modules)
+        summary.edges.append(result.edges)
+        summary.bugs.append(len(result.crash_db))
+        summary.execs.append(result.stats.programs_executed)
+        summary.curves.append(list(result.stats.series))
+        summary.results.append(result)
+        if module is not None:
+            summary.module_edges.append(
+                edges_in_module(result, build, module))
+    return summary

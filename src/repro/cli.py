@@ -1,0 +1,134 @@
+"""Command-line interface: ``eof-fuzz``.
+
+Subcommands::
+
+    eof-fuzz targets                   list registered fuzz targets
+    eof-fuzz build   --target NAME     build an image and show its layout
+    eof-fuzz run     --target NAME     fuzz a target
+    eof-fuzz repro   --bug N           run a Table 2 bug reproducer
+    eof-fuzz bugs                      list the Table 2 bug catalog
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.bench.runner import make_engine
+from repro.firmware.builder import build_firmware
+from repro.fuzz.oneshot import execute_once
+from repro.fuzz.targets import TARGETS, get_target
+from repro.oses.bugs import BUG_TABLE
+
+
+def _cmd_targets(_args) -> int:
+    for name, target in sorted(TARGETS.items()):
+        print(f"{name:16} {target.os_name:10} on {target.board:10} "
+              f"[{target.arch}]  {target.description}")
+    return 0
+
+
+def _cmd_build(args) -> int:
+    target = get_target(args.target)
+    build = build_firmware(target.build_config(instrument=not args.bare))
+    print(f"target    : {target.name} ({target.os_name} on {target.board})")
+    print(f"image     : {build.image_total_bytes} bytes"
+          f" ({'instrumented' if build.config.instrument else 'bare'})")
+    print(f"symbols   : {len(build.symbols)}")
+    print(f"cov sites : {build.site_table.total_sites}")
+    print(f"APIs      : {len(build.api_order)}")
+    print("partitions:")
+    for part in build.partition_specs:
+        print(f"  {part.name:8} offset=0x{part.offset:06x} "
+              f"size=0x{part.size:06x}")
+    return 0
+
+
+def _cmd_run(args) -> int:
+    target = get_target(args.target)
+    build = build_firmware(target.build_config())
+    engine = make_engine(args.fuzzer, build, args.seed, args.budget)
+    print(f"fuzzing {target.name} with {args.fuzzer} "
+          f"(budget {args.budget} cycles, seed {args.seed}) ...")
+    result = engine.run()
+    print(result.stats.summary())
+    for report in result.crash_db.unique_crashes():
+        print()
+        print(report.render())
+    return 0
+
+
+def _cmd_spec(args) -> int:
+    from repro.spec.llmgen import synthesize_spec_text
+    target = get_target(args.target)
+    build = build_firmware(target.build_config())
+    print(synthesize_spec_text(build.api_defs, target.os_name), end="")
+    return 0
+
+
+def _cmd_bugs(_args) -> int:
+    for bug in BUG_TABLE:
+        mark = "confirmed" if bug.confirmed else ""
+        print(f"#{bug.number:2} {bug.os_name:10} {bug.scope:10} "
+              f"{bug.bug_type:17} {bug.operation:24} {mark}")
+    return 0
+
+
+def _cmd_repro(args) -> int:
+    bug = next((b for b in BUG_TABLE if b.number == args.bug), None)
+    if bug is None:
+        print(f"no bug #{args.bug} in Table 2", file=sys.stderr)
+        return 1
+    target = get_target(bug.os_name)
+    print(f"reproducing bug #{bug.number}: {bug.operation} on "
+          f"{bug.os_name} ...")
+    outcome = execute_once(target, list(bug.reproducer))
+    if outcome.crash is not None:
+        print(outcome.crash.render())
+    for report in outcome.log_crashes:
+        print(report.render())
+    if not outcome.crashed:
+        print("reproducer did not crash (unexpected)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def main(argv=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="eof-fuzz",
+        description="EOF: on-hardware embedded OS fuzzing (reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("targets", help="list registered targets")
+
+    build_p = sub.add_parser("build", help="build a firmware image")
+    build_p.add_argument("--target", required=True)
+    build_p.add_argument("--bare", action="store_true",
+                         help="build without instrumentation")
+
+    run_p = sub.add_parser("run", help="fuzz a target")
+    run_p.add_argument("--target", required=True)
+    run_p.add_argument("--fuzzer", default="eof",
+                       choices=["eof", "eof-nf", "tardis", "gustave"])
+    run_p.add_argument("--budget", type=int, default=4_000_000,
+                       help="virtual-cycle budget")
+    run_p.add_argument("--seed", type=int, default=1)
+
+    sub.add_parser("bugs", help="list the Table 2 bug catalog")
+
+    spec_p = sub.add_parser("spec", help="dump the synthesised Syzlang")
+    spec_p.add_argument("--target", required=True)
+
+    repro_p = sub.add_parser("repro", help="run a bug reproducer")
+    repro_p.add_argument("--bug", type=int, required=True)
+
+    args = parser.parse_args(argv)
+    handlers = {"targets": _cmd_targets, "build": _cmd_build,
+                "run": _cmd_run, "bugs": _cmd_bugs, "repro": _cmd_repro,
+                "spec": _cmd_spec}
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,15 @@
+"""Host-side debug interface (the OpenOCD + GDB pair of §4.3.1).
+
+``OpenOcd`` owns the probe session and the services that keep working
+when the core is dead (flash programming, reset, UART capture);
+``GdbClient`` layers run control, breakpoints and memory inspection on
+top, in GDB/MI vocabulary (``-exec-continue`` etc.).  ``DebugSession``
+bundles both with the build artifacts — it is the "DebugPipe" that
+Algorithm 1's watchdogs and restoration operate on.
+"""
+
+from repro.ddi.openocd import OpenOcd
+from repro.ddi.gdb import GdbClient
+from repro.ddi.session import DebugSession, open_session
+
+__all__ = ["OpenOcd", "GdbClient", "DebugSession", "open_session"]

@@ -1,0 +1,90 @@
+"""GDB/MI-flavoured client over the OpenOCD probe.
+
+Exposes the operations the fuzzer issues by name in the paper:
+``-break-insert`` at symbols, ``-exec-continue``, PC sampling for the
+stall watchdog, and memory transfer for test cases / coverage / crash
+context.  Symbols resolve through the host's copy of the build artifacts
+(the ELF symbol table, morally).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.errors import DebugLinkError
+from repro.ddi.openocd import OpenOcd
+from repro.hw.machine import HaltEvent, StackFrame
+
+
+class GdbClient:
+    """Run control + memory access for one target."""
+
+    def __init__(self, openocd: OpenOcd, symbols: Optional[Dict[str, int]] = None):
+        self.openocd = openocd
+        self.port = openocd.port
+        self.symbols = dict(symbols or {})
+        self._addr_to_symbol = {addr: name for name, addr in self.symbols.items()}
+        self.continues = 0
+
+    # -- symbols -------------------------------------------------------------
+
+    def resolve(self, location) -> int:
+        """Resolve a symbol name or address to an address."""
+        if isinstance(location, int):
+            return location
+        if location not in self.symbols:
+            raise DebugLinkError(f"no symbol {location!r} in the image")
+        return self.symbols[location]
+
+    def symbolize(self, address: int) -> str:
+        """Best-effort reverse lookup."""
+        return self._addr_to_symbol.get(address, f"0x{address:08x}")
+
+    # -- breakpoints -----------------------------------------------------------
+
+    def break_insert(self, location, label: str = "") -> int:
+        """``-break-insert``: arm a hardware breakpoint; returns the addr."""
+        address = self.resolve(location)
+        self.port.set_breakpoint(address, label or str(location))
+        return address
+
+    def break_delete(self, location) -> None:
+        """``-break-delete``."""
+        self.port.clear_breakpoint(self.resolve(location))
+
+    def break_delete_all(self) -> None:
+        """Remove every breakpoint."""
+        self.port.clear_all_breakpoints()
+
+    # -- run control ---------------------------------------------------------------
+
+    def exec_continue(self) -> HaltEvent:
+        """``-exec-continue``: run to the next stop and report it."""
+        self.continues += 1
+        return self.port.resume()
+
+    def read_pc(self) -> int:
+        """Sample the program counter (``-data-list-register-values pc``)."""
+        return self.port.read_pc()
+
+    def backtrace(self) -> List[StackFrame]:
+        """``-stack-list-frames``: unwind the target stack."""
+        return self.port.backtrace()
+
+    # -- memory transfer ---------------------------------------------------------------
+
+    def read_memory(self, address: int, length: int) -> bytes:
+        """``-data-read-memory-bytes``."""
+        return self.port.read_mem(address, length)
+
+    def write_memory(self, address: int, data: bytes) -> None:
+        """``-data-write-memory-bytes``."""
+        self.port.write_mem(address, data)
+
+    def read_u32(self, address: int) -> int:
+        """Read one little-endian word of target memory."""
+        return self.port.read_u32(address)
+
+    def write_u32(self, address: int, value: int) -> None:
+        """Write one little-endian word of target memory."""
+        self.port.write_u32(address, value)

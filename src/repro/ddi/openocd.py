@@ -1,0 +1,73 @@
+"""OpenOCD stand-in: probe session, flash service, reset, UART capture.
+
+Mirrors the command set EOF actually uses over OpenOCD: connect to the
+board's debug interface (JTAG/SWD), program flash (erase + program +
+verify), ``monitor reset``, and capture the target's UART into a host
+stream (the paper redirects UART to stdout for the log monitor).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import DebugLinkError
+from repro.hw.board import Board
+from repro.hw.boards import BOARD_CATALOG
+from repro.hw.debug_port import DebugPort
+
+
+class OpenOcd:
+    """One OpenOCD server bound to one board."""
+
+    def __init__(self, board: Board, interface: Optional[str] = None):
+        spec = BOARD_CATALOG.get(board.name)
+        expected = spec.debug_interface if spec else "jtag"
+        self.interface = interface or expected
+        if spec and self.interface != spec.debug_interface:
+            raise DebugLinkError(
+                f"board {board.name} exposes {spec.debug_interface}, "
+                f"config says {self.interface}")
+        self.board = board
+        self.port = DebugPort(board)
+        self._uart_cursor = 0
+        self.flash_ops = 0
+        self.reset_ops = 0
+
+    # -- session ------------------------------------------------------------
+
+    def connect(self) -> None:
+        """Open the probe session (board must be powered)."""
+        self.port.connect()
+
+    def close(self) -> None:
+        """Close the probe session."""
+        self.port.disconnect()
+
+    @property
+    def connected(self) -> bool:
+        """Is the probe session open?"""
+        return self.port.connected
+
+    # -- flash service -----------------------------------------------------------
+
+    def flash_write(self, address: int, data: bytes, verify: bool = True) -> None:
+        """``flash write_image``: erase, program, optionally verify."""
+        self.flash_ops += 1
+        self.port.flash_erase(address, len(data))
+        self.port.flash_program(address, data)
+        if verify and self.port.flash_read(address, len(data)) != data:
+            raise DebugLinkError(f"flash verify failed at 0x{address:08x}")
+
+    # -- reset --------------------------------------------------------------------
+
+    def reset_run(self) -> None:
+        """``monitor reset run``: warm reset, let the target boot."""
+        self.reset_ops += 1
+        self.port.reset()
+
+    # -- UART capture ----------------------------------------------------------------
+
+    def drain_uart(self) -> List[str]:
+        """New UART lines since the last drain (host-side log stream)."""
+        lines, self._uart_cursor = self.port.uart_read(self._uart_cursor)
+        return lines

@@ -1,0 +1,81 @@
+"""The DebugPipe: one object bundling everything the host needs to drive
+one flashed board — probe, GDB client, build artifacts, UART stream.
+
+This is what Algorithm 1 calls ``DebugPipe``: the watchdogs probe it for
+connection timeouts and PC movement; state restoration flashes partition
+files through it and reboots.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ddi.gdb import GdbClient
+from repro.ddi.openocd import OpenOcd
+from repro.firmware.builder import BuildInfo, flash_build
+from repro.firmware.loader import install_firmware_loader
+from repro.hw.board import Board
+from repro.hw.boards import make_board
+from repro.hw.machine import HaltEvent
+
+
+class DebugSession:
+    """A live host <-> target debug session."""
+
+    def __init__(self, board: Board, build: BuildInfo):
+        self.board = board
+        self.build = build
+        self.openocd = OpenOcd(board)
+        self.gdb = GdbClient(
+            self.openocd,
+            symbols={name: sym.address for name, sym in build.symbols.items()})
+
+    # -- convenience pass-throughs -------------------------------------------
+
+    def exec_continue(self) -> HaltEvent:
+        """``-exec-continue`` via the GDB client."""
+        return self.gdb.exec_continue()
+
+    def read_pc(self) -> int:
+        """Sample the target PC."""
+        return self.gdb.read_pc()
+
+    def drain_uart(self) -> List[str]:
+        """New UART lines since the last drain."""
+        return self.openocd.drain_uart()
+
+    # -- restoration primitives (Algorithm 1 lines 16-18) -----------------------
+
+    def flash(self, payload: bytes, offset: int) -> None:
+        """``DebugPipe.flash(Part.file, Part.offset)``."""
+        self.openocd.flash_write(self.board.flash.base + offset, payload)
+
+    def flash_header(self) -> None:
+        """Rewrite the master header (part of a full restoration)."""
+        from repro.firmware.image import pack_header
+        header = pack_header(self.build.partitions)
+        self.openocd.flash_write(self.board.flash.base, header)
+
+    def reboot(self) -> None:
+        """``DebugPipe.reboot()``."""
+        self.openocd.reset_run()
+
+    def close(self) -> None:
+        """Detach the probe."""
+        self.openocd.close()
+
+
+def open_session(build: BuildInfo, board: Board = None) -> DebugSession:
+    """Provision a board with a built image and attach the debug stack.
+
+    This is the "factory bring-up" path: make the board, install the ROM
+    loader, flash the image, power on, connect the probe.
+    """
+    if board is None:
+        board = make_board(build.board_spec.name)
+    install_firmware_loader(board)
+    flash_build(board, build)
+    board.power_on()
+    session = DebugSession(board, build)
+    session.openocd.connect()
+    return session

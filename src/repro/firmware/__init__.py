@@ -1,0 +1,40 @@
+"""Firmware build, image format and boot loading.
+
+The builder plays the role of the cross toolchain: it lays out every
+kernel/agent function at a synthetic address (the symbol table), sizes the
+code (instrumentation inflates it, §5.5.1), packs partitions with CRCs
+into a flash image, and reports the partition table that Algorithm 1's
+``GetPartitionTable(KConfig)`` extracts for state restoration.
+"""
+
+from repro.firmware.layout import (
+    BuildConfig,
+    PartitionSpec,
+    RamLayout,
+    parse_partition_table,
+)
+from repro.firmware.image import (
+    Partition,
+    ImageMeta,
+    pack_header,
+    validate_flash,
+    write_partitions_to_flash,
+)
+from repro.firmware.builder import BuildInfo, Symbol, build_firmware
+from repro.firmware.loader import install_firmware_loader
+
+__all__ = [
+    "BuildConfig",
+    "PartitionSpec",
+    "RamLayout",
+    "parse_partition_table",
+    "Partition",
+    "ImageMeta",
+    "pack_header",
+    "validate_flash",
+    "write_partitions_to_flash",
+    "BuildInfo",
+    "Symbol",
+    "build_firmware",
+    "install_firmware_loader",
+]

@@ -1,0 +1,153 @@
+"""On-flash image format and boot-time validation.
+
+Layout::
+
+    flash_base + 0x000  master header
+    flash_base + part.offset  each partition payload
+
+Master header::
+
+    8s   magic  b"EOFIMG1\\0"
+    u32  partition count
+    per partition: 8s name, u32 offset, u32 size(payload), u32 crc32(payload)
+    u32  crc32 of everything above
+
+The kernel partition payload starts with ``u32 meta_len`` followed by a
+JSON metadata blob (OS name, config, symbol table, RAM layout, coverage
+sites) and then synthetic ``.text`` bytes.  CRCs make corruption — by the
+host's fault injection or by a buggy kernel scribbling on flash —
+*detectable at boot*, which is what forces reflash-based restoration.
+"""
+
+from __future__ import annotations
+
+import json
+import struct
+import zlib
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.errors import ImageError
+from repro.firmware.layout import PartitionSpec, RamLayout
+from repro.hw.memory import Flash
+
+MAGIC = b"EOFIMG1\x00"
+HEADER_RESERVED = 512  # space reserved for the master header at offset 0
+
+
+@dataclass
+class Partition:
+    """A named payload at a flash offset (offset relative to flash base)."""
+
+    name: str
+    offset: int
+    payload: bytes
+
+    @property
+    def size(self) -> int:
+        """Payload size in bytes."""
+        return len(self.payload)
+
+
+def pack_header(partitions: List[Partition]) -> bytes:
+    """Serialize the master header for a partition set."""
+    body = MAGIC + struct.pack("<I", len(partitions))
+    for part in partitions:
+        name = part.name.encode("ascii")[:8].ljust(8, b"\x00")
+        body += name
+        body += struct.pack("<III", part.offset, part.size,
+                            zlib.crc32(part.payload) & 0xFFFFFFFF)
+    body += struct.pack("<I", zlib.crc32(body) & 0xFFFFFFFF)
+    if len(body) > HEADER_RESERVED:
+        raise ImageError("master header exceeds its reserved space")
+    return body
+
+
+def write_partitions_to_flash(flash: Flash, partitions: List[Partition]) -> None:
+    """Full (re)flash: header + every partition, erase-then-program."""
+    header = pack_header(partitions)
+    flash.erase_range(flash.base, HEADER_RESERVED)
+    flash.program(flash.base, header)
+    for part in partitions:
+        flash.erase_range(flash.base + part.offset, part.size)
+        flash.program(flash.base + part.offset, part.payload)
+
+
+@dataclass
+class ImageMeta:
+    """Everything the ROM loader learns from a *valid* flash image."""
+
+    os_name: str
+    config: dict
+    addresses: Dict[str, int]
+    symbol_modules: Dict[str, str]
+    site_blocks: Dict[str, List[int]]   # symbol -> [base, count]
+    ram_layout: RamLayout
+    instrument_enabled: bool
+    instrument_modules: "list[str] | None"
+    api_order: List[str]
+    partitions: List[PartitionSpec]
+
+
+def _parse_header(flash: Flash) -> List[PartitionSpec]:
+    raw = flash.read(flash.base, HEADER_RESERVED)
+    if raw[:8] != MAGIC:
+        raise ImageError("bad image magic")
+    count = struct.unpack_from("<I", raw, 8)[0]
+    if count > 16:
+        raise ImageError("implausible partition count")
+    entries = []
+    off = 12
+    for _ in range(count):
+        name = raw[off:off + 8].rstrip(b"\x00").decode("ascii", "replace")
+        part_off, size, crc = struct.unpack_from("<III", raw, off + 8)
+        entries.append((name, part_off, size, crc))
+        off += 20
+    stored_crc = struct.unpack_from("<I", raw, off)[0]
+    if zlib.crc32(raw[:off]) & 0xFFFFFFFF != stored_crc:
+        raise ImageError("master header checksum mismatch")
+    specs = []
+    for name, part_off, size, crc in entries:
+        payload = flash.read(flash.base + part_off, size)
+        if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+            raise ImageError(f"partition {name!r} checksum mismatch")
+        specs.append(PartitionSpec(name=name, offset=part_off, size=size))
+    return specs
+
+
+def validate_flash(flash: Flash) -> ImageMeta:
+    """Boot-time validation: parse + CRC-check the image, decode metadata.
+
+    Raises :class:`ImageError` on any corruption — the virtual equivalent
+    of the ROM bootloader refusing a damaged image.
+    """
+    specs = _parse_header(flash)
+    kernel_spec = next((s for s in specs if s.name == "kernel"), None)
+    if kernel_spec is None:
+        raise ImageError("image has no kernel partition")
+    payload = flash.read(flash.base + kernel_spec.offset, kernel_spec.size)
+    if len(payload) < 4:
+        raise ImageError("kernel partition truncated")
+    meta_len = struct.unpack_from("<I", payload, 0)[0]
+    if meta_len <= 0 or meta_len + 4 > len(payload):
+        raise ImageError("kernel metadata length out of range")
+    try:
+        meta = json.loads(payload[4:4 + meta_len].decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ImageError(f"kernel metadata undecodable: {exc}") from exc
+    try:
+        return ImageMeta(
+            os_name=meta["os_name"],
+            config=meta["config"],
+            addresses={k: int(v) for k, v in meta["addresses"].items()},
+            symbol_modules=meta["symbol_modules"],
+            site_blocks={k: [int(v[0]), int(v[1])]
+                         for k, v in meta["site_blocks"].items()},
+            ram_layout=RamLayout.from_dict(meta["ram_layout"]),
+            instrument_enabled=bool(meta["instrument_enabled"]),
+            instrument_modules=meta["instrument_modules"],
+            api_order=list(meta["api_order"]),
+            partitions=specs,
+        )
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ImageError(f"kernel metadata malformed: {exc}") from exc

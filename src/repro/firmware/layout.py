@@ -1,0 +1,121 @@
+"""Build configuration, RAM layout and the KConfig-style partition table.
+
+``BuildConfig`` is the stand-in for a target's build configuration file.
+Algorithm 1 extracts the partition map from exactly this artifact
+(``PartitionMap <- GetPartitionTable(KConfig)``); we render it to a
+KConfig-ish text form and parse it back, so the restoration path consumes
+the same kind of input the paper describes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class PartitionSpec:
+    """One flash partition: where a component of the image lives."""
+
+    name: str
+    offset: int   # relative to flash base
+    size: int     # reserved size (sector-aligned)
+
+
+@dataclass(frozen=True)
+class RamLayout:
+    """Where the agent/fuzzing data structures live in target RAM.
+
+    The host learns these addresses from the build artifacts (the paper's
+    "analyze the target embedded OS's memory layout", Figure 3 step ①).
+    """
+
+    status_addr: int
+    status_size: int
+    crash_addr: int
+    crash_size: int
+    cov_buf_addr: int
+    cov_buf_size: int
+    input_buf_addr: int
+    input_buf_size: int
+    kernel_heap_base: int
+    kernel_heap_size: int
+
+    def to_dict(self) -> Dict[str, int]:
+        """JSON-friendly form (embedded in the kernel partition meta)."""
+        return {
+            "status_addr": self.status_addr,
+            "status_size": self.status_size,
+            "crash_addr": self.crash_addr,
+            "crash_size": self.crash_size,
+            "cov_buf_addr": self.cov_buf_addr,
+            "cov_buf_size": self.cov_buf_size,
+            "input_buf_addr": self.input_buf_addr,
+            "input_buf_size": self.input_buf_size,
+            "kernel_heap_base": self.kernel_heap_base,
+            "kernel_heap_size": self.kernel_heap_size,
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, int]) -> "RamLayout":
+        """Inverse of :meth:`to_dict`."""
+        return cls(**{key: int(value) for key, value in data.items()})
+
+
+@dataclass
+class BuildConfig:
+    """Everything needed to build a firmware image for one target."""
+
+    os_name: str
+    board: str = "stm32f407"
+    instrument: bool = True
+    # None = instrument every module; otherwise only the named modules
+    # (Table 4 uses {"json", "http"}).
+    instrument_modules: Optional[Tuple[str, ...]] = None
+    components: Tuple[str, ...] = ()
+    cov_buf_size: int = 16 * 1024
+    input_buf_size: int = 8 * 1024
+    kernel_heap_size: int = 64 * 1024
+    extra_config: Dict[str, int] = field(default_factory=dict)
+
+    def kconfig_text(self, partitions: List[PartitionSpec]) -> str:
+        """Render the build configuration file (KConfig stand-in)."""
+        lines = [
+            f'CONFIG_OS="{self.os_name}"',
+            f'CONFIG_BOARD="{self.board}"',
+            f"CONFIG_INSTRUMENT={'y' if self.instrument else 'n'}",
+            f"CONFIG_COV_BUF_SIZE={self.cov_buf_size}",
+            f"CONFIG_HEAP_SIZE={self.kernel_heap_size}",
+        ]
+        if self.components:
+            joined = ",".join(self.components)
+            lines.append(f'CONFIG_COMPONENTS="{joined}"')
+        for part in partitions:
+            upper = part.name.upper()
+            lines.append(f"CONFIG_PARTITION_{upper}_OFFSET=0x{part.offset:x}")
+            lines.append(f"CONFIG_PARTITION_{upper}_SIZE=0x{part.size:x}")
+        return "\n".join(lines) + "\n"
+
+
+def parse_partition_table(kconfig_text: str) -> List[PartitionSpec]:
+    """``GetPartitionTable(KConfig)``: recover partition specs from the
+    build configuration text (Algorithm 1, line 13)."""
+    offsets: Dict[str, int] = {}
+    sizes: Dict[str, int] = {}
+    for raw_line in kconfig_text.splitlines():
+        line = raw_line.strip()
+        if not line.startswith("CONFIG_PARTITION_"):
+            continue
+        key, _, value = line.partition("=")
+        body = key[len("CONFIG_PARTITION_"):]
+        if body.endswith("_OFFSET"):
+            offsets[body[:-len("_OFFSET")].lower()] = int(value, 0)
+        elif body.endswith("_SIZE"):
+            sizes[body[:-len("_SIZE")].lower()] = int(value, 0)
+    parts = []
+    for name in offsets:
+        if name in sizes:
+            parts.append(PartitionSpec(name=name, offset=offsets[name],
+                                       size=sizes[name]))
+    parts.sort(key=lambda p: p.offset)
+    return parts

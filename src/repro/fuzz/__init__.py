@@ -1,0 +1,38 @@
+"""The EOF host fuzzer (the paper's core contribution).
+
+The engine (:mod:`engine`) drives one flashed board over the debug
+interface: API-aware generation (:mod:`generator`) and mutation
+(:mod:`mutator`) from validated Syzlang specs, SanCov edge feedback
+(:mod:`feedback`), the log/exception bug monitors (:mod:`monitors`),
+Algorithm 1's liveness watchdogs (:mod:`watchdog`) and reflash-based
+state restoration (:mod:`restore`).
+"""
+
+from repro.fuzz.engine import EofEngine, EngineOptions, FuzzResult
+from repro.fuzz.corpus import Corpus, CorpusEntry
+from repro.fuzz.crash import CrashDb, CrashReport
+from repro.fuzz.feedback import CoverageMap
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.monitors import ExceptionMonitor, LogMonitor
+from repro.fuzz.mutator import ProgramMutator
+from repro.fuzz.restore import StateRestoration
+from repro.fuzz.stats import FuzzStats
+from repro.fuzz.watchdog import LivenessWatchdog
+
+__all__ = [
+    "EofEngine",
+    "EngineOptions",
+    "FuzzResult",
+    "Corpus",
+    "CorpusEntry",
+    "CrashDb",
+    "CrashReport",
+    "CoverageMap",
+    "ProgramGenerator",
+    "ExceptionMonitor",
+    "LogMonitor",
+    "ProgramMutator",
+    "StateRestoration",
+    "FuzzStats",
+    "LivenessWatchdog",
+]

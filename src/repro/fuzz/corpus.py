@@ -1,0 +1,73 @@
+"""Seed corpus: interesting inputs and their scheduling weights.
+
+An input is admitted when it triggered new coverage or revealed a fault
+(§4.5); crash-revealing payloads get a weight bonus so they are mutated
+more — the paper credits exactly this for reaching deeper paths (§5.4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.agent.protocol import TestProgram
+from repro.fuzz.rng import FuzzRng
+
+CRASH_BONUS = 1.5
+MAX_CORPUS = 4096
+
+
+@dataclass
+class CorpusEntry:
+    """One saved seed."""
+
+    program: TestProgram
+    new_edges: int = 0
+    crashed: bool = False
+    picks: int = 0
+    exec_cycles: int = 0
+
+    def weight(self) -> float:
+        """Scheduling weight (productive, fast, fresh seeds win)."""
+        base = 1.0 + float(self.new_edges)
+        if self.crashed:
+            base += CRASH_BONUS
+        # AFL-style perf score: fast seeds are mutated more, otherwise a
+        # few slow-but-productive inputs monopolise the budget.
+        speed_penalty = 1.0 + self.exec_cycles / 4000.0
+        # Fresh seeds get explored before over-picked ones.
+        return base / (speed_penalty * (1.0 + 0.1 * self.picks))
+
+
+class Corpus:
+    """The seed pool."""
+
+    def __init__(self) -> None:
+        self.entries: List[CorpusEntry] = []
+        self.total_added = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def add(self, program: TestProgram, new_edges: int,
+            crashed: bool = False, exec_cycles: int = 0) -> CorpusEntry:
+        """Admit an interesting input."""
+        entry = CorpusEntry(program=program, new_edges=new_edges,
+                            crashed=crashed, exec_cycles=exec_cycles)
+        self.entries.append(entry)
+        self.total_added += 1
+        if len(self.entries) > MAX_CORPUS:
+            # Drop the stalest low-value seed.
+            victim = min(range(len(self.entries)),
+                         key=lambda i: self.entries[i].weight())
+            self.entries.pop(victim)
+        return entry
+
+    def pick(self, rng: FuzzRng) -> Optional[CorpusEntry]:
+        """Weighted seed selection for mutation."""
+        if not self.entries:
+            return None
+        entry = rng.pick_weighted(self.entries,
+                                  [e.weight() for e in self.entries])
+        entry.picks += 1
+        return entry

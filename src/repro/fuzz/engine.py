@@ -1,0 +1,416 @@
+"""The EOF fuzzing loop (Figure 3 / Figure 4).
+
+One iteration: pick or generate an API-aware program, serialize it into
+the agent's input buffer over the debug link, drive the agent through its
+sync breakpoints, drain coverage (including mid-run ``_kcmp_buf_full``
+traps), run the bug monitors over halts and UART output, decide
+interestingness, and keep the target alive through the watchdogs and
+reflash-based restoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.agent.protocol import TestProgram, serialize_program
+from repro.ddi.session import DebugSession, open_session
+from repro.errors import DebugLinkTimeout
+from repro.firmware.builder import BuildInfo
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.crash import CrashDb, CrashReport, KIND_HANG
+from repro.fuzz.feedback import CoverageMap
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.monitors import ExceptionMonitor, LogMonitor
+from repro.fuzz.mutator import ProgramMutator
+from repro.fuzz.restore import StateRestoration
+from repro.fuzz.rng import FuzzRng
+from repro.fuzz.stats import FuzzStats
+from repro.fuzz.watchdog import LivenessWatchdog
+from repro.hw.machine import HaltEvent, HaltReason
+from repro.instrument.sancov import decode_coverage_buffer
+from repro.spec.model import SpecSet
+
+AGENT_STATUS_CRASHED = 4
+REBOOT_CYCLES = 20_000
+
+
+@dataclass
+class EngineOptions:
+    """Knobs that differentiate EOF from its ablations/baselines."""
+
+    seed: int = 0
+    budget_cycles: int = 2_000_000
+    max_iterations: int = 1_000_000
+    feedback: bool = True               # EOF-nf turns this off
+    use_exception_monitor: bool = True  # Tardis-style engines turn this off
+    use_log_monitor: bool = True
+    restore_with_reflash: bool = True   # False = naive reboot-only recovery
+    record_hangs_as_crashes: bool = False  # timeout-only detection (Tardis)
+    mutate_probability: float = 0.25
+    max_calls: int = 12
+    # Syzkaller-style "smash": on new coverage, immediately queue this
+    # many one-shot variants of the discovering input.
+    smash_count: int = 6
+    # §6 extension: probe allocator metadata over the debug link every N
+    # programs (0 = off).  Catches silent corruption the crash monitors
+    # never see.
+    heap_probe_every: int = 0
+    name: str = "eof"
+
+
+@dataclass
+class FuzzResult:
+    """Everything a run produced."""
+
+    name: str
+    os_name: str
+    stats: FuzzStats
+    coverage: CoverageMap
+    crash_db: CrashDb
+    corpus_size: int = 0
+
+    @property
+    def edges(self) -> int:
+        """Final distinct-edge count (the tables' branch metric)."""
+        return self.coverage.edge_count
+
+
+class EofEngine:
+    """The host fuzzer bound to one build + spec."""
+
+    def __init__(self, build: BuildInfo, spec: SpecSet,
+                 options: Optional[EngineOptions] = None):
+        self.build = build
+        self.spec = spec
+        self.options = options or EngineOptions()
+        self.rng = FuzzRng(self.options.seed)
+        self.coverage = CoverageMap()
+        self.corpus = Corpus()
+        self.crash_db = CrashDb()
+        self.stats = FuzzStats()
+        self.generator = ProgramGenerator(
+            spec, self.rng,
+            coverage=self.coverage if self.options.feedback else None)
+        self.mutator = ProgramMutator(spec, self.rng, self.generator)
+        self.session: Optional[DebugSession] = None
+        self.watchdog: Optional[LivenessWatchdog] = None
+        self.restoration: Optional[StateRestoration] = None
+        self._smash_queue: List[TestProgram] = []
+        self._recent_new_edges: List[int] = []
+        self.heap_probe = None
+        self.log_monitor = LogMonitor(build.config.os_name)
+        self.exception_monitor: Optional[ExceptionMonitor] = None
+        self._exception_symbol = ""
+
+    # -- setup -------------------------------------------------------------------
+
+    def _attach(self) -> None:
+        self.session = open_session(self.build)
+        self.watchdog = LivenessWatchdog(self.session)
+        self.restoration = StateRestoration(self.session)
+        board = self.session.board
+        if board.boot_failed or board.runtime is None:
+            raise RuntimeError("target never booted; image is broken")
+        kernel = board.runtime.kernel
+        self._exception_symbol = kernel.EXCEPTION_SYMBOL
+        gdb = self.session.gdb
+        for symbol in ("executor_main", "read_prog", "execute_one",
+                       "_kcmp_buf_full"):
+            gdb.break_insert(symbol, label="agent-sync")
+        if self.options.use_exception_monitor:
+            self.exception_monitor = ExceptionMonitor(
+                self.session, self.build.config.os_name,
+                [self._exception_symbol])
+            self.exception_monitor.arm()
+        if self.options.heap_probe_every > 0:
+            from repro.fuzz.health import HeapHealthProbe
+            self.heap_probe = HeapHealthProbe(
+                self.session, every_n_programs=self.options.heap_probe_every)
+        self.session.drain_uart()  # consume boot chatter
+
+    def _rearm_after_boot(self) -> None:
+        """Re-install breakpoints lost to a power event (none are on our
+        virtual probe, but arming is idempotent and cheap)."""
+        gdb = self.session.gdb
+        for symbol in ("executor_main", "read_prog", "execute_one",
+                       "_kcmp_buf_full"):
+            gdb.break_insert(symbol, label="agent-sync")
+        if self.exception_monitor is not None:
+            self.exception_monitor._armed = False
+            self.exception_monitor.arm()
+        self.watchdog.reset()
+
+    # -- the loop ------------------------------------------------------------------
+
+    def run(self) -> FuzzResult:
+        """Fuzz until the cycle budget or iteration cap is exhausted."""
+        opts = self.options
+        self._attach()
+        board = self.session.board
+        iteration = 0
+        while (board.machine.cycles < opts.budget_cycles
+               and iteration < opts.max_iterations):
+            iteration += 1
+            program = self._next_program()
+            self._execute_program(program)
+            if opts.feedback and iteration % 64 == 0:
+                self.coverage.decay_credit()
+            self.stats.record_point(board.machine.cycles,
+                                    self.coverage.edge_count)
+        self.stats.record_point(board.machine.cycles,
+                                self.coverage.edge_count)
+        return FuzzResult(name=opts.name,
+                          os_name=self.build.config.os_name,
+                          stats=self.stats, coverage=self.coverage,
+                          crash_db=self.crash_db,
+                          corpus_size=len(self.corpus))
+
+    def _discovery_rate(self) -> float:
+        """New edges per program over the recent window."""
+        window = self._recent_new_edges[-150:]
+        if len(window) < 50:
+            return 1.0  # still in the pilot phase
+        return sum(window) / len(window)
+
+    def _exploiting(self) -> bool:
+        """Exploration/exploitation schedule: while fresh generation is
+        still discovering rapidly, mutation and smash are a waste of the
+        budget; they pay once the easy surface is sampled out."""
+        return self._discovery_rate() < 0.15
+
+    def _next_program(self) -> TestProgram:
+        opts = self.options
+        if self._smash_queue:
+            return self._smash_queue.pop()
+        if opts.feedback and len(self.corpus) > 0 and \
+                self._exploiting() and \
+                self.rng.chance(opts.mutate_probability):
+            entry = self.corpus.pick(self.rng)
+            if entry is not None:
+                if len(self.corpus) > 1 and self.rng.chance(0.2):
+                    other = self.corpus.pick(self.rng)
+                    if other is not None and other is not entry:
+                        return self.mutator.splice(entry.program,
+                                                   other.program)
+                return self.mutator.mutate(entry.program)
+        return self.generator.generate(max_calls=opts.max_calls)
+
+    # -- one test case ---------------------------------------------------------------
+
+    def _execute_program(self, program: TestProgram) -> None:
+        try:
+            raw = serialize_program(program)
+        except Exception:
+            self.stats.rejected_programs += 1
+            return
+        gdb = self.session.gdb
+        layout = self.build.ram_layout
+        if len(raw) + 4 > layout.input_buf_size:
+            self.stats.rejected_programs += 1
+            return
+        try:
+            gdb.write_u32(layout.input_buf_addr, len(raw))
+            gdb.write_memory(layout.input_buf_addr + 4, raw)
+            self._drive(program)
+        except DebugLinkTimeout:
+            self.stats.link_timeouts += 1
+            self._salvage()
+
+    def _drive(self, program: TestProgram) -> None:
+        gdb = self.session.gdb
+        new_edges = 0
+        self._run_started_at = self.session.board.machine.cycles
+        # read_prog halt.
+        event = gdb.exec_continue()
+        if self._handle_abnormal(event, program, new_edges):
+            return
+        # execute_one halt (or straight back to executor_main on reject).
+        event = gdb.exec_continue()
+        if event.symbol == "executor_main":
+            self.stats.rejected_programs += 1
+            self._post_run(program, new_edges, executed=False)
+            return
+        if self._handle_abnormal(event, program, new_edges):
+            return
+        # Execution until completion, draining cov-full traps.
+        while True:
+            event = gdb.exec_continue()
+            if event.reason == HaltReason.COV_FULL:
+                self.stats.cov_full_traps += 1
+                new_edges += self._drain_coverage()
+                continue
+            if event.symbol == "executor_main" and \
+                    event.reason == HaltReason.BREAKPOINT:
+                self.stats.programs_executed += 1
+                self.stats.calls_executed += len(program.calls)
+                self._post_run(program, new_edges, executed=True)
+                return
+            if self._handle_abnormal(event, program, new_edges):
+                return
+            # Unexpected stop (e.g. read_prog after a desync): continue.
+
+    def _handle_abnormal(self, event: HaltEvent, program: TestProgram,
+                         new_edges: int) -> bool:
+        """Returns True if the event terminated this test case."""
+        if event.reason == HaltReason.EXCEPTION:
+            self._on_exception(event, program, new_edges)
+            return True
+        if event.reason == HaltReason.STALL:
+            self._on_stall(event, program, new_edges)
+            return True
+        return False
+
+    def _post_run(self, program: TestProgram, new_edges: int,
+                  executed: bool) -> None:
+        new_edges += self._drain_coverage()
+        self._recent_new_edges.append(new_edges)
+        if self.heap_probe is not None and executed:
+            defect = self.heap_probe.maybe_probe()
+            if defect is not None:
+                report = CrashReport(
+                    os_name=self.build.config.os_name,
+                    kind="silent-corruption", cause=defect,
+                    monitor="heap-probe", program=program)
+                self.stats.crashes_observed += 1
+                if self.crash_db.add(report):
+                    self.stats.unique_crashes += 1
+        log_reports = self._scan_logs(program)
+        crashed = bool(log_reports)
+        if self.options.feedback and (new_edges > 0 or crashed):
+            spent = self.session.board.machine.cycles \
+                - getattr(self, "_run_started_at", 0)
+            self.corpus.add(program, new_edges, crashed=crashed,
+                            exec_cycles=spent)
+            self.coverage.credit_calls(
+                [call.api_id for call in program.calls], new_edges)
+            if new_edges > 0 and self._exploiting():
+                self._smash(program)
+
+    def _smash(self, program: TestProgram) -> None:
+        """Queue immediate neighbourhood variants of a discovering input
+        (Syzkaller's smash phase): the gradient is hottest right now."""
+        for _ in range(self.options.smash_count):
+            self._smash_queue.append(self.mutator.mutate(program))
+
+    def _drain_coverage(self) -> int:
+        layout = self.build.ram_layout
+        gdb = self.session.gdb
+        try:
+            count = gdb.read_u32(layout.cov_buf_addr)
+            capacity = (layout.cov_buf_size - 4) // 4
+            count = min(count, capacity)
+            raw = gdb.read_memory(layout.cov_buf_addr, 4 + count * 4)
+        except DebugLinkTimeout:
+            return 0
+        edges = decode_coverage_buffer(raw)
+        gdb.write_u32(layout.cov_buf_addr, 0)
+        return self.coverage.add_edges(edges)
+
+    def _scan_logs(self, program: Optional[TestProgram]) -> List[CrashReport]:
+        """Returns only the *new* (previously unseen) crash reports."""
+        if not self.options.use_log_monitor:
+            self.session.drain_uart()
+            return []
+        lines = self.session.drain_uart()
+        fresh = []
+        for report in self.log_monitor.scan(lines):
+            report.program = program
+            self.stats.crashes_observed += 1
+            if self.crash_db.add(report):
+                self.stats.unique_crashes += 1
+                fresh.append(report)
+        return fresh
+
+    # -- failure paths ------------------------------------------------------------------
+
+    def _on_exception(self, event: HaltEvent, program: TestProgram,
+                      new_edges: int) -> None:
+        new_edges += self._drain_coverage()
+        new_crash = False
+        if self.exception_monitor is not None and \
+                self.exception_monitor.matches(event):
+            report = self.exception_monitor.capture(event)
+            report.program = program
+            self.stats.crashes_observed += 1
+            if self.crash_db.add(report):
+                self.stats.unique_crashes += 1
+                new_crash = True
+            # The panic banner on the UART belongs to this same crash;
+            # don't let the log monitor double-report it.
+            self.session.drain_uart()
+        else:
+            new_crash = bool(self._scan_logs(program))
+        # Save the payload when it found something new — re-admitting
+        # every duplicate crasher just burns the budget on restores.
+        if self.options.feedback and (new_edges > 0 or new_crash):
+            spent = self.session.board.machine.cycles \
+                - getattr(self, "_run_started_at", 0)
+            self.corpus.add(program, new_edges, crashed=new_crash,
+                            exec_cycles=spent)
+            self.coverage.credit_calls(
+                [call.api_id for call in program.calls], new_edges)
+        self._recover()
+
+    def _on_stall(self, event: HaltEvent, program: TestProgram,
+                  new_edges: int) -> None:
+        self.stats.stalls += 1
+        new_edges += self._drain_coverage()
+        # An assertion hang leaves its line on the UART: the log monitor
+        # (not the exception monitor) is what attributes these (§4.5.2).
+        crashed = bool(self._scan_logs(program))
+        if not crashed and self.options.record_hangs_as_crashes:
+            # Timeout-only detection (the Tardis model): every hang is
+            # recorded, without backtrace or cause attribution.
+            report = CrashReport(os_name=self.build.config.os_name,
+                                 kind=KIND_HANG, cause="target hang",
+                                 detail=event.detail, monitor="timeout",
+                                 program=program)
+            self.stats.crashes_observed += 1
+            if self.crash_db.add(report):
+                self.stats.unique_crashes += 1
+            crashed = True
+        if self.options.feedback and (new_edges > 0 or crashed):
+            spent = self.session.board.machine.cycles \
+                - getattr(self, "_run_started_at", 0)
+            self.corpus.add(program, new_edges, crashed=crashed,
+                            exec_cycles=spent)
+        # Algorithm 1: confirm via the watchdog, then salvage.  A parked
+        # PC with intact flash only needs a reboot; the reflash hammer is
+        # for images that no longer boot.
+        if self.watchdog is not None and not self.watchdog.check():
+            pass  # expected: PC is parked
+        self._recover()
+
+    def _recover(self) -> None:
+        """Post-crash recovery: reboot; reflash if the image is damaged."""
+        board = self.session.board
+        self.session.reboot()
+        board.machine.tick(REBOOT_CYCLES)
+        self.stats.reboots += 1
+        if board.boot_failed:
+            self._salvage()
+            return
+        self._rearm_after_boot()
+        self.session.drain_uart()
+
+    def _salvage(self) -> None:
+        """Algorithm 1 StateRestoration: reflash everything and reboot."""
+        board = self.session.board
+        if not self.options.restore_with_reflash:
+            # Naive recovery: power-cycle and hope the image is intact.
+            self.session.reboot()
+            board.machine.tick(REBOOT_CYCLES)
+            self.stats.reboots += 1
+            if board.boot_failed:
+                # Reboot cannot fix damaged flash; burn time until the
+                # budget ends (models a manual-intervention gap) but keep
+                # trying the reflash-free path.
+                board.machine.tick(REBOOT_CYCLES * 4)
+                self.restoration.restore()  # eventually a human reflashes
+                self.stats.restorations += 1
+        else:
+            self.restoration.restore()
+            self.stats.restorations += 1
+        self._rearm_after_boot()
+        self.session.drain_uart()

@@ -1,0 +1,214 @@
+"""Mutation of corpus programs (§4.5: "altering API parameters or
+adjusting the order of the sequence").
+
+Structural operators (insert / remove / swap / splice) can invalidate
+result references, so every mutation ends with a repair pass that
+re-wires each resource argument to a compatible earlier producer (or, if
+none exists, an invalid handle — itself a legitimate fuzz value).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.agent.protocol import (
+    ArgData,
+    ArgImm,
+    ArgRef,
+    Call,
+    TestProgram,
+    MAX_CALLS,
+)
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.rng import FuzzRng
+from repro.spec.model import (
+    BufferType,
+    FlagsRef,
+    IntType,
+    ResourceRef,
+    SpecSet,
+    StringType,
+)
+
+
+class ProgramMutator:
+    """Applies weighted mutation operators to a program."""
+
+    def __init__(self, spec: SpecSet, rng: FuzzRng,
+                 generator: ProgramGenerator):
+        self.spec = spec
+        self.rng = rng
+        self.generator = generator
+
+    # -- public ------------------------------------------------------------
+
+    def mutate(self, program: TestProgram) -> TestProgram:
+        """Return a mutated copy (the input is never modified)."""
+        calls = list(program.calls)
+        if not calls:
+            return self.generator.generate()
+        rounds = 1 + self.rng.geometric(1, 3)
+        for _ in range(rounds):
+            op = self.rng.pick_weighted(
+                ["arg", "insert", "remove", "swap", "dup", "tail"],
+                [5.0, 2.0, 1.5, 1.5, 1.0, 1.0])
+            if op == "arg":
+                calls = self._mutate_arg(calls)
+            elif op == "insert" and len(calls) < MAX_CALLS - 4:
+                calls = self._insert_call(calls)
+            elif op == "remove" and len(calls) > 1:
+                calls = self._remove_call(calls)
+            elif op == "swap" and len(calls) > 1:
+                calls = self._swap_calls(calls)
+            elif op == "dup" and len(calls) < MAX_CALLS - 1:
+                calls = calls + [self.rng.pick(calls)]
+            elif op == "tail":
+                calls = self._regen_tail(calls)
+        return TestProgram(calls=self._repair(calls))
+
+    def splice(self, first: TestProgram,
+               second: TestProgram) -> TestProgram:
+        """Prefix of one seed + suffix of another."""
+        if not first.calls or not second.calls:
+            return self.mutate(first if first.calls else second)
+        cut_a = self.rng.int_in(1, len(first.calls))
+        cut_b = self.rng.int_in(0, len(second.calls) - 1)
+        calls = list(first.calls[:cut_a]) + list(second.calls[cut_b:])
+        return TestProgram(calls=self._repair(calls[:MAX_CALLS]))
+
+    # -- operators ------------------------------------------------------------------
+
+    def _mutate_arg(self, calls: List[Call]) -> List[Call]:
+        index = self.rng.int_in(0, len(calls) - 1)
+        call = calls[index]
+        if not call.args:
+            return calls
+        call_def = self.spec.calls[call.api_id]
+        arg_index = self.rng.int_in(0, len(call.args) - 1)
+        param_type = (call_def.params[arg_index].type
+                      if arg_index < len(call_def.params) else None)
+        new_arg = self._mutate_one(call.args[arg_index], param_type)
+        args = list(call.args)
+        args[arg_index] = new_arg
+        calls = list(calls)
+        calls[index] = Call(api_id=call.api_id, args=tuple(args))
+        return calls
+
+    def _mutate_one(self, arg, param_type):
+        if isinstance(arg, ArgImm):
+            lo, hi = 0, 0xFFFF
+            if isinstance(param_type, IntType):
+                lo, hi = param_type.lo, param_type.hi
+            return ArgImm(self.rng.mutate_int(arg.value, lo, hi))
+        if isinstance(arg, ArgData):
+            maxlen = 64
+            if isinstance(param_type, (BufferType, StringType)):
+                maxlen = param_type.maxlen
+            if isinstance(param_type, StringType) and self.rng.chance(0.7):
+                # Textual arguments mutate at word granularity; byte havoc
+                # mostly just breaks the tokens.
+                return ArgData(self.rng.mutate_words(arg.data, maxlen))
+            if isinstance(param_type, BufferType) and param_type.fmt and \
+                    self.rng.chance(0.5):
+                # Format-typed buffers re-roll structurally half the time.
+                return ArgData(self.rng.formatted_bytes(param_type.fmt,
+                                                        maxlen))
+            return ArgData(self.rng.mutate_bytes(arg.data, maxlen))
+        if isinstance(arg, ArgRef):
+            if self.rng.chance(0.3):
+                return ArgImm(self.rng.pick([0, -1, arg.index, 0xBEEF]))
+            return arg
+        return arg
+
+    def _insert_call(self, calls: List[Call]) -> List[Call]:
+        fresh = self.generator.generate(max_calls=2).calls
+        if not fresh:
+            return calls
+        pos = self.rng.int_in(0, len(calls))
+        shifted: List[Call] = []
+        delta = len(fresh)
+        for i, call in enumerate(calls):
+            if i >= pos:
+                call = self._shift_refs(call, pos, delta)
+            shifted.append(call)
+        return shifted[:pos] + list(fresh) + shifted[pos:]
+
+    def _remove_call(self, calls: List[Call]) -> List[Call]:
+        victim = self.rng.int_in(0, len(calls) - 1)
+        out: List[Call] = []
+        for i, call in enumerate(calls):
+            if i == victim:
+                continue
+            if i > victim:
+                call = self._shift_refs(call, victim, -1, removed=victim)
+            out.append(call)
+        return out
+
+    def _swap_calls(self, calls: List[Call]) -> List[Call]:
+        i = self.rng.int_in(0, len(calls) - 2)
+        calls = list(calls)
+        calls[i], calls[i + 1] = calls[i + 1], calls[i]
+        return calls
+
+    def _regen_tail(self, calls: List[Call]) -> List[Call]:
+        keep = self.rng.int_in(1, len(calls))
+        tail = self.generator.generate(max_calls=4).calls
+        return calls[:keep] + list(tail)
+
+    @staticmethod
+    def _shift_refs(call: Call, boundary: int, delta: int,
+                    removed: Optional[int] = None) -> Call:
+        args = []
+        for arg in call.args:
+            if isinstance(arg, ArgRef):
+                if removed is not None and arg.index == removed:
+                    args.append(ArgImm(-1))
+                    continue
+                if arg.index >= boundary:
+                    args.append(ArgRef(arg.index + delta))
+                    continue
+            args.append(arg)
+        return Call(api_id=call.api_id, args=tuple(args))
+
+    # -- repair -----------------------------------------------------------------------
+
+    def _repair(self, calls: List[Call]) -> List[Call]:
+        """Re-establish ref validity and resource typing after surgery."""
+        produced_at: List[Optional[str]] = []
+        repaired: List[Call] = []
+        for index, call in enumerate(calls):
+            if call.api_id >= len(self.spec.calls) or \
+                    call.api_id in self.spec.disabled:
+                produced_at.append(None)
+                repaired.append(call)
+                continue
+            call_def = self.spec.calls[call.api_id]
+            args = []
+            for arg_index, arg in enumerate(call.args):
+                param_type = (call_def.params[arg_index].type
+                              if arg_index < len(call_def.params) else None)
+                if isinstance(arg, ArgRef):
+                    needed = (param_type.name
+                              if isinstance(param_type, ResourceRef) else None)
+                    valid = (0 <= arg.index < index and
+                             (needed is None
+                              or produced_at[arg.index] == needed))
+                    if not valid:
+                        replacement = self._find_producer(produced_at,
+                                                          index, needed)
+                        arg = (ArgRef(replacement) if replacement is not None
+                               else ArgImm(self.rng.pick([0, -1, 0xDEAD])))
+                args.append(arg)
+            repaired.append(Call(api_id=call.api_id, args=tuple(args)))
+            produced_at.append(call_def.ret)
+        return repaired
+
+    @staticmethod
+    def _find_producer(produced_at: List[Optional[str]], before: int,
+                       resource: Optional[str]) -> Optional[int]:
+        if resource is None:
+            return None
+        for index in range(before - 1, -1, -1):
+            if produced_at[index] == resource:
+                return index
+        return None

@@ -1,0 +1,246 @@
+"""Deterministic randomness helpers shared by generator and mutator."""
+
+from __future__ import annotations
+
+import random
+from typing import Sequence, TypeVar
+
+T = TypeVar("T")
+
+# Tokens the spec synthesiser distils from unit-test examples and API
+# reference text (§4.5): they seed buffer arguments with plausible
+# protocol fragments instead of pure noise.
+BUFFER_DICTIONARY = (
+    b"GET / HTTP/1.1\r\n\r\n",
+    b"POST /api/echo HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd",
+    b"content-length:",
+    b"connection: keep-alive",
+    b'{"key": "value"}',
+    b'{"a": [1, 2, 3]}',
+    b'[{"nested": {"deep": true}}]',
+    b'"escaped \\" string"',
+    b"\x00\x00\x00\x00",
+    b"\xff\xff\xff\xff",
+    b"AAAA",
+    # Console fragments (from the shells' unit-test examples).
+    b"set ",
+    b"led on",
+    b"led off",
+    b"log 3",
+    b"cat boot.cfg",
+    b"hexdump 0 16",
+    b"ifconfig up",
+    b"echo hi",
+    b";",
+    b" 1",
+    b"config net set mtu 1500",
+    b"config ",
+    b"test heap",
+    b"$",
+)
+
+
+class FuzzRng:
+    """A seeded RNG with fuzzing-shaped distributions."""
+
+    def __init__(self, seed: int = 0):
+        self.random = random.Random(seed)
+
+    def chance(self, probability: float) -> bool:
+        """True with the given probability."""
+        return self.random.random() < probability
+
+    def pick(self, items: Sequence[T]) -> T:
+        """Uniform choice."""
+        return self.random.choice(items)
+
+    def pick_weighted(self, items: Sequence[T],
+                      weights: Sequence[float]) -> T:
+        """Weighted choice; falls back to uniform on degenerate weights."""
+        total = sum(weights)
+        if total <= 0:
+            return self.pick(items)
+        return self.random.choices(items, weights=weights, k=1)[0]
+
+    def geometric(self, mean: int, cap: int) -> int:
+        """Small-biased length in [0, cap] with roughly the given mean."""
+        if mean <= 0:
+            return 0
+        p = 1.0 / (mean + 1)
+        value = 0
+        while value < cap and not self.chance(p):
+            value += 1
+        return value
+
+    def int_in(self, lo: int, hi: int) -> int:
+        """Uniform integer in [lo, hi]."""
+        return self.random.randint(lo, hi)
+
+    def interesting_int(self, lo: int, hi: int) -> int:
+        """An integer biased toward boundaries and small values."""
+        roll = self.random.random()
+        if roll < 0.35:
+            return self.random.randint(lo, hi)
+        if roll < 0.55:
+            return self.pick([lo, hi, lo + 1, max(hi - 1, lo)])
+        if roll < 0.92:
+            span = max(hi - lo, 1)
+            return lo + self.geometric(min(8, span), span)
+        # Occasional out-of-range boundary injection: real mutators do
+        # this, and it is what reaches clamp/reject branches and the
+        # block-forever stall paths.
+        return self.pick([hi + 1, lo - 1 if lo > 0 else hi + 2,
+                          0xFFFF, 0x7FFFFFFF, -1])
+
+    def random_bytes(self, maxlen: int, mean: int = 12) -> bytes:
+        """A fresh byte buffer, dictionary-seeded half the time."""
+        if self.chance(0.5):
+            token = self.pick(BUFFER_DICTIONARY)
+            if len(token) <= maxlen:
+                if self.chance(0.4):
+                    return token
+                # Token + noise tail.
+                tail = bytes(self.random.randrange(256) for _ in range(
+                    self.geometric(4, maxlen - len(token))))
+                return (token + tail)[:maxlen]
+        length = self.geometric(mean, maxlen)
+        return bytes(self.random.randrange(256) for _ in range(length))
+
+    def random_string(self, maxlen: int,
+                      candidates: Sequence[str] = ()) -> bytes:
+        """A printable string; draws documented candidates half the time."""
+        if candidates and self.chance(0.5):
+            return self.pick(candidates).encode("latin1")[:maxlen]
+        length = self.geometric(5, maxlen)
+        alphabet = "abcdefghijklmnopqrstuvwxyz0123456789_/"
+        return "".join(self.pick(alphabet)
+                       for _ in range(length)).encode("latin1")
+
+    # -- format-aware payload builders (spec `buffer[..., fmt]` hints) ------
+
+    HTTP_METHODS = ("GET", "HEAD", "POST", "PUT", "DELETE", "BREW")
+    HTTP_PATHS = ("/", "/index.html", "/status", "/api/led", "/api/echo",
+                  "/api/config", "/nope", "/status?verbose=1")
+    HTTP_HEADERS = ("host: dev", "connection: keep-alive",
+                    "connection: close", "user-agent: eof",
+                    "accept: */*", "expect: 100-continue", "x-junk: 1")
+    HTTP_BODIES = (b"", b"on", b"off", b"hello", b"led=on&mode=2",
+                   b"nopair", b"x" * 40)
+
+    def gen_http_request(self, maxlen: int) -> bytes:
+        """A structured (mostly well-formed) HTTP request."""
+        method = self.pick(self.HTTP_METHODS)
+        path = self.pick(self.HTTP_PATHS)
+        version = self.pick(("HTTP/1.1", "HTTP/1.0", "HTTP/2", "HTPT/1.1"))
+        lines = [f"{method} {path} {version}".encode()]
+        for _ in range(self.geometric(2, 5)):
+            lines.append(self.pick(self.HTTP_HEADERS).encode())
+        body = self.pick(self.HTTP_BODIES)
+        if body and self.chance(0.8):
+            length = len(body) if self.chance(0.8) else \
+                self.int_in(0, len(body) + 8)
+            lines.append(f"content-length: {length}".encode())
+        request = b"\r\n".join(lines) + b"\r\n\r\n" + body
+        if self.chance(0.1):
+            request = self.mutate_bytes(request, maxlen)  # light damage
+        return request[:maxlen]
+
+    def gen_json_text(self, maxlen: int, depth: int = 0) -> bytes:
+        """A structured (mostly well-formed) JSON document."""
+        def value(level: int) -> str:
+            roll = self.random.random()
+            if level >= 4 or roll < 0.35:
+                return self.pick(("1", "-27", "true", "false", "null",
+                                  '"s"', '"\\u0041"', '"two words"',
+                                  str(self.int_in(-10**6, 10**6))))
+            if roll < 0.7:
+                items = [value(level + 1)
+                         for _ in range(self.geometric(2, 4))]
+                return "[" + ", ".join(items) + "]"
+            pairs = [f'"k{i}": {value(level + 1)}'
+                     for i in range(self.geometric(2, 4))]
+            return "{" + ", ".join(pairs) + "}"
+        text = value(depth).encode()
+        if self.chance(0.15):
+            text = self.mutate_bytes(text, maxlen)  # light damage
+        return text[:maxlen]
+
+    def formatted_bytes(self, fmt: str, maxlen: int) -> bytes:
+        """Dispatch on a spec format hint; unknown formats fall back to
+        dictionary-seeded noise."""
+        if fmt == "http_request":
+            return self.gen_http_request(maxlen)
+        if fmt == "json":
+            return self.gen_json_text(maxlen)
+        return self.random_bytes(maxlen)
+
+    def mutate_int(self, value: int, lo: int, hi: int) -> int:
+        """Tweak an integer: increment, bitflip, boundary, or re-roll."""
+        roll = self.random.random()
+        if roll < 0.3:
+            return value + self.pick([-1, 1, -8, 8])
+        if roll < 0.5:
+            return value ^ (1 << self.random.randrange(16))
+        if roll < 0.7:
+            return self.pick([lo, hi, 0, 1])
+        return self.interesting_int(lo, hi)
+
+    WORD_DICTIONARY = (
+        "help", "echo", "set", "unset", "env", "led", "log", "cat",
+        "hexdump", "ifconfig", "ps", "free", "config", "test",
+        "on", "off", "toggle", "up", "down", "get", "reset",
+        "net", "can", "log", "mtu", "baud", "heap", "sched", "ipc", "all",
+        "boot.cfg", "version", "motd", "0x10", "16", "3", "k", "$k", ";",
+    )
+
+    def mutate_words(self, data: bytes, maxlen: int) -> bytes:
+        """Token-level mutation for textual arguments (console lines,
+        names): replace/insert/drop whole words from the dictionary."""
+        text = data.decode("latin1", "replace")
+        words = text.split(" ") if text else []
+        for _ in range(1 + self.geometric(1, 3)):
+            op = self.random.randrange(4)
+            if op == 0 or not words:
+                words.insert(self.random.randint(0, len(words)),
+                             self.pick(self.WORD_DICTIONARY))
+            elif op == 1:
+                words[self.random.randrange(len(words))] = \
+                    self.pick(self.WORD_DICTIONARY)
+            elif op == 2 and len(words) > 1:
+                del words[self.random.randrange(len(words))]
+            else:
+                index = self.random.randrange(len(words))
+                words[index] = words[index] + self.pick(["1", "x", "0"])
+        return " ".join(words).encode("latin1")[:maxlen]
+
+    def mutate_bytes(self, data: bytes, maxlen: int) -> bytes:
+        """AFL-style havoc: byte ops plus dictionary-token and chunk ops."""
+        if not data:
+            return self.random_bytes(maxlen)
+        out = bytearray(data)
+        for _ in range(1 + self.geometric(2, 8)):
+            op = self.random.randrange(6)
+            pos = self.random.randrange(len(out)) if out else 0
+            if op == 0 and out:
+                out[pos] = self.random.randrange(256)
+            elif op == 1 and len(out) < maxlen:
+                out.insert(pos, self.random.randrange(256))
+            elif op == 2 and len(out) > 1:
+                del out[pos]
+            elif op == 3 and out:
+                out[pos] ^= 1 << self.random.randrange(8)
+            elif op == 4:
+                # Token insertion/overwrite (AFL dictionaries): this is
+                # what reaches keyword-gated branches.
+                token = self.pick(BUFFER_DICTIONARY)
+                if self.chance(0.5) and len(out) + len(token) <= maxlen:
+                    out[pos:pos] = token
+                else:
+                    out[pos:pos + len(token)] = token
+            elif op == 5 and len(out) > 4:
+                # Duplicate a chunk elsewhere in the buffer.
+                start = self.random.randrange(len(out) - 2)
+                length = 1 + self.geometric(4, min(16, len(out) - start - 1))
+                chunk = bytes(out[start:start + length])
+                out[pos:pos] = chunk
+        return bytes(out[:maxlen])

@@ -1,0 +1,55 @@
+"""Run statistics: coverage-over-time series and event counters.
+
+Time is the target's cycle clock (deterministic virtual time); the
+series is what the Figure 7/8 coverage-growth plots are drawn from.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+
+@dataclass
+class FuzzStats:
+    """Counters + coverage time series for one fuzzing run."""
+
+    programs_executed: int = 0
+    calls_executed: int = 0
+    crashes_observed: int = 0
+    unique_crashes: int = 0
+    stalls: int = 0
+    link_timeouts: int = 0
+    restorations: int = 0
+    reboots: int = 0
+    cov_full_traps: int = 0
+    rejected_programs: int = 0
+    series: List[Tuple[int, int]] = field(default_factory=list)  # (cycles, edges)
+
+    def record_point(self, cycles: int, edges: int) -> None:
+        """Append a coverage sample (deduplicated per edge count)."""
+        if self.series and self.series[-1][1] == edges and \
+                len(self.series) > 1 and self.series[-2][1] == edges:
+            # Collapse flat stretches: keep first and latest sample.
+            self.series[-1] = (cycles, edges)
+            return
+        self.series.append((cycles, edges))
+
+    def final_edges(self) -> int:
+        """Last coverage sample (0 if none)."""
+        return self.series[-1][1] if self.series else 0
+
+    def edges_at(self, cycles: int) -> int:
+        """Coverage at or before a given cycle timestamp."""
+        best = 0
+        for when, edges in self.series:
+            if when > cycles:
+                break
+            best = edges
+        return best
+
+    def summary(self) -> str:
+        """One-line human summary."""
+        return (f"execs={self.programs_executed} edges={self.final_edges()} "
+                f"crashes={self.unique_crashes}/{self.crashes_observed} "
+                f"restores={self.restorations}")

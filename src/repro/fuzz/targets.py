@@ -1,0 +1,99 @@
+"""Target registration (§4.6).
+
+Adapting EOF to an embedded OS means registering it here: which board it
+ships on, which components are linked in, where instrumentation goes,
+the OpenOCD arguments, and the OS's exception symbols.  This module is
+the reproduction of the paper's "register the target in EOF" step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from repro.firmware.layout import BuildConfig
+from repro.hw.boards import BOARD_CATALOG
+
+
+@dataclass(frozen=True)
+class TargetConfig:
+    """One registered fuzz target."""
+
+    name: str
+    os_name: str
+    board: str
+    components: Tuple[str, ...] = ()
+    instrument_modules: Optional[Tuple[str, ...]] = None
+    openocd_args: Tuple[str, ...] = ()
+    description: str = ""
+
+    @property
+    def arch(self) -> str:
+        """Processor architecture, derived from the board."""
+        return BOARD_CATALOG[self.board].arch
+
+    @property
+    def endianness(self) -> str:
+        """Byte order, derived from the board."""
+        return BOARD_CATALOG[self.board].endianness
+
+    def build_config(self, instrument: bool = True) -> BuildConfig:
+        """Materialise the firmware build configuration."""
+        return BuildConfig(
+            os_name=self.os_name,
+            board=self.board,
+            instrument=instrument,
+            instrument_modules=self.instrument_modules,
+            components=self.components,
+        )
+
+
+TARGETS: Dict[str, TargetConfig] = {}
+
+
+def _register(target: TargetConfig) -> None:
+    TARGETS[target.name] = target
+
+
+_register(TargetConfig(
+    name="freertos", os_name="freertos", board="stm32f407",
+    openocd_args=("-f", "interface/stlink.cfg", "-f", "target/stm32f4x.cfg"),
+    description="FreeRTOS full-system target on an STM32F407 (SWD)"))
+_register(TargetConfig(
+    name="rt-thread", os_name="rt-thread", board="stm32f407",
+    openocd_args=("-f", "interface/stlink.cfg", "-f", "target/stm32f4x.cfg"),
+    description="RT-Thread full-system target on an STM32F407 (SWD)"))
+_register(TargetConfig(
+    name="zephyr", os_name="zephyr", board="stm32f407",
+    openocd_args=("-f", "interface/stlink.cfg", "-f", "target/stm32f4x.cfg"),
+    description="Zephyr full-system target on an STM32F407 (SWD)"))
+_register(TargetConfig(
+    name="nuttx", os_name="nuttx", board="stm32h745",
+    openocd_args=("-f", "interface/stlink.cfg", "-f", "target/stm32h7x.cfg"),
+    description="NuttX full-system target on an STM32H745 "
+                "(no emulator exists for this board)"))
+_register(TargetConfig(
+    name="pokos", os_name="pokos", board="qemu-virt",
+    openocd_args=("-f", "interface/jlink.cfg", "-f", "target/qemu.cfg"),
+    description="PoKOS target on qemu-virt (the Gustave comparison)"))
+_register(TargetConfig(
+    name="freertos-riscv", os_name="freertos", board="esp32c3",
+    openocd_args=("-f", "interface/esp_usb_jtag.cfg",
+                  "-f", "target/esp32c3.cfg"),
+    description="FreeRTOS on a RISC-V ESP32-C3 (JTAG)"))
+_register(TargetConfig(
+    name="freertos-app", os_name="freertos", board="esp32",
+    components=("json", "http"),
+    instrument_modules=("json", "http"),
+    openocd_args=("-f", "interface/ftdi/esp32_devkitj.cfg",
+                  "-f", "target/esp32.cfg"),
+    description="Application-level target: HTTP server + JSON on an "
+                "ESP32, instrumentation confined to those modules "
+                "(the Table 4 setup)"))
+
+
+def get_target(name: str) -> TargetConfig:
+    """Look up a registered target."""
+    if name not in TARGETS:
+        raise KeyError(f"unknown target {name!r}; known: {sorted(TARGETS)}")
+    return TARGETS[name]

@@ -1,0 +1,58 @@
+"""Algorithm 1, ``LivenessWatchDog``: the two host-side liveness checks.
+
+1. **Connection timeout** — a debug-link operation raising
+   :class:`DebugLinkTimeout` means the target failed to boot or is
+   entirely unresponsive (lines 4-5).
+2. **PC stall** — ``-exec-continue`` that leaves the program counter
+   unchanged means no instruction retires, typically a corrupted image or
+   a dead spin (lines 6-10).
+
+Both run host-side over the debug link with no target instrumentation.
+"""
+
+from __future__ import annotations
+
+from repro.ddi.session import DebugSession
+from repro.errors import DebugLinkTimeout
+
+INT_MIN = -(2 ** 31)
+
+
+class LivenessWatchdog:
+    """Stateful watchdog bound to one debug session."""
+
+    def __init__(self, session: DebugSession):
+        self.session = session
+        self.last_pc: int = INT_MIN
+        self.timeout_trips = 0
+        self.stall_trips = 0
+
+    def reset(self) -> None:
+        """Forget PC history (after a restoration or reboot)."""
+        self.last_pc = INT_MIN
+
+    def check(self) -> bool:
+        """One watchdog evaluation; False = system needs salvaging.
+
+        Mirrors Algorithm 1 line-by-line: a connection timeout fails
+        immediately; the first PC sample only seeds history; a repeated
+        PC fails.
+        """
+        try:
+            pc = self.session.read_pc()
+        except DebugLinkTimeout:
+            self.timeout_trips += 1
+            return False
+        if self.last_pc == INT_MIN:
+            self.last_pc = pc
+            return True
+        if self.last_pc == pc:
+            self.stall_trips += 1
+            return False
+        self.last_pc = pc
+        return True
+
+    def observe_pc(self, pc: int) -> None:
+        """Feed a PC sampled elsewhere (after a halt event)."""
+        if self.last_pc == INT_MIN:
+            self.last_pc = pc

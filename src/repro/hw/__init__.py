@@ -1,0 +1,33 @@
+"""Virtual hardware substrate.
+
+This package simulates the *hardware surface area* that EOF actually
+depends on: byte-addressable flash and RAM, a CPU with a program counter,
+cycle counter and hardware breakpoints, a UART, and a raw debug port
+(JTAG/SWD stand-in).  Everything the host fuzzer observes about a target
+goes through :class:`repro.hw.debug_port.DebugPort`.
+"""
+
+from repro.hw.memory import MemoryRegion, Ram, Flash, AddressSpace
+from repro.hw.uart import Uart
+from repro.hw.machine import Machine, HaltReason, HaltEvent, StackFrame
+from repro.hw.board import Board
+from repro.hw.debug_port import DebugPort
+from repro.hw.boards import BoardSpec, BOARD_CATALOG, make_board, board_names
+
+__all__ = [
+    "MemoryRegion",
+    "Ram",
+    "Flash",
+    "AddressSpace",
+    "Uart",
+    "Machine",
+    "HaltReason",
+    "HaltEvent",
+    "StackFrame",
+    "Board",
+    "DebugPort",
+    "BoardSpec",
+    "BOARD_CATALOG",
+    "make_board",
+    "board_names",
+]

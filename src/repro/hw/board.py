@@ -1,0 +1,147 @@
+"""The development board: CPU + flash + RAM + UART + debug port wiring.
+
+A board is *dumb hardware*.  What runs on it is determined entirely by the
+bytes in flash: at power-on the board invokes its ROM bootloader, which
+asks a pluggable *firmware loader* (installed by :mod:`repro.firmware`) to
+validate the flash image and construct the target runtime (kernel +
+execution agent).  If validation fails, the board parks at the reset
+vector and stops servicing run-control requests — the condition that
+trips watchdog #1 in Algorithm 1.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Tuple
+
+from repro.errors import DebugLinkTimeout
+from repro.hw.machine import HaltEvent, HaltReason, Machine
+from repro.hw.memory import AddressSpace, Flash, Ram
+from repro.hw.uart import Uart
+
+
+class TargetRuntime:
+    """Interface the booted firmware must implement.
+
+    ``step()`` runs the target until the next halt event — the virtual
+    equivalent of letting the core free-run after ``-exec-continue``.
+    """
+
+    def step(self) -> HaltEvent:
+        """Run until the next halt event."""
+        raise NotImplementedError
+
+
+# A firmware loader inspects the board's flash and, if it holds a valid
+# image, returns the runtime to execute; returning None means boot failure.
+FirmwareLoader = Callable[["Board"], Optional[TargetRuntime]]
+
+
+class Board:
+    """A microcontroller board with a hardware debug interface."""
+
+    def __init__(self, name: str, arch: str, machine: Machine, flash: Flash,
+                 ram: Ram, uart: Optional[Uart] = None,
+                 endianness: str = "little"):
+        self.name = name
+        self.arch = arch
+        self.machine = machine
+        self.flash = flash
+        self.ram = ram
+        self.uart = uart or Uart()
+        self.endianness = endianness
+        self.memory = AddressSpace([flash, ram])
+        self.runtime: Optional[TargetRuntime] = None
+        self.boot_failed = False
+        self.link_lost = False  # hard-fault induced probe loss (fault injection)
+        self._loader: Optional[FirmwareLoader] = None
+        self._boot_count = 0
+
+    # -- firmware hookup ------------------------------------------------------
+
+    def set_firmware_loader(self, loader: FirmwareLoader) -> None:
+        """Install the loader the ROM bootloader will call at power-on."""
+        self._loader = loader
+
+    @property
+    def boot_count(self) -> int:
+        """How many successful boots have happened since construction."""
+        return self._boot_count
+
+    # -- power / reset ----------------------------------------------------------
+
+    def power_on(self) -> None:
+        """Apply power and run the ROM bootloader."""
+        self.machine.power_on()
+        self.ram.power_cycle()
+        self.uart.power_cycle()
+        self._boot()
+
+    def power_off(self) -> None:
+        """Cut power; flash retains contents."""
+        self.machine.power_off()
+        self.runtime = None
+
+    def reset(self) -> None:
+        """Warm reset (debug-probe ``monitor reset``): reboot from flash."""
+        if not self.machine.powered:
+            self.power_on()
+            return
+        self.machine.reset()
+        self.ram.power_cycle()
+        self.link_lost = False
+        self._boot()
+
+    def _boot(self) -> None:
+        self.runtime = None
+        self.boot_failed = False
+        self.machine.tick(200)  # ROM bootloader cost
+        if self._loader is None:
+            self.boot_failed = True
+            return
+        runtime = self._loader(self)
+        if runtime is None:
+            self.boot_failed = True
+            self.machine.wedge("boot failure: invalid image")
+            return
+        self.runtime = runtime
+        self._boot_count += 1
+
+    # -- run control (used by the debug port) -----------------------------------
+
+    def responsive(self) -> bool:
+        """Can the debug probe still talk to the core?"""
+        return self.machine.powered and not self.boot_failed and not self.link_lost
+
+    def resume(self) -> HaltEvent:
+        """Free-run until the next halt event.
+
+        Raises :class:`DebugLinkTimeout` when the target cannot service
+        run control at all (failed boot, lost link, no power) — the
+        paper's "connection timeout".
+        """
+        if not self.responsive():
+            raise DebugLinkTimeout(f"{self.name}: target not responsive")
+        if self.machine.wedged:
+            # The core spins without making progress: resume "succeeds"
+            # but the PC never moves (watchdog #2 territory).
+            self.machine.tick(1000)
+            return HaltEvent(reason=HaltReason.STALL, pc=self.machine.pc,
+                             detail=self.machine.wedge_detail)
+        if self.runtime is None:
+            raise DebugLinkTimeout(f"{self.name}: no runtime")
+        return self.runtime.step()
+
+    def read_pc(self) -> int:
+        """Sample the program counter (register read over the probe)."""
+        if not self.machine.powered or self.link_lost:
+            raise DebugLinkTimeout(f"{self.name}: cannot read PC")
+        return self.machine.pc
+
+    # -- host-visible UART capture -----------------------------------------------
+
+    def uart_read(self, cursor: int) -> Tuple[List[str], int]:
+        """Drain UART lines newer than ``cursor``."""
+        return self.uart.read_from(cursor)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Board {self.name} ({self.arch})>"

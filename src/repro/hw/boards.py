@@ -1,0 +1,104 @@
+"""Board catalog.
+
+Mirrors the hardware diversity the paper leans on (Figure 1, Table 1):
+ARM Cortex-M boards (STM32 family), an Xtensa/RISC-V ESP32, a RISC-V
+HiFive, and a generic ``qemu-virt`` machine.  The catalog also records
+which boards have a usable emulator — STM32H745 famously does not, which
+is exactly why emulator-bound tools (Tardis) cannot test it (§1, §2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from repro.hw.board import Board
+from repro.hw.machine import Machine
+from repro.hw.memory import Flash, Ram
+
+
+@dataclass(frozen=True)
+class BoardSpec:
+    """Static description of a board model."""
+
+    name: str
+    arch: str                     # "arm", "riscv", "xtensa", ...
+    debug_interface: str          # "swd" or "jtag"
+    flash_base: int
+    flash_size: int
+    flash_sector: int
+    ram_base: int
+    ram_size: int
+    hw_breakpoints: int
+    cycles_per_call: int
+    has_emulator: bool            # can QEMU-style tools (Tardis/Gustave) run it?
+    # Target cycles burned per debug-probe round-trip (-exec-continue,
+    # halt report, host turnaround).  Real SWD/JTAG probes cost
+    # milliseconds per stop; an emulator's gdbstub is much cheaper.
+    probe_latency_cycles: int = 1200
+    endianness: str = "little"
+
+
+BOARD_CATALOG: Dict[str, BoardSpec] = {
+    "stm32f407": BoardSpec(
+        name="stm32f407", arch="arm", debug_interface="swd",
+        flash_base=0x0800_0000, flash_size=1024 * 1024, flash_sector=4096,
+        ram_base=0x2000_0000, ram_size=192 * 1024,
+        hw_breakpoints=6, cycles_per_call=40, has_emulator=True),
+    "stm32h745": BoardSpec(
+        # Industrial-control dual-core part with no peripheral-accurate
+        # emulator — the paper's canonical "hardware only" target.
+        name="stm32h745", arch="arm", debug_interface="swd",
+        flash_base=0x0800_0000, flash_size=2 * 1024 * 1024, flash_sector=8192,
+        ram_base=0x2400_0000, ram_size=512 * 1024,
+        hw_breakpoints=8, cycles_per_call=32, has_emulator=False),
+    "esp32": BoardSpec(
+        name="esp32", arch="xtensa", debug_interface="jtag",
+        flash_base=0x0040_0000, flash_size=4 * 1024 * 1024, flash_sector=4096,
+        ram_base=0x3FFB_0000, ram_size=320 * 1024,
+        hw_breakpoints=2, cycles_per_call=48, has_emulator=True),
+    "esp32c3": BoardSpec(
+        name="esp32c3", arch="riscv", debug_interface="jtag",
+        flash_base=0x0000_0000, flash_size=4 * 1024 * 1024, flash_sector=4096,
+        ram_base=0x3FC8_0000, ram_size=384 * 1024,
+        hw_breakpoints=4, cycles_per_call=44, has_emulator=True),
+    "hifive1": BoardSpec(
+        name="hifive1", arch="riscv", debug_interface="jtag",
+        flash_base=0x2000_0000, flash_size=4 * 1024 * 1024, flash_sector=4096,
+        ram_base=0x8000_0000, ram_size=64 * 1024,
+        hw_breakpoints=4, cycles_per_call=52, has_emulator=True),
+    "qemu-virt": BoardSpec(
+        # A purely emulated machine: this is where emulator-only tools
+        # (Tardis, Gustave) live; it has no physical debug port quirks.
+        name="qemu-virt", arch="arm", debug_interface="jtag",
+        flash_base=0x0000_0000, flash_size=8 * 1024 * 1024, flash_sector=4096,
+        ram_base=0x4000_0000, ram_size=1024 * 1024,
+        hw_breakpoints=32, cycles_per_call=24, has_emulator=True,
+        probe_latency_cycles=300),
+}
+
+
+def board_names() -> List[str]:
+    """Names of every board model in the catalog."""
+    return sorted(BOARD_CATALOG)
+
+
+def make_board(spec_name: str) -> Board:
+    """Instantiate a fresh powered-off board from the catalog."""
+    try:
+        spec = BOARD_CATALOG[spec_name]
+    except KeyError:
+        raise KeyError(f"unknown board {spec_name!r}; "
+                       f"known: {', '.join(board_names())}") from None
+    # The debug unit accepts more breakpoints than the silicon has
+    # hardware comparators: OpenOCD transparently falls back to (slower)
+    # flash-patched software breakpoints.  Tools that insist on *hardware*
+    # breakpoints (GDBFuzz's rotating-coverage trick) self-limit to
+    # ``spec.hw_breakpoints``.
+    machine = Machine(hw_breakpoint_slots=max(spec.hw_breakpoints, 12),
+                      cycles_per_call=spec.cycles_per_call)
+    flash = Flash("flash", spec.flash_base, spec.flash_size, spec.flash_sector)
+    ram = Ram("ram", spec.ram_base, spec.ram_size)
+    board = Board(spec.name, spec.arch, machine, flash, ram,
+                  endianness=spec.endianness)
+    return board

@@ -1,0 +1,148 @@
+"""Raw debug-port primitives (the JTAG/SWD stand-in).
+
+Everything the host learns about or does to the target flows through this
+class: memory access, run control, breakpoints, flash programming, reset.
+It deliberately mirrors the operations OpenOCD exposes over a real probe,
+including the distinction the paper's restoration path depends on —
+*flash and reset keep working even when run control has died*, because
+they only need the debug access port, not a live core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import DebugLinkTimeout
+from repro.hw.board import Board
+from repro.hw.machine import HaltEvent
+
+
+class DebugPort:
+    """Debug access to one board."""
+
+    def __init__(self, board: Board):
+        from repro.hw.boards import BOARD_CATALOG
+        spec = BOARD_CATALOG.get(board.name)
+        self.probe_latency_cycles = (spec.probe_latency_cycles
+                                     if spec else 1200)
+        self.board = board
+        self._connected = False
+        self.op_count = 0
+
+    # -- session -----------------------------------------------------------
+
+    def connect(self) -> None:
+        """Attach the probe; requires the board to be powered."""
+        if not self.board.machine.powered:
+            raise DebugLinkTimeout(
+                f"{self.board.name}: board not powered, probe sees no target")
+        self._connected = True
+
+    def disconnect(self) -> None:
+        """Detach the probe."""
+        self._connected = False
+
+    @property
+    def connected(self) -> bool:
+        """Is a probe session open?"""
+        return self._connected
+
+    def _require_session(self) -> None:
+        if not self._connected:
+            raise DebugLinkTimeout(f"{self.board.name}: probe not connected")
+        self.op_count += 1
+
+    def _require_core(self) -> None:
+        self._require_session()
+        if self.board.link_lost:
+            raise DebugLinkTimeout(f"{self.board.name}: core access lost")
+
+    # -- memory access (works via the access port) ----------------------------
+
+    def read_mem(self, address: int, length: int) -> bytes:
+        """Read target memory."""
+        self._require_core()
+        return self.board.memory.read(address, length)
+
+    def write_mem(self, address: int, data: bytes) -> None:
+        """Write target memory (RAM, or raw flash bytes)."""
+        self._require_core()
+        self.board.memory.write(address, data)
+
+    def read_u32(self, address: int) -> int:
+        """Read one little-endian word."""
+        self._require_core()
+        return self.board.memory.read_u32(address)
+
+    def write_u32(self, address: int, value: int) -> None:
+        """Write one little-endian word."""
+        self._require_core()
+        self.board.memory.write_u32(address, value)
+
+    # -- run control (needs a live core) ----------------------------------------
+
+    def resume(self) -> HaltEvent:
+        """``-exec-continue``: run until the next halt event.
+
+        Each round-trip costs probe latency: the core sits halted while
+        the host digests the previous stop and the probe clocks the
+        resume out — milliseconds on real SWD/JTAG, which is why
+        on-hardware fuzzers live and die by their stop count.
+        """
+        self._require_session()
+        self.board.machine.tick(self.probe_latency_cycles)
+        return self.board.resume()
+
+    def read_pc(self) -> int:
+        """Sample the program counter."""
+        self._require_session()
+        return self.board.read_pc()
+
+    def set_breakpoint(self, address: int, label: str = "") -> None:
+        """Arm a hardware breakpoint."""
+        self._require_core()
+        self.board.machine.set_breakpoint(address, label)
+
+    def clear_breakpoint(self, address: int) -> None:
+        """Disarm a hardware breakpoint."""
+        self._require_core()
+        self.board.machine.clear_breakpoint(address)
+
+    def clear_all_breakpoints(self) -> None:
+        """Disarm every hardware breakpoint."""
+        self._require_core()
+        self.board.machine.clear_all_breakpoints()
+
+    def backtrace(self):
+        """Read the target call stack (symbolized frames)."""
+        self._require_core()
+        return self.board.machine.backtrace()
+
+    # -- flash / reset (keep working when the core is dead) -----------------------
+
+    def flash_erase(self, address: int, length: int) -> None:
+        """Erase the sectors overlapping the range."""
+        self._require_session()
+        self.board.flash.erase_range(address, length)
+
+    def flash_program(self, address: int, data: bytes) -> None:
+        """Program bytes into (previously erased) flash."""
+        self._require_session()
+        self.board.flash.program(address, data)
+
+    def flash_read(self, address: int, length: int) -> bytes:
+        """Read back flash contents (verify step)."""
+        self._require_session()
+        return self.board.flash.read(address, length)
+
+    def reset(self) -> None:
+        """``monitor reset``: warm-reset the board and reboot from flash."""
+        self._require_session()
+        self.board.reset()
+
+    # -- UART capture --------------------------------------------------------------
+
+    def uart_read(self, cursor: int) -> Tuple[List[str], int]:
+        """Drain captured UART lines newer than ``cursor``."""
+        self._require_session()
+        return self.board.uart_read(cursor)

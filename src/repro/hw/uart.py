@@ -1,0 +1,69 @@
+"""UART model.
+
+The target kernel prints log lines here; the host (via OpenOCD's UART
+capture, §4.3.1) drains them and feeds the log monitor.  Lines are kept in
+an ordered buffer with a monotonically increasing cursor so multiple host
+readers can consume independently.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+
+class Uart:
+    """A transmit-only serial port with host-side capture.
+
+    Target side calls :meth:`putline` / :meth:`putc`; host side calls
+    :meth:`read_from` with its last cursor to receive only new lines.
+    """
+
+    def __init__(self, capacity_lines: int = 100_000):
+        self._lines: List[str] = []
+        self._partial: str = ""
+        self._dropped = 0
+        self._capacity = capacity_lines
+
+    @property
+    def total_lines(self) -> int:
+        """Lines emitted since power-on (cursor space)."""
+        return len(self._lines) + self._dropped
+
+    def putc(self, char: str) -> None:
+        """Transmit a single character; newline flushes the current line."""
+        if char == "\n":
+            self._commit(self._partial)
+            self._partial = ""
+        else:
+            self._partial += char
+
+    def putline(self, line: str) -> None:
+        """Transmit a full line (newline implied)."""
+        for piece in line.split("\n"):
+            self._commit(self._partial + piece)
+            self._partial = ""
+
+    def _commit(self, line: str) -> None:
+        if len(self._lines) >= self._capacity:
+            # Model a bounded capture buffer: oldest lines fall off, which
+            # is also why the paper notes UART logs "may vanish" (§3.2).
+            self._lines.pop(0)
+            self._dropped += 1
+        self._lines.append(line)
+
+    def read_from(self, cursor: int) -> "tuple[list[str], int]":
+        """Return ``(new_lines, new_cursor)`` for a reader at ``cursor``."""
+        start = max(cursor - self._dropped, 0)
+        new = self._lines[start:]
+        return list(new), self.total_lines
+
+    def tail(self, count: int = 20) -> List[str]:
+        """Return up to the last ``count`` lines (for crash reports)."""
+        return list(self._lines[-count:])
+
+    def power_cycle(self) -> None:
+        """Reset the UART; capture history is lost, cursors keep meaning
+        (old cursors simply see nothing new until lines reappear)."""
+        self._dropped += len(self._lines)
+        self._lines = []
+        self._partial = ""

@@ -1,0 +1,30 @@
+"""SanCov-style coverage instrumentation (§4.5.1).
+
+At firmware build time every kernel/component function is assigned a block
+of *coverage sites* (entry site + sub-sites at interesting branch points).
+At run time the instrumented kernel calls the tracer at each site; the
+tracer hashes (previous site, current site) into an edge record and
+appends it to a coverage buffer living in target RAM, where the host
+drains it over the debug link.  When the buffer fills, the target traps at
+``_kcmp_buf_full`` so the host can drain and clear it mid-run.
+"""
+
+from repro.instrument.sites import SiteAllocator, SiteInfo, SiteTable
+from repro.instrument.sancov import (
+    SancovTracer,
+    COV_HEADER_BYTES,
+    COV_RECORD_BYTES,
+    decode_coverage_buffer,
+    edge_id,
+)
+
+__all__ = [
+    "SiteAllocator",
+    "SiteInfo",
+    "SiteTable",
+    "SancovTracer",
+    "COV_HEADER_BYTES",
+    "COV_RECORD_BYTES",
+    "decode_coverage_buffer",
+    "edge_id",
+]

@@ -1,0 +1,122 @@
+"""The on-target coverage tracer and its buffer protocol.
+
+Wire format of the coverage buffer (a byte range in target RAM)::
+
+    u32 count          number of edge records that follow
+    u32 edge[count]    (prev_site << 16) | cur_site
+
+The tracer stops appending once the buffer is full and raises a *pending
+trap* flag; the execution agent notices it at the next safe point and
+halts at ``_kcmp_buf_full`` so the host can drain and clear the buffer
+(§4.5.1, Figure 5).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Set
+
+from repro.hw.memory import Ram
+from repro.instrument.sites import SiteTable
+
+COV_HEADER_BYTES = 4
+COV_RECORD_BYTES = 4
+
+# Cycle cost of one __sanitizer_cov_trace callback; this is the knob that
+# produces the paper's §5.5.2 execution overhead.
+TRACE_CYCLE_COST = 18
+
+
+def edge_id(prev_site: int, cur_site: int) -> int:
+    """Pack an edge into one 32-bit record (sites are < 2**16)."""
+    return ((prev_site & 0xFFFF) << 16) | (cur_site & 0xFFFF)
+
+
+def decode_coverage_buffer(raw: bytes) -> List[int]:
+    """Host-side: decode a drained coverage buffer into edge ids."""
+    if len(raw) < COV_HEADER_BYTES:
+        return []
+    count = int.from_bytes(raw[:4], "little")
+    max_records = (len(raw) - COV_HEADER_BYTES) // COV_RECORD_BYTES
+    count = min(count, max_records)
+    edges = []
+    for i in range(count):
+        off = COV_HEADER_BYTES + i * COV_RECORD_BYTES
+        edges.append(int.from_bytes(raw[off:off + 4], "little"))
+    return edges
+
+
+class SancovTracer:
+    """Target-side edge tracer writing into a RAM-resident buffer.
+
+    ``enabled_modules`` restricts which modules carry instrumentation
+    (``None`` = all).  When a module is excluded its functions have *no*
+    callbacks at all, so they neither record edges nor update the
+    previous-site state nor pay the cycle cost — matching how a real
+    build would simply not instrument those translation units.
+    """
+
+    def __init__(self, ram: Ram, buf_addr: int, buf_size: int,
+                 site_table: SiteTable,
+                 enabled_modules: Optional[Set[str]] = None,
+                 enabled: bool = True):
+        if buf_size < COV_HEADER_BYTES + COV_RECORD_BYTES:
+            raise ValueError("coverage buffer too small")
+        self.ram = ram
+        self.buf_addr = buf_addr
+        self.buf_size = buf_size
+        self.site_table = site_table
+        self.enabled_modules = (set(enabled_modules)
+                                if enabled_modules is not None else None)
+        self.enabled = enabled
+        self.capacity = (buf_size - COV_HEADER_BYTES) // COV_RECORD_BYTES
+        self.prev_site = 0
+        self.trap_pending = False
+        self.total_hits = 0       # lifetime callback count (stats)
+        self.dropped_hits = 0     # hits lost while the buffer was full
+        self._count = 0
+        self._last_edge = -1
+
+    def module_enabled(self, module: str) -> bool:
+        """Is instrumentation compiled into ``module``?"""
+        if not self.enabled:
+            return False
+        return self.enabled_modules is None or module in self.enabled_modules
+
+    def reset_run_state(self) -> None:
+        """Forget the previous site (start of a fresh test case)."""
+        self.prev_site = 0
+        self._last_edge = -1
+
+    def clear(self) -> None:
+        """Zero the buffer header (host does this after draining)."""
+        self._count = 0
+        self.trap_pending = False
+        self._last_edge = -1
+        self.ram.write_u32(self.buf_addr, 0)
+
+    def hit(self, site: int) -> int:
+        """Record the edge into ``site``; returns cycles consumed."""
+        self.total_hits += 1
+        edge = edge_id(self.prev_site, site)
+        self.prev_site = site
+        if edge == self._last_edge:
+            # Consecutive identical edges (tight loops) are collapsed on
+            # target to keep the buffer useful, as real SanCov guards do.
+            return TRACE_CYCLE_COST
+        self._last_edge = edge
+        if self._count >= self.capacity:
+            self.trap_pending = True
+            self.dropped_hits += 1
+            return TRACE_CYCLE_COST
+        off = self.buf_addr + COV_HEADER_BYTES + self._count * COV_RECORD_BYTES
+        self.ram.write_u32(off, edge)
+        self._count += 1
+        self.ram.write_u32(self.buf_addr, self._count)
+        if self._count >= self.capacity:
+            self.trap_pending = True
+        return TRACE_CYCLE_COST
+
+    @property
+    def record_count(self) -> int:
+        """Number of records currently buffered."""
+        return self._count

@@ -1,0 +1,168 @@
+"""Ground truth for the 19 injected bugs (Table 2).
+
+Each entry records the paper's row (target OS, subsystem scope, bug type,
+triggering operation, detecting monitor) and a minimal reproducer — the
+API sequence a fuzzer must in effect discover.  ``("ref", i)`` marks a
+handle produced by call *i* of the same program.
+
+The reproducers double as regression tests (every bug must remain
+triggerable) and as the matching oracle for the Table 2 benchmark
+(a fuzzing campaign's crash signatures are attributed to rows by the
+``match`` fragment appearing in the crash cause or backtrace).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+KP = "Kernel Panic"
+KA = "Kernel Assertion"
+
+
+@dataclass(frozen=True)
+class InjectedBug:
+    """One Table 2 row."""
+
+    number: int
+    os_name: str
+    scope: str
+    bug_type: str
+    operation: str          # the paper's "Operations" column
+    monitor: str            # which monitor detects it: "exception" | "log"
+    match: str              # substring identifying the crash
+    reproducer: Tuple[Tuple[str, Tuple], ...]
+    confirmed: bool = False
+
+
+BUG_TABLE: List[InjectedBug] = [
+    InjectedBug(
+        number=1, os_name="zephyr", scope="Heap", bug_type=KP,
+        operation="sys_heap_stress()", monitor="exception",
+        match="sys_heap corruption",
+        reproducer=(("sys_heap_stress", (24, 3)),)),
+    InjectedBug(
+        number=2, os_name="zephyr", scope="Kernel", bug_type=KP,
+        operation="z_impl_k_msgq_get()", monitor="exception",
+        match="z_impl_k_msgq_get", confirmed=True,
+        reproducer=(("k_msgq_init", (4, 8)),
+                    ("k_msgq_cleanup", (("ref", 0),)),
+                    ("k_msgq_get", (("ref", 0), 0)))),
+    InjectedBug(
+        number=3, os_name="zephyr", scope="JSON", bug_type=KP,
+        operation="json_obj_encode()", monitor="exception",
+        match="json_obj_encode", confirmed=True,
+        reproducer=(("json_mkdeep", (8, 1)),
+                    ("json_obj_encode", (("ref", 0),)))),
+    InjectedBug(
+        number=4, os_name="zephyr", scope="KHeap", bug_type=KP,
+        operation="k_heap_init()", monitor="exception",
+        match="k_heap_init", confirmed=True,
+        reproducer=(("k_heap_init", (10,)),)),
+    InjectedBug(
+        number=5, os_name="rt-thread", scope="Kernel", bug_type=KA,
+        operation="rt_object_get_type()", monitor="log",
+        match="rt_object_get_type",
+        reproducer=(("rt_object_init", (2, b"obj5")),
+                    ("rt_object_detach", (("ref", 0),)),
+                    ("rt_object_get_type", (("ref", 0),)))),
+    InjectedBug(
+        number=6, os_name="rt-thread", scope="RTService", bug_type=KP,
+        operation="rt_list_isempty()", monitor="exception",
+        match="rt_list_isempty",
+        reproducer=(("rt_service_unregister", (0,)),
+                    ("rt_service_poll", ()))),
+    InjectedBug(
+        number=7, os_name="rt-thread", scope="Memory", bug_type=KP,
+        operation="rt_mp_alloc()", monitor="exception",
+        match="rt_mp_alloc",
+        reproducer=(("rt_mp_create", (b"pool", 4, 16)),
+                    ("rt_mp_delete", (("ref", 0),)),
+                    ("rt_mp_alloc", (("ref", 0), 0)))),
+    InjectedBug(
+        number=8, os_name="rt-thread", scope="Kernel", bug_type=KA,
+        operation="rt_object_init()", monitor="log",
+        match="rt_object_init",
+        reproducer=(("rt_object_init", (3, b"dup")),
+                    ("rt_object_init", (3, b"dup")))),
+    InjectedBug(
+        number=9, os_name="rt-thread", scope="Heap", bug_type=KP,
+        operation="_heap_lock()", monitor="exception",
+        match="_heap_lock",
+        reproducer=(("rt_malloc", (32,)),
+                    ("rt_free", (("ref", 0),)),
+                    ("rt_free", (("ref", 0),)),
+                    ("rt_malloc", (8,)))),
+    InjectedBug(
+        number=10, os_name="rt-thread", scope="IPC", bug_type=KP,
+        operation="rt_event_send()", monitor="exception",
+        match="rt_event_send",
+        reproducer=(("rt_event_create", (b"evt", 0)),
+                    ("rt_event_delete", (("ref", 0),)),
+                    ("rt_event_send", (("ref", 0), 1)))),
+    InjectedBug(
+        number=11, os_name="rt-thread", scope="Memory", bug_type=KP,
+        operation="rt_smem_setname()", monitor="exception",
+        match="rt_smem_setname", confirmed=True,
+        reproducer=(("rt_smem_setname", (b"a" * 24,)),)),
+    InjectedBug(
+        number=12, os_name="rt-thread", scope="Serial", bug_type=KP,
+        operation="rt_serial_write()", monitor="exception",
+        match="_serial_poll_tx",
+        reproducer=(("rt_device_find", (b"uart0",)),
+                    ("rt_device_unregister", (("ref", 0),)),
+                    ("syz_create_bind_socket", (0xBC78, 1, 0, 0x101)))),
+    InjectedBug(
+        number=13, os_name="freertos", scope="Kernel", bug_type=KP,
+        operation="load_partitions()", monitor="exception",
+        match="partition table corrupt",
+        reproducer=(("load_partitions", (56, 2)),)),
+    InjectedBug(
+        number=14, os_name="nuttx", scope="Kernel", bug_type=KP,
+        operation="setenv()", monitor="exception",
+        match="setenv", confirmed=True,
+        reproducer=(("setenv", (b"A" * 30, b"v", 1)),)),
+    InjectedBug(
+        number=15, os_name="nuttx", scope="Libc", bug_type=KP,
+        operation="gettimeofday()", monitor="exception",
+        match="gettimeofday",
+        reproducer=(("gettimeofday", (0x1FF,)),)),
+    InjectedBug(
+        number=16, os_name="nuttx", scope="MQueue", bug_type=KP,
+        operation="nxmq_timedsend()", monitor="exception",
+        match="nxmq_timedsend",
+        reproducer=(("mq_open", (b"/mq16", 4, 16)),
+                    ("mq_close", (("ref", 0),)),
+                    ("mq_timedsend", (("ref", 0), b"msg", 1, 0)))),
+    InjectedBug(
+        number=17, os_name="nuttx", scope="Semaphore", bug_type=KA,
+        operation="nxsem_trywait()", monitor="log",
+        match="nxsem_trywait",
+        reproducer=(("sem_init", (1,)),
+                    ("sem_destroy", (("ref", 0),)),
+                    ("sem_trywait", (("ref", 0),)))),
+    InjectedBug(
+        number=18, os_name="nuttx", scope="Timer", bug_type=KP,
+        operation="timer_create()", monitor="exception",
+        match="timer_create",
+        reproducer=(("timer_create", (7, 2)),)),
+    InjectedBug(
+        number=19, os_name="nuttx", scope="Libc", bug_type=KP,
+        operation="clock_getres()", monitor="exception",
+        match="clock_getres",
+        reproducer=(("clock_getres", (12, 12)),)),
+]
+
+
+def bugs_for(os_name: str) -> List[InjectedBug]:
+    """Table 2 rows of one OS."""
+    return [bug for bug in BUG_TABLE if bug.os_name == os_name]
+
+
+def match_crashes(os_name: str, crash_texts: Sequence[str]) -> List[int]:
+    """Attribute observed crash texts to Table 2 rows (bug numbers)."""
+    found = []
+    for bug in bugs_for(os_name):
+        if any(bug.match in text for text in crash_texts):
+            found.append(bug.number)
+    return found

@@ -1,0 +1,41 @@
+"""Building blocks shared by all kernel implementations."""
+
+from repro.oses.common.api import (
+    ApiDef,
+    ArgDef,
+    KFuncMeta,
+    arg_buf,
+    arg_const,
+    arg_flags,
+    arg_int,
+    arg_res,
+    arg_str,
+    kapi,
+    kfunc,
+    collect_kfuncs,
+    collect_apis,
+)
+from repro.oses.common.context import KernelContext
+from repro.oses.common.kernel import EmbeddedKernel, KernelComponent
+from repro.oses.common.dlist import DList, DListNode
+
+__all__ = [
+    "ApiDef",
+    "ArgDef",
+    "KFuncMeta",
+    "arg_buf",
+    "arg_const",
+    "arg_flags",
+    "arg_int",
+    "arg_res",
+    "arg_str",
+    "kapi",
+    "kfunc",
+    "collect_kfuncs",
+    "collect_apis",
+    "KernelContext",
+    "EmbeddedKernel",
+    "KernelComponent",
+    "DList",
+    "DListNode",
+]

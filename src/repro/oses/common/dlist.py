@@ -1,0 +1,99 @@
+"""Intrusive circular doubly-linked list, the workhorse container of small
+kernels (RT-Thread's ``rt_list_t``, FreeRTOS's ``xLIST``, Zephyr's
+``sys_dlist``).  Implemented the embedded way — explicit node splicing —
+so that list-corruption bugs behave like their C counterparts.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+
+class DListNode:
+    """A list node; embed one per object per list membership."""
+
+    __slots__ = ("next", "prev", "owner")
+
+    def __init__(self, owner=None):
+        self.next: "DListNode" = self
+        self.prev: "DListNode" = self
+        self.owner = owner
+
+    def is_linked(self) -> bool:
+        """Is this node currently spliced into some list?"""
+        return self.next is not self
+
+    def unlink(self) -> None:
+        """Remove from whatever list contains the node (no-op if free)."""
+        self.next.prev = self.prev
+        self.prev.next = self.next
+        self.next = self
+        self.prev = self
+
+
+class DList:
+    """A circular list with a sentinel head node."""
+
+    def __init__(self) -> None:
+        self.head = DListNode()
+
+    def is_empty(self) -> bool:
+        """True if no nodes are linked."""
+        return self.head.next is self.head
+
+    def insert_after(self, where: DListNode, node: DListNode) -> None:
+        """Splice ``node`` right after ``where``."""
+        node.next = where.next
+        node.prev = where
+        where.next.prev = node
+        where.next = node
+
+    def insert_before(self, where: DListNode, node: DListNode) -> None:
+        """Splice ``node`` right before ``where``."""
+        self.insert_after(where.prev, node)
+
+    def push_front(self, node: DListNode) -> None:
+        """Insert at the head."""
+        self.insert_after(self.head, node)
+
+    def push_back(self, node: DListNode) -> None:
+        """Insert at the tail."""
+        self.insert_before(self.head, node)
+
+    def pop_front(self) -> Optional[DListNode]:
+        """Remove and return the first node, or None when empty."""
+        if self.is_empty():
+            return None
+        node = self.head.next
+        node.unlink()
+        return node
+
+    def remove(self, node: DListNode) -> None:
+        """Remove ``node``; it must currently be in *this* list (unchecked,
+        as in C — removing from the wrong list corrupts both)."""
+        node.unlink()
+
+    def __len__(self) -> int:
+        count = 0
+        node = self.head.next
+        while node is not self.head:
+            count += 1
+            node = node.next
+        return count
+
+    def __iter__(self) -> Iterator[DListNode]:
+        node = self.head.next
+        while node is not self.head:
+            nxt = node.next  # allow unlinking during iteration
+            yield node
+            node = nxt
+
+    def check_consistency(self) -> bool:
+        """Verify next/prev symmetry around the whole ring (test hook)."""
+        node = self.head
+        while True:
+            if node.next.prev is not node or node.prev.next is not node:
+                return False
+            node = node.next
+            if node is self.head:
+                return True

@@ -1,0 +1,369 @@
+"""Driver-style protocol ladders.
+
+Real kernels are full of *staged* interfaces: a storage driver must be
+probed, unlocked with the right key, mounted on a valid slot and only
+then written; a CAN controller must be initialised at a legal baud rate,
+given a filter, and started before frames flow.  Each stage guards the
+next behind both ordering and argument constraints, which makes the deep
+stages essentially unreachable for independent random sampling — they are
+exactly the paths coverage-guided retention climbs one rung at a time
+(the dynamics behind Figure 7's long slow tail).
+
+Each kernel mixes in one such subsystem; the mixins keep their state on
+the kernel instance lazily so they compose with any ``__init__``.
+"""
+
+from __future__ import annotations
+
+from repro.oses.common.api import arg_buf, arg_int, kapi
+
+
+def _state(kernel, attr: str, default):
+    if not hasattr(kernel, attr):
+        setattr(kernel, attr, default)
+    return getattr(kernel, attr)
+
+
+class FlashStorageLadder:
+    """An external-flash storage driver (FreeRTOS flavour).
+
+    probe -> unlock(key) -> mount(slot) -> write*/read* -> sync -> unmount
+    """
+
+    def _ladder_reset(self) -> None:
+        """Driver session teardown (agent re-init between test cases)."""
+        self._st_stage = 0
+        self._st_written = 0
+
+    @kapi(module="storage", sites=6, doc="Probe the external flash chip.")
+    def storage_probe(self) -> int:
+        _state(self, "_st_stage", 0)
+        if self._st_stage >= 1:
+            self.ctx.cov(1)
+            return 0  # already probed
+        self._st_stage = 1
+        self.ctx.cov(2)
+        return 1
+
+    @kapi(module="storage", sites=8, args=[arg_int("key", 0, 255)],
+          doc="Unlock write access; the chip accepts its OTP keys only.")
+    def storage_unlock(self, key: int) -> int:
+        _state(self, "_st_stage", 0)
+        if self._st_stage < 1:
+            self.ctx.cov(1)
+            return -1
+        if key not in (0x5A, 0xA5, 0x3C):
+            self.ctx.cov(2)
+            return -2
+        self.ctx.cov(3 + (0x5A, 0xA5, 0x3C).index(key))  # 3..5: per key
+        self._st_stage = 2
+        return 0
+
+    @kapi(module="storage", sites=8, args=[arg_int("slot", 0, 15)],
+          doc="Mount one of the first three wear-levelled slots.")
+    def storage_mount(self, slot: int) -> int:
+        _state(self, "_st_stage", 0)
+        if self._st_stage < 2:
+            self.ctx.cov(1)
+            return -1
+        if not 0 <= slot < 3:
+            self.ctx.cov(2)
+            return -2
+        self._st_stage = 3
+        self._st_slot = slot
+        self._st_written = 0
+        self.ctx.cov(3 + slot)  # 3..5: per slot
+        return 0
+
+    @kapi(module="storage", sites=10, args=[arg_buf("data", 128)],
+          doc="Append a record to the mounted slot.")
+    def storage_write(self, data: bytes) -> int:
+        _state(self, "_st_stage", 0)
+        if self._st_stage < 3:
+            self.ctx.cov(1)
+            return -1
+        if not data:
+            self.ctx.cov(2)
+            return -2
+        self._st_written = _state(self, "_st_written", 0) + len(data)
+        self.ctx.cov(3)
+        if data[0] == 0x42:
+            self.ctx.cov(4)  # record type B gets a header rewrite
+        if self._st_written > 256:
+            self.ctx.cov(5)  # spilled into a second page
+        if self._st_written > 1024:
+            self.ctx.cov(6)  # triggered wear-levelling
+        return len(data)
+
+    @kapi(module="storage", sites=6, doc="Flush pending pages.")
+    def storage_sync(self) -> int:
+        _state(self, "_st_stage", 0)
+        if self._st_stage < 3:
+            self.ctx.cov(1)
+            return -1
+        if _state(self, "_st_written", 0) == 0:
+            self.ctx.cov(2)
+            return 0
+        self.ctx.cov(3)
+        self.ctx.cycles(40)
+        self._st_stage = 4
+        return self._st_written
+
+    @kapi(module="storage", sites=6, doc="Unmount; requires a clean sync.")
+    def storage_unmount(self) -> int:
+        _state(self, "_st_stage", 0)
+        if self._st_stage < 3:
+            self.ctx.cov(1)
+            return -1
+        if self._st_stage == 4:
+            self.ctx.cov(2)  # clean unmount after sync
+        else:
+            self.ctx.cov(3)  # dirty unmount: replay journal
+            self.ctx.cycles(60)
+        self._st_stage = 1
+        return 0
+
+
+class CanBusLadder:
+    """A CAN controller (RT-Thread flavour).
+
+    init(baud) -> filter(id) -> start -> send/recv -> stop
+    """
+
+    def _ladder_reset(self) -> None:
+        """Driver session teardown (agent re-init between test cases)."""
+        self._can_stage = 0
+        self._can_tx = 0
+
+    @kapi(module="can", sites=8, args=[arg_int("baud_kbps", 0, 1000)],
+          doc="Initialise the controller at a standard baud rate.")
+    def can_init(self, baud_kbps: int) -> int:
+        if baud_kbps not in (125, 250, 500, 1000):
+            self.ctx.cov(1)
+            return -1
+        _state(self, "_can_stage", 0)
+        self._can_stage = 1
+        self._can_baud = baud_kbps
+        self.ctx.cov(2 + (125, 250, 500, 1000).index(baud_kbps))  # 2..5
+        return 0
+
+    @kapi(module="can", sites=8,
+          args=[arg_int("can_id", 0, 0x7FF), arg_int("mask", 0, 0x7FF)],
+          doc="Install an acceptance filter.")
+    def can_filter(self, can_id: int, mask: int) -> int:
+        if _state(self, "_can_stage", 0) < 1:
+            self.ctx.cov(1)
+            return -1
+        if can_id > 0x7FF or mask > 0x7FF:
+            self.ctx.cov(2)
+            return -2
+        self._can_id = can_id
+        self._can_mask = mask
+        self._can_stage = 2
+        self.ctx.cov(3)
+        if mask == 0x7FF:
+            self.ctx.cov(4)  # exact-match filter
+        return 0
+
+    @kapi(module="can", sites=6, doc="Start the controller.")
+    def can_start(self) -> int:
+        if _state(self, "_can_stage", 0) < 2:
+            self.ctx.cov(1)
+            return -1
+        self._can_stage = 3
+        self._can_tx = 0
+        self.ctx.cov(2)
+        return 0
+
+    @kapi(module="can", sites=10,
+          args=[arg_int("can_id", 0, 0x7FF), arg_buf("frame", 8)],
+          doc="Transmit a frame (must pass the installed filter).")
+    def can_send(self, can_id: int, frame: bytes) -> int:
+        if _state(self, "_can_stage", 0) < 3:
+            self.ctx.cov(1)
+            return -1
+        if len(frame) > 8:
+            self.ctx.cov(2)
+            return -2
+        accepted = (can_id & self._can_mask) == (self._can_id & self._can_mask)
+        if not accepted:
+            self.ctx.cov(3)
+            return -3
+        self._can_tx = _state(self, "_can_tx", 0) + 1
+        self.ctx.cov(4)
+        self.ctx.cov(5 + min(len(frame), 4))  # 5..9: per DLC class
+        return len(frame)
+
+    @kapi(module="can", sites=6, doc="Read controller statistics.")
+    def can_stats(self) -> int:
+        if _state(self, "_can_stage", 0) < 1:
+            self.ctx.cov(1)
+            return -1
+        tx = _state(self, "_can_tx", 0)
+        if tx >= 8:
+            self.ctx.cov(2)  # a sustained burst went out
+        return tx
+
+    @kapi(module="can", sites=5, doc="Stop the controller.")
+    def can_stop(self) -> int:
+        if _state(self, "_can_stage", 0) < 3:
+            self.ctx.cov(1)
+            return -1
+        self._can_stage = 1
+        self.ctx.cov(2)
+        return 0
+
+
+class SensorLadder:
+    """A sensor driver (Zephyr flavour).
+
+    open -> attr_set -> trigger_set -> fetch -> channel_get
+    """
+
+    def _ladder_reset(self) -> None:
+        """Driver session teardown (agent re-init between test cases)."""
+        self._sen_stage = 0
+        self._sen_attrs = {}
+        self._sen_samples = 0
+
+    @kapi(module="sensor", sites=5, doc="Power up the sensor.")
+    def sensor_open(self) -> int:
+        _state(self, "_sen_stage", 0)
+        self._sen_stage = 1
+        self._sen_attrs = {}
+        self.ctx.cov(1)
+        return 0
+
+    @kapi(module="sensor", sites=10,
+          args=[arg_int("attr", 0, 15), arg_int("value", 0, 255)],
+          doc="Configure an attribute (sampling rate, range, ...).")
+    def sensor_attr_set(self, attr: int, value: int) -> int:
+        if _state(self, "_sen_stage", 0) < 1:
+            self.ctx.cov(1)
+            return -1
+        if not 0 <= attr <= 7:
+            self.ctx.cov(2)
+            return -2
+        limits = (4, 8, 2, 16, 3, 255, 255, 255)
+        if value >= limits[attr]:
+            self.ctx.cov(3)
+            return -3
+        self._sen_attrs[attr] = value
+        self.ctx.cov(4 + min(attr, 5))  # 4..9: per attribute
+        if len(self._sen_attrs) >= 3:
+            self._sen_stage = 2
+        return 0
+
+    @kapi(module="sensor", sites=6, args=[arg_int("trigger", 0, 7)],
+          doc="Arm a trigger; needs three configured attributes first.")
+    def sensor_trigger_set(self, trigger: int) -> int:
+        if _state(self, "_sen_stage", 0) < 2:
+            self.ctx.cov(1)
+            return -1
+        if trigger not in (0, 1, 4):
+            self.ctx.cov(2)
+            return -2
+        self._sen_trigger = trigger
+        self._sen_stage = 3
+        self.ctx.cov(3 + (0, 1, 4).index(trigger))  # 3..5
+        return 0
+
+    @kapi(module="sensor", sites=6, doc="Fetch a sample into the driver.")
+    def sensor_sample_fetch(self) -> int:
+        if _state(self, "_sen_stage", 0) < 3:
+            self.ctx.cov(1)
+            return -1
+        self._sen_samples = _state(self, "_sen_samples", 0) + 1
+        self.ctx.cov(2)
+        if self._sen_samples >= 5:
+            self.ctx.cov(3)  # FIFO watermark reached
+        return self._sen_samples
+
+    @kapi(module="sensor", sites=8, args=[arg_int("channel", 0, 15)],
+          doc="Read a channel of the last fetched sample.")
+    def sensor_channel_get(self, channel: int) -> int:
+        if _state(self, "_sen_samples", 0) < 1:
+            self.ctx.cov(1)
+            return -1
+        if not 0 <= channel <= 5:
+            self.ctx.cov(2)
+            return -2
+        self.ctx.cov(3 + channel % 5)  # 3..7: per channel
+        return (self._sen_samples * 37 + channel) & 0x7FFF
+
+
+class MtdLadder:
+    """A raw MTD flash character driver (NuttX flavour).
+
+    open -> erase(sector) -> write -> verify -> close
+    """
+
+    def _ladder_reset(self) -> None:
+        """Driver session teardown (agent re-init between test cases)."""
+        self._mtd_stage = 0
+        self._mtd_erased = set()
+        self._mtd_written = {}
+
+    @kapi(module="mtd", sites=5, doc="Open the MTD character device.")
+    def mtd_open(self) -> int:
+        _state(self, "_mtd_stage", 0)
+        self._mtd_stage = 1
+        self._mtd_erased = set()
+        self._mtd_written = {}
+        self.ctx.cov(1)
+        return 0
+
+    @kapi(module="mtd", sites=7, args=[arg_int("sector", 0, 31)],
+          doc="Erase one of eight sectors.")
+    def mtd_erase(self, sector: int) -> int:
+        if _state(self, "_mtd_stage", 0) < 1:
+            self.ctx.cov(1)
+            return -1
+        if sector >= 8:
+            self.ctx.cov(2)
+            return -2
+        self._mtd_erased.add(sector)
+        self._mtd_written.pop(sector, None)
+        self.ctx.cov(3)
+        if len(self._mtd_erased) >= 4:
+            self.ctx.cov(4)  # bulk-erase pattern
+        return 0
+
+    @kapi(module="mtd", sites=8,
+          args=[arg_int("sector", 0, 31), arg_buf("data", 64)],
+          doc="Program an erased sector.")
+    def mtd_write(self, sector: int, data: bytes) -> int:
+        if _state(self, "_mtd_stage", 0) < 1:
+            self.ctx.cov(1)
+            return -1
+        if sector not in _state(self, "_mtd_erased", set()):
+            self.ctx.cov(2)
+            return -2  # program-before-erase rejected
+        self._mtd_written[sector] = bytes(data)
+        self._mtd_erased.discard(sector)
+        self.ctx.cov(3)
+        if len(data) >= 48:
+            self.ctx.cov(4)  # near-full page program
+        return len(data)
+
+    @kapi(module="mtd", sites=7, args=[arg_int("sector", 0, 31)],
+          doc="Verify a programmed sector.")
+    def mtd_verify(self, sector: int) -> int:
+        written = _state(self, "_mtd_written", {})
+        if sector not in written:
+            self.ctx.cov(1)
+            return -1
+        self.ctx.cov(2)
+        if len(written) >= 3:
+            self.ctx.cov(3)  # multi-sector transaction verified
+        return len(written[sector])
+
+    @kapi(module="mtd", sites=5, doc="Close the device.")
+    def mtd_close(self) -> int:
+        if _state(self, "_mtd_stage", 0) < 1:
+            self.ctx.cov(1)
+            return -1
+        if _state(self, "_mtd_written", {}):
+            self.ctx.cov(2)  # close with committed data
+        self._mtd_stage = 0
+        return 0

@@ -1,0 +1,367 @@
+"""An embedded command shell (FinSH / NSH / Zephyr-shell flavour).
+
+Every kernel in our catalog ships a little console interpreter in real
+life; it is also the classic deep-parse surface: commands are only
+reachable through exact tokens, sub-commands through more tokens, and
+argument handling branches on value shapes.  Discovery is therefore
+*compositional* — a fuzzer that retains "``set`` parsed" can extend it to
+"``set key``" and then "``set key value``", while independent random
+sampling has to get the whole line right at once.
+
+The interpreter supports quoting, ``;``-chained commands, decimal/hex
+argument parsing, an environment store, a tiny virtual file table and a
+handful of device toggles.  All state lives per shell *session*, which is
+reopened by the agent between test cases.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.oses.common.api import arg_str, kapi
+
+MAX_LINE = 96
+MAX_TOKENS = 8
+MAX_ENV = 8
+
+VIRTUAL_FILES = {
+    "boot.cfg": b"console=uart0 loglevel=3",
+    "version": b"repro-build",
+    "motd": b"welcome to the repro shell",
+}
+
+
+class ShellInterpreter:
+    """Console interpreter mixin (state is reset per test case by the
+    agent's re-init hook, like every other driver session)."""
+
+    SHELL_PROMPT = "sh"
+
+    # -- session state ------------------------------------------------------
+
+    def _shell_state(self) -> dict:
+        if not hasattr(self, "_sh"):
+            self._sh = {"env": {}, "led": 0, "loglevel": 3, "ifup": False,
+                        "history": 0}
+        return self._sh
+
+    def _shell_reset(self) -> None:
+        if hasattr(self, "_sh"):
+            del self._sh
+
+    # -- tokenizer --------------------------------------------------------------
+
+    def _shell_tokenize(self, line: str) -> List[str]:
+        tokens: List[str] = []
+        current: List[str] = []
+        in_quote = False
+        for char in line:
+            if char == '"':
+                self.ctx.cov(1)
+                in_quote = not in_quote
+                continue
+            if char in " \t" and not in_quote:
+                if current:
+                    tokens.append("".join(current))
+                    current = []
+                continue
+            current.append(char)
+        if current:
+            tokens.append("".join(current))
+        if in_quote:
+            self.ctx.cov(2)
+            raise ValueError("unterminated quote")
+        if len(tokens) > MAX_TOKENS:
+            self.ctx.cov(3)
+            raise ValueError("too many tokens")
+        return tokens
+
+    @staticmethod
+    def _shell_int(token: str) -> int:
+        if token.startswith("0x") or token.startswith("0X"):
+            return int(token, 16)
+        return int(token)
+
+    # -- command handlers (each returns an int status) -----------------------------
+
+    def _sh_help(self, args: List[str]) -> int:
+        self.ctx.cov(10)
+        if args:
+            self.ctx.cov(11)  # help <command>
+            return 0 if args[0] in self._SHELL_COMMANDS else -1
+        self.ctx.kprintf(f"{self.SHELL_PROMPT}: "
+                         f"{len(self._SHELL_COMMANDS)} commands")
+        return 0
+
+    def _sh_echo(self, args: List[str]) -> int:
+        self.ctx.cov(12)
+        text = " ".join(args)
+        if len(text) > 32:
+            self.ctx.cov(13)
+        self.ctx.kprintf(text)
+        return len(text)
+
+    def _sh_set(self, args: List[str]) -> int:
+        state = self._shell_state()
+        if len(args) < 1:
+            self.ctx.cov(14)
+            return -1
+        if len(args) == 1:
+            self.ctx.cov(15)  # query form: set KEY
+            return 0 if args[0] in state["env"] else -1
+        key, value = args[0], args[1]
+        if not key or len(key) > 16:
+            self.ctx.cov(16)
+            return -1
+        if key in state["env"]:
+            self.ctx.cov(17)  # overwrite
+        elif len(state["env"]) >= MAX_ENV:
+            self.ctx.cov(18)
+            return -2
+        state["env"][key] = value
+        if value.isdigit():
+            self.ctx.cov(19)  # numeric values get range validation
+            if int(value) > 1000:
+                self.ctx.cov(20)
+        return 0
+
+    def _sh_unset(self, args: List[str]) -> int:
+        state = self._shell_state()
+        if not args:
+            self.ctx.cov(21)
+            return -1
+        if args[0] in state["env"]:
+            self.ctx.cov(22)
+            del state["env"][args[0]]
+            return 0
+        return -1
+
+    def _sh_env(self, args: List[str]) -> int:
+        state = self._shell_state()
+        self.ctx.cov(23)
+        if len(state["env"]) >= 4:
+            self.ctx.cov(24)  # a populated environment
+        return len(state["env"])
+
+    def _sh_led(self, args: List[str]) -> int:
+        state = self._shell_state()
+        if not args:
+            self.ctx.cov(25)
+            return state["led"]
+        if args[0] == "on":
+            self.ctx.cov(26)
+            state["led"] = 1
+        elif args[0] == "off":
+            self.ctx.cov(27)
+            state["led"] = 0
+        elif args[0] == "toggle":
+            self.ctx.cov(28)
+            state["led"] ^= 1
+        else:
+            self.ctx.cov(29)
+            return -1
+        return state["led"]
+
+    def _sh_log(self, args: List[str]) -> int:
+        state = self._shell_state()
+        if not args:
+            return state["loglevel"]
+        try:
+            level = self._shell_int(args[0])
+        except ValueError:
+            self.ctx.cov(30)
+            return -1
+        if not 0 <= level <= 5:
+            self.ctx.cov(31)
+            return -2
+        self.ctx.cov(32 + level)  # 32..37: per log level
+        state["loglevel"] = level
+        return level
+
+    def _sh_cat(self, args: List[str]) -> int:
+        if not args:
+            self.ctx.cov(38)
+            return -1
+        payload = VIRTUAL_FILES.get(args[0])
+        if payload is None:
+            self.ctx.cov(39)
+            return -2
+        self.ctx.cov(40 + sorted(VIRTUAL_FILES).index(args[0]))  # 40..42
+        self.ctx.kprintf(payload.decode("latin1"))
+        return len(payload)
+
+    def _sh_hexdump(self, args: List[str]) -> int:
+        if len(args) < 2:
+            self.ctx.cov(43)
+            return -1
+        try:
+            offset = self._shell_int(args[0])
+            length = self._shell_int(args[1])
+        except ValueError:
+            self.ctx.cov(44)
+            return -2
+        if not 0 <= length <= 64:
+            self.ctx.cov(45)
+            return -3
+        base = self.ctx.layout.kernel_heap_base
+        if offset < 0 or offset + length > self.ctx.layout.kernel_heap_size:
+            self.ctx.cov(46)
+            return -4
+        self.ctx.ram.read(base + offset, max(length, 1))
+        self.ctx.cov(47)
+        self.ctx.cycles(length)
+        return length
+
+    def _sh_ifconfig(self, args: List[str]) -> int:
+        state = self._shell_state()
+        if not args:
+            return 1 if state["ifup"] else 0
+        if args[0] == "up":
+            self.ctx.cov(48)
+            if state["ifup"]:
+                self.ctx.cov(49)  # already up
+            state["ifup"] = True
+        elif args[0] == "down":
+            self.ctx.cov(50)
+            state["ifup"] = False
+        else:
+            return -1
+        return 0
+
+    def _sh_ps(self, args: List[str]) -> int:
+        self.ctx.cov(51)
+        self.ctx.cycles(30)
+        return 0
+
+    def _sh_free(self, args: List[str]) -> int:
+        self.ctx.cov(52)
+        return 0
+
+    def _sh_config(self, args: List[str]) -> int:
+        """``config <net|can|log> <get|set|reset> [param] [value]``."""
+        state = self._shell_state()
+        if not args:
+            self.ctx.cov(53)
+            return -1
+        domains = {"net": ("mtu", "dhcp", "mac"),
+                   "can": ("baud", "mode"),
+                   "log": ("sink", "color")}
+        if args[0] not in domains:
+            self.ctx.cov(54)
+            return -2
+        dom_index = sorted(domains).index(args[0])
+        if len(args) < 2:
+            return -1
+        store = state.setdefault("cfg", {})
+        if args[1] == "get":
+            self.ctx.cov(55)
+            if len(args) < 3 or args[2] not in domains[args[0]]:
+                return -3
+            return 1 if (args[0], args[2]) in store else 0
+        if args[1] == "reset":
+            self.ctx.cov(56)
+            removed = [k for k in store if k[0] == args[0]]
+            for key in removed:
+                del store[key]
+            if removed:
+                self.ctx.cov(57)
+            return len(removed)
+        if args[1] == "set":
+            if len(args) < 4:
+                self.ctx.cov(58)
+                return -4
+            if args[2] not in domains[args[0]]:
+                return -5
+            self.ctx.cov(59 + dom_index)  # 59..61: per domain set
+            store[(args[0], args[2])] = args[3]
+            if len(store) >= 4:
+                self.ctx.cov(62)  # a well-populated configuration
+            return 0
+        return -6
+
+    def _sh_test(self, args: List[str]) -> int:
+        """``test <heap|sched|ipc|all>`` — run a named self-test."""
+        suites = ("heap", "sched", "ipc", "timer")
+        if not args:
+            self.ctx.cov(63)
+            return -1
+        if args[0] == "all":
+            self.ctx.cov(64)
+            self.ctx.cycles(120)
+            return len(suites)
+        if args[0] not in suites:
+            return -2
+        self.ctx.cov(65)
+        self.ctx.cycles(40)
+        state = self._shell_state()
+        ran = state.setdefault("tests_run", set())
+        ran.add(args[0])
+        if len(ran) >= 3:
+            self.ctx.cov(66)  # most suites exercised in one session
+        return 1
+
+    def _shell_expand(self, token: str) -> str:
+        """``$NAME`` expands from the session environment."""
+        if not token.startswith("$") or len(token) < 2:
+            return token
+        self.ctx.cov(67)
+        value = self._shell_state()["env"].get(token[1:])
+        if value is None:
+            return ""
+        self.ctx.cov(68)  # a successful expansion: set must come first
+        return value
+
+    @property
+    def _SHELL_COMMANDS(self) -> Dict[str, object]:
+        return {
+            "help": self._sh_help, "echo": self._sh_echo,
+            "set": self._sh_set, "unset": self._sh_unset,
+            "env": self._sh_env, "led": self._sh_led,
+            "log": self._sh_log, "cat": self._sh_cat,
+            "hexdump": self._sh_hexdump, "ifconfig": self._sh_ifconfig,
+            "ps": self._sh_ps, "free": self._sh_free,
+            "config": self._sh_config, "test": self._sh_test,
+        }
+
+    # -- entry point -------------------------------------------------------------------
+
+    @kapi(module="shell", sites=72,
+          args=[arg_str("line", MAX_LINE,
+                        candidates=("help", "ps", "free", "env"))],
+          doc="Execute one console line (';'-chained commands supported).")
+    def shell_execute(self, line: bytes) -> int:
+        text = line.decode("latin1", "replace").rstrip("\x00")
+        if len(text) > MAX_LINE:
+            self.ctx.cov(4)
+            return -1
+        state = self._shell_state()
+        state["history"] += 1
+        if state["history"] >= 4:
+            self.ctx.cov(5)  # busy session
+        status = 0
+        segments = text.split(";")
+        if len(segments) > 1:
+            self.ctx.cov(6)  # chained commands
+        for segment in segments[:4]:
+            segment = segment.strip()
+            if not segment:
+                self.ctx.cov(7)
+                continue
+            try:
+                tokens = self._shell_tokenize(segment)
+            except ValueError:
+                status = -1
+                continue
+            if not tokens:
+                continue
+            handler = self._SHELL_COMMANDS.get(tokens[0])
+            if handler is None:
+                self.ctx.cov(8)
+                self.ctx.kprintf(f"{self.SHELL_PROMPT}: {tokens[0]}: "
+                                 f"command not found")
+                status = -1
+                continue
+            self.ctx.cov(9)
+            expanded = [self._shell_expand(token) for token in tokens[1:]]
+            status = handler(expanded)
+        return status

@@ -1,0 +1,22 @@
+"""Optional application components linkable into any kernel.
+
+These are the application-level fuzz targets of §5.4.2 (Table 4, Figure
+8): an HTTP server and a JSON codec, the two modules GDBFuzz/SHIFT are
+compared on.  They attach to whichever kernel the build config names —
+the paper runs them on FreeRTOS on an ESP32/STM32.
+"""
+
+from typing import Dict, Type
+
+from repro.oses.common.kernel import KernelComponent
+
+
+def component_registry() -> Dict[str, Type[KernelComponent]]:
+    """name -> component class registry (lazy to avoid import cycles)."""
+    from repro.oses.components.json_codec import JsonCodec
+    from repro.oses.components.http_server import HttpServer
+
+    return {
+        JsonCodec.NAME: JsonCodec,
+        HttpServer.NAME: HttpServer,
+    }

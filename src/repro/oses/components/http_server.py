@@ -1,0 +1,224 @@
+"""A small embedded HTTP/1.1 server component.
+
+The second Table 4 fuzz target.  Requests arrive as raw byte buffers
+through ``http_request_feed`` — the same entry point byte-buffer fuzzers
+(GDBFuzz/SHIFT) hammer — and flow through a branch-rich parser: request
+line, header loop with continuation and size limits, content-length body
+handling, routing, method checks and keep-alive accounting.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.oses.common.api import arg_buf, arg_int, kapi
+from repro.oses.common.kernel import KernelComponent
+
+MAX_REQUEST_LINE = 256
+MAX_HEADERS = 16
+MAX_HEADER_LINE = 128
+MAX_BODY = 1024
+
+METHODS = (b"GET", b"HEAD", b"POST", b"PUT", b"DELETE")
+ROUTES = (b"/", b"/index.html", b"/status", b"/api/led", b"/api/echo",
+          b"/api/config")
+
+
+class HttpServer(KernelComponent):
+    """Stateful HTTP request processor."""
+
+    NAME = "http"
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self.requests_served = 0
+        self.errors = 0
+        self.keep_alive_sessions = 0
+        self.led_state = 0
+        self.config_kv: Dict[bytes, bytes] = {}
+
+    def on_boot(self) -> None:
+        self.ctx.kprintf("http server listening (virtual port 80)")
+
+    # -- parsing helpers --------------------------------------------------------
+
+    def _parse_request_line(self, line: bytes) -> Tuple[int, bytes, bytes]:
+        """Returns (status, method, path); status 0 means OK."""
+        if len(line) > MAX_REQUEST_LINE:
+            self.ctx.cov(1)
+            return 414, b"", b""
+        parts = line.split(b" ")
+        if len(parts) != 3:
+            self.ctx.cov(2)
+            return 400, b"", b""
+        method, path, version = parts
+        if method not in METHODS:
+            self.ctx.cov(3)
+            return 405, b"", b""
+        if not version.startswith(b"HTTP/1."):
+            self.ctx.cov(4)
+            return 505, b"", b""
+        if not path.startswith(b"/"):
+            self.ctx.cov(5)
+            return 400, b"", b""
+        self.ctx.cov(16 + METHODS.index(method))  # 16..20: per method
+        return 0, method, path
+
+    def _parse_headers(self, lines: List[bytes]) -> Tuple[int, Dict[bytes, bytes]]:
+        headers: Dict[bytes, bytes] = {}
+        for line in lines:
+            if len(line) > MAX_HEADER_LINE:
+                self.ctx.cov(6)
+                return 431, {}
+            if b":" not in line:
+                self.ctx.cov(7)
+                return 400, {}
+            name, _, value = line.partition(b":")
+            name = name.strip().lower()
+            if not name or any(c in b" \t" for c in name):
+                self.ctx.cov(8)
+                return 400, {}
+            if len(headers) >= MAX_HEADERS:
+                self.ctx.cov(9)
+                return 431, {}
+            known = (b"host", b"content-length", b"connection", b"expect",
+                     b"user-agent", b"accept")
+            if name in known:
+                self.ctx.cov(21 + known.index(name))  # 21..26: per header
+            headers[name] = value.strip()
+        return 0, headers
+
+    def _route(self, method: bytes, path: bytes, headers: Dict[bytes, bytes],
+               body: bytes) -> int:
+        if b"?" in path:
+            self.ctx.cov(36)
+        path = path.split(b"?")[0]
+        if path not in ROUTES:
+            self.ctx.cov(10)
+            return 404
+        self.ctx.cov(27 + ROUTES.index(path))  # 27..32: per route
+        if path in (b"/", b"/index.html"):
+            if method not in (b"GET", b"HEAD"):
+                self.ctx.cov(11)
+                return 405
+            return 200
+        if path == b"/status":
+            return 200
+        if path == b"/api/led":
+            if method != b"POST":
+                return 405
+            if body.strip() == b"on":
+                self.ctx.cov(12)
+                self.led_state = 1
+            elif body.strip() == b"off":
+                self.led_state = 0
+            else:
+                self.ctx.cov(13)
+                return 422
+            return 200
+        if path == b"/api/echo":
+            if method != b"POST":
+                return 405
+            self.ctx.cycles(len(body))
+            return 200 if body else 204
+        # /api/config : key=value pairs
+        if method == b"POST":
+            for pair in body.split(b"&"):
+                if b"=" not in pair:
+                    self.ctx.cov(14)
+                    return 400
+                key, _, value = pair.partition(b"=")
+                if len(self.config_kv) >= 8 and key not in self.config_kv:
+                    return 507
+                self.config_kv[key] = value
+            return 201
+        return 200
+
+    # -- APIs --------------------------------------------------------------------
+
+    @kapi(module="http", sites=44,
+          args=[arg_buf("data", 768, fmt="http_request")],
+          doc="Feed one raw request; returns the HTTP status code served.")
+    def http_request_feed(self, data: bytes) -> int:
+        status = self._process(data)
+        if 200 <= status < 300:
+            self.ctx.cov(33)
+        elif 400 <= status < 500:
+            self.ctx.cov(34)
+        elif status >= 500:
+            self.ctx.cov(35)
+        if status >= 400:
+            self.errors += 1
+        else:
+            self.requests_served += 1
+        return status
+
+    def _process(self, data: bytes) -> int:
+        if not data:
+            return 400
+        head, sep, body = data.partition(b"\r\n\r\n")
+        if not sep:
+            # Tolerate bare-LF clients, a classic embedded-server quirk.
+            head, sep, body = data.partition(b"\n\n")
+            if not sep:
+                self.ctx.cov(15)
+                head, body = data, b""
+        lines = head.replace(b"\r\n", b"\n").split(b"\n")
+        status, method, path = self._parse_request_line(lines[0])
+        if status:
+            return status
+        status, headers = self._parse_headers([l for l in lines[1:] if l])
+        if status:
+            return status
+        if b"content-length" in headers:
+            try:
+                length = int(headers[b"content-length"])
+            except ValueError:
+                return 400
+            if length < 0 or length > MAX_BODY:
+                return 413
+            if len(body) < length:
+                return 400  # truncated body
+            body = body[:length]
+        if body:
+            self.ctx.cov(37)
+        if headers.get(b"connection", b"").lower() == b"keep-alive":
+            self.ctx.cov(38)
+            self.keep_alive_sessions += 1
+        if headers.get(b"expect", b"") == b"100-continue":
+            self.ctx.cov(39)
+            self.ctx.cycles(10)
+        return self._route(method, path, headers, body)
+
+    @kapi(module="http", sites=4, doc="Requests served since boot.")
+    def http_stats(self) -> int:
+        return self.requests_served
+
+    @kapi(module="http", sites=4, doc="Reset all server state.")
+    def http_reset(self) -> int:
+        self.requests_served = 0
+        self.errors = 0
+        self.keep_alive_sessions = 0
+        self.led_state = 0
+        self.config_kv.clear()
+        return 0
+
+    @kapi(module="http", sites=10, pseudo=True,
+          args=[arg_int("n", 1, 8), arg_int("kind", 0, 5)],
+          doc="Drive a canned client session of n requests.")
+    def syz_http_session(self, n: int, kind: int) -> int:
+        requests = [
+            b"GET / HTTP/1.1\r\nhost: dev\r\n\r\n",
+            b"GET /status HTTP/1.1\r\nconnection: keep-alive\r\n\r\n",
+            b"POST /api/led HTTP/1.1\r\ncontent-length: 2\r\n\r\non",
+            b"POST /api/echo HTTP/1.1\r\ncontent-length: 5\r\n\r\nhello",
+            b"POST /api/config HTTP/1.1\r\ncontent-length: 7\r\n\r\nled=off",
+            b"DELETE /api/config HTTP/1.1\r\n\r\n",
+        ]
+        good = 0
+        for i in range(n):
+            status = self.http_request_feed(requests[(kind + i) % len(requests)])
+            if status < 400:
+                self.ctx.cov(1)
+                good += 1
+        return good

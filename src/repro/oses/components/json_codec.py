@@ -1,0 +1,371 @@
+"""A cJSON-flavoured JSON codec component.
+
+A from-scratch recursive-descent parser and encoder over raw bytes —
+the classic embedded JSON library shape: bounded nesting, no floats
+beyond simple decimals, handle-based document management.  This is one of
+the two modules instrumented for the Table 4 comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple, Union
+
+from repro.oses.common.api import arg_buf, arg_int, arg_res, kapi
+from repro.oses.common.kernel import KernelComponent
+
+MAX_DEPTH = 8
+MAX_STRING = 256
+
+JSON_NULL = 0
+JSON_BOOL = 1
+JSON_NUMBER = 2
+JSON_STRING = 3
+JSON_ARRAY = 4
+JSON_OBJECT = 5
+
+JsonValue = Union[None, bool, int, str, list, dict]
+
+
+class _ParseError(Exception):
+    """Internal: malformed input (maps to an error return, not a crash)."""
+
+
+class JsonCodec(KernelComponent):
+    """Handle-based JSON parse/encode APIs."""
+
+    NAME = "json"
+
+    def __init__(self, kernel):
+        super().__init__(kernel)
+        self.docs: Dict[int, JsonValue] = {}
+        self._next_doc = 1
+        self.parse_errors = 0
+
+    def on_boot(self) -> None:
+        self.ctx.kprintf("json codec ready (cJSON-compatible subset)")
+
+    # -- internals -----------------------------------------------------------
+
+    def _store(self, value: JsonValue) -> int:
+        handle = self._next_doc
+        self._next_doc += 1
+        self.docs[handle] = value
+        return handle
+
+    def _parse_value(self, data: bytes, pos: int,
+                     depth: int) -> Tuple[JsonValue, int]:
+        if depth > MAX_DEPTH:
+            self.ctx.cov(1)
+            raise _ParseError("nesting too deep")
+        pos = self._skip_ws(data, pos)
+        if pos >= len(data):
+            raise _ParseError("unexpected end of input")
+        char = data[pos:pos + 1]
+        if char == b"{":
+            self.ctx.cov(2)
+            return self._parse_object(data, pos, depth)
+        if char == b"[":
+            self.ctx.cov(3)
+            return self._parse_array(data, pos, depth)
+        if char == b'"':
+            self.ctx.cov(4)
+            text, pos = self._parse_string(data, pos)
+            return text, pos
+        if data.startswith(b"true", pos):
+            self.ctx.cov(5)
+            return True, pos + 4
+        if data.startswith(b"false", pos):
+            self.ctx.cov(5)
+            return False, pos + 5
+        if data.startswith(b"null", pos):
+            self.ctx.cov(6)
+            return None, pos + 4
+        if (b"0" <= char <= b"9") or char == b"-":
+            self.ctx.cov(7)
+            return self._parse_number(data, pos)
+        raise _ParseError(f"unexpected byte at {pos}")
+
+    @staticmethod
+    def _skip_ws(data: bytes, pos: int) -> int:
+        while pos < len(data) and data[pos] in b" \t\r\n":
+            pos += 1
+        return pos
+
+    def _parse_string(self, data: bytes, pos: int) -> Tuple[str, int]:
+        pos += 1  # opening quote
+        out: List[str] = []
+        while pos < len(data):
+            byte = data[pos]
+            if byte == 0x22:  # closing quote
+                return "".join(out), pos + 1
+            if byte == 0x5C:  # backslash escape
+                self.ctx.cov(8)
+                if pos + 1 >= len(data):
+                    raise _ParseError("dangling escape")
+                esc = data[pos + 1]
+                mapping = {0x6E: "\n", 0x74: "\t", 0x72: "\r",
+                           0x22: '"', 0x5C: "\\", 0x2F: "/"}
+                if esc == 0x75:  # \uXXXX
+                    self.ctx.cov(33)
+                    if pos + 6 > len(data):
+                        raise _ParseError("short unicode escape")
+                    try:
+                        out.append(chr(int(data[pos + 2:pos + 6], 16)))
+                    except ValueError:
+                        raise _ParseError("bad unicode escape") from None
+                    pos += 6
+                    continue
+                if esc not in mapping:
+                    raise _ParseError("unknown escape")
+                out.append(mapping[esc])
+                pos += 2
+                continue
+            if byte < 0x20:
+                raise _ParseError("control byte in string")
+            if len(out) >= MAX_STRING:
+                self.ctx.cov(9)
+                raise _ParseError("string too long")
+            out.append(chr(byte))
+            pos += 1
+        raise _ParseError("unterminated string")
+
+    def _parse_number(self, data: bytes, pos: int) -> Tuple[int, int]:
+        start = pos
+        if pos < len(data) and data[pos] == 0x2D:
+            self.ctx.cov(34)
+            pos += 1
+        digits = 0
+        while pos < len(data) and 0x30 <= data[pos] <= 0x39:
+            pos += 1
+            digits += 1
+        if digits == 0:
+            raise _ParseError("bare minus")
+        if digits > 18:
+            raise _ParseError("number too long")
+        if digits > 9:
+            self.ctx.cov(35)
+        return int(data[start:pos]), pos
+
+    def _parse_array(self, data: bytes, pos: int,
+                     depth: int) -> Tuple[list, int]:
+        pos += 1
+        items: list = []
+        pos = self._skip_ws(data, pos)
+        if pos < len(data) and data[pos] == 0x5D:  # empty array
+            return items, pos + 1
+        while True:
+            value, pos = self._parse_value(data, pos, depth + 1)
+            items.append(value)
+            pos = self._skip_ws(data, pos)
+            if pos >= len(data):
+                raise _ParseError("unterminated array")
+            if data[pos] == 0x2C:
+                pos += 1
+                continue
+            if data[pos] == 0x5D:
+                return items, pos + 1
+            raise _ParseError("expected , or ] in array")
+
+    def _parse_object(self, data: bytes, pos: int,
+                      depth: int) -> Tuple[dict, int]:
+        pos += 1
+        obj: dict = {}
+        pos = self._skip_ws(data, pos)
+        if pos < len(data) and data[pos] == 0x7D:  # empty object
+            return obj, pos + 1
+        while True:
+            pos = self._skip_ws(data, pos)
+            if pos >= len(data) or data[pos] != 0x22:
+                raise _ParseError("object key must be a string")
+            key, pos = self._parse_string(data, pos)
+            pos = self._skip_ws(data, pos)
+            if pos >= len(data) or data[pos] != 0x3A:
+                raise _ParseError("missing colon")
+            value, pos = self._parse_value(data, pos + 1, depth + 1)
+            if key in obj:
+                self.ctx.cov(10)
+            obj[key] = value
+            pos = self._skip_ws(data, pos)
+            if pos >= len(data):
+                raise _ParseError("unterminated object")
+            if data[pos] == 0x2C:
+                pos += 1
+                continue
+            if data[pos] == 0x7D:
+                return obj, pos + 1
+            raise _ParseError("expected , or } in object")
+
+    def _encode(self, value: JsonValue, depth: int, pretty: bool) -> str:
+        if depth > MAX_DEPTH:
+            self.ctx.cov(11)
+            return "null"
+        if value is None:
+            return "null"
+        if isinstance(value, bool):
+            return "true" if value else "false"
+        if isinstance(value, int):
+            return str(value)
+        if isinstance(value, str):
+            escaped = value.replace("\\", "\\\\").replace('"', '\\"')
+            return f'"{escaped}"'
+        pad = "  " * (depth + 1) if pretty else ""
+        nl = "\n" if pretty else ""
+        if isinstance(value, list):
+            inner = f",{nl}".join(
+                pad + self._encode(v, depth + 1, pretty) for v in value)
+            return f"[{nl}{inner}{nl}{'  ' * depth if pretty else ''}]"
+        inner = f",{nl}".join(
+            f'{pad}"{k}":{self._encode(v, depth + 1, pretty)}'
+            for k, v in value.items())
+        return f"{{{nl}{inner}{nl}{'  ' * depth if pretty else ''}}}"
+
+    @staticmethod
+    def _depth_of(value: JsonValue) -> int:
+        if isinstance(value, list):
+            return 1 + max((JsonCodec._depth_of(v) for v in value), default=0)
+        if isinstance(value, dict):
+            return 1 + max((JsonCodec._depth_of(v) for v in value.values()),
+                           default=0)
+        return 0
+
+    # -- APIs -----------------------------------------------------------------
+
+    @kapi(module="json", sites=44,
+          args=[arg_buf("data", 512, fmt="json")], ret="jdoc",
+          doc="Parse a JSON document; returns a handle or 0 on error.")
+    def json_parse(self, data: bytes) -> int:
+        try:
+            value, pos = self._parse_value(data, 0, 0)
+        except _ParseError:
+            self.ctx.cov(12)
+            self.parse_errors += 1
+            return 0
+        pos = self._skip_ws(data, pos)
+        if pos != len(data):
+            self.ctx.cov(13)
+            self.parse_errors += 1
+            return 0  # trailing garbage
+        # Shape-classification sites: root type, nesting depth, sizes.
+        kinds = (type(None), bool, int, str, list, dict)
+        for index, kind in enumerate(kinds):
+            if isinstance(value, kind):
+                self.ctx.cov(16 + index)  # 16..21: per root type
+                break
+        depth = self._depth_of(value)
+        self.ctx.cov(22 + min(depth, 7))  # 22..29: per depth class
+        if isinstance(value, (list, dict)):
+            self.ctx.cov(30 if len(value) == 0 else
+                         31 if len(value) < 4 else 32)
+        return self._store(value)
+
+    @kapi(module="json", sites=5, args=[arg_res("doc", "jdoc")],
+          doc="Release a parsed document.")
+    def json_delete(self, doc: int) -> int:
+        if doc not in self.docs:
+            self.ctx.cov(1)
+            return -1
+        del self.docs[doc]
+        return 0
+
+    @kapi(module="json", sites=8, args=[arg_res("doc", "jdoc")],
+          doc="Type tag of a document's root value.")
+    def json_get_type(self, doc: int) -> int:
+        value = self.docs.get(doc)
+        if doc not in self.docs:
+            self.ctx.cov(1)
+            return -1
+        if value is None:
+            return JSON_NULL
+        if isinstance(value, bool):
+            self.ctx.cov(2)
+            return JSON_BOOL
+        if isinstance(value, int):
+            return JSON_NUMBER
+        if isinstance(value, str):
+            self.ctx.cov(3)
+            return JSON_STRING
+        if isinstance(value, list):
+            self.ctx.cov(4)
+            return JSON_ARRAY
+        return JSON_OBJECT
+
+    @kapi(module="json", sites=6, args=[arg_res("doc", "jdoc")],
+          doc="Number of children of an array/object root.")
+    def json_size(self, doc: int) -> int:
+        value = self.docs.get(doc)
+        if doc not in self.docs:
+            self.ctx.cov(1)
+            return -1
+        if isinstance(value, (list, dict)):
+            self.ctx.cov(2)
+            return len(value)
+        return 0
+
+    @kapi(module="json", sites=8,
+          args=[arg_res("doc", "jdoc"), arg_int("pretty", 0, 1)],
+          doc="Encode a document; returns the encoded length or -1.")
+    def json_encode(self, doc: int, pretty: int) -> int:
+        if doc not in self.docs:
+            self.ctx.cov(1)
+            return -1
+        text = self._encode(self.docs[doc], 0, bool(pretty))
+        self.ctx.cycles(len(text) // 2)
+        if len(text) > 4096:
+            self.ctx.cov(2)
+            return -2  # output buffer overflow (reported, not fatal)
+        return len(text)
+
+    @kapi(module="json", sites=8,
+          args=[arg_int("depth", 0, 10), arg_int("width", 0, 8)],
+          ret="jdoc", doc="Build a synthetic nested document.")
+    def json_create_object(self, depth: int, width: int) -> int:
+        if depth > MAX_DEPTH:
+            self.ctx.cov(1)
+            return 0
+        budget = [256]
+        fanout = max(min(width, 6), 1)
+
+        def build(level: int) -> JsonValue:
+            if level <= 0 or budget[0] <= 0:
+                return level
+            budget[0] -= fanout
+            return {f"k{i}": build(level - 1) for i in range(fanout)}
+        value = build(min(depth, MAX_DEPTH))
+        return self._store(value)
+
+    @kapi(module="json", sites=8,
+          args=[arg_res("a", "jdoc"), arg_res("b", "jdoc")], ret="jdoc",
+          doc="Merge two object documents (b's keys win).")
+    def json_merge(self, a: int, b: int) -> int:
+        left, right = self.docs.get(a), self.docs.get(b)
+        if a not in self.docs or b not in self.docs:
+            self.ctx.cov(1)
+            return 0
+        if not isinstance(left, dict) or not isinstance(right, dict):
+            self.ctx.cov(2)
+            return 0
+        merged = dict(left)
+        merged.update(right)
+        return self._store(merged)
+
+    @kapi(module="json", sites=10, pseudo=True,
+          args=[arg_int("depth", 0, 8), arg_int("width", 1, 6)],
+          doc="Round-trip: build, encode, re-parse and compare.")
+    def syz_json_roundtrip(self, depth: int, width: int) -> int:
+        doc = self.json_create_object(depth, width)
+        if not doc:
+            self.ctx.cov(1)
+            return -1
+        text = self._encode(self.docs[doc], 0, False).encode()
+        reparsed = self.json_parse(text)
+        if not reparsed:
+            self.ctx.cov(2)
+            return -2
+        same = self.docs[doc] == self.docs[reparsed]
+        self.json_delete(doc)
+        self.json_delete(reparsed)
+        if not same:
+            self.ctx.cov(3)
+            self.ctx.kprintf("json roundtrip mismatch")
+            return -3
+        return 0

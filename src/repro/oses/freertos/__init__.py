@@ -1,0 +1,9 @@
+"""FreeRTOS-flavoured kernel: tasks with tick-driven priority scheduling,
+queues (and the semaphores/mutexes built on them), event groups, software
+timers, stream buffers, and a heap_4-style first-fit coalescing allocator.
+"""
+
+from repro.oses.freertos.kernel import FreeRtosKernel
+from repro.oses.freertos.heap import Heap4
+
+__all__ = ["FreeRtosKernel", "Heap4"]

@@ -1,0 +1,182 @@
+"""heap_4: FreeRTOS's first-fit allocator with coalescing free blocks.
+
+The heap lives in a window of *simulated RAM bytes*; block headers are
+stored in that RAM, not in Python objects, so corruption by buggy kernel
+code produces the same downstream failures as on a real MCU (garbage
+sizes, broken free lists, bus faults).
+
+Block header layout (8 bytes, little-endian)::
+
+    u32 next_free    offset of the next free block (0 = end of list)
+    u32 size         block size in bytes incl. header; MSB set = allocated
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.hw.memory import Ram
+
+HEADER_SIZE = 8
+ALLOC_BIT = 0x8000_0000
+SIZE_MASK = 0x7FFF_FFFF
+ALIGNMENT = 8
+
+
+class Heap4:
+    """A heap_4-style allocator over ``ram[base, base+size)``.
+
+    Offsets used in headers are relative to ``base``; offset 0 is the
+    null sentinel, so the first usable block starts at ``ALIGNMENT``.
+    """
+
+    def __init__(self, ram: Ram, base: int, size: int):
+        if size < 4 * HEADER_SIZE:
+            raise ValueError("heap window too small")
+        self.ram = ram
+        self.base = base
+        self.size = size & ~(ALIGNMENT - 1)
+        self.free_bytes = 0
+        self.min_ever_free = 0
+        self.alloc_count = 0
+        self.free_count = 0
+        self._init_free_list()
+
+    # -- raw header access -----------------------------------------------------
+
+    def _read_header(self, off: int) -> Tuple[int, int]:
+        addr = self.base + off
+        next_free = self.ram.read_u32(addr)
+        size = self.ram.read_u32(addr + 4)
+        return next_free, size
+
+    def _write_header(self, off: int, next_free: int, size: int) -> None:
+        addr = self.base + off
+        self.ram.write_u32(addr, next_free)
+        self.ram.write_u32(addr + 4, size)
+
+    def _init_free_list(self) -> None:
+        # Offset 0 holds the list head pseudo-block; the single initial
+        # free block spans the rest of the window.
+        first = ALIGNMENT
+        span = self.size - first
+        self._write_header(0, first, 0)
+        self._write_header(first, 0, span)
+        self.free_bytes = span
+        self.min_ever_free = span
+
+    # -- public API ----------------------------------------------------------------
+
+    def malloc(self, want: int) -> int:
+        """Allocate ``want`` bytes; returns the payload's absolute RAM
+        address, or 0 on failure (exactly like ``pvPortMalloc``)."""
+        if want <= 0:
+            return 0
+        need = HEADER_SIZE + ((want + ALIGNMENT - 1) & ~(ALIGNMENT - 1))
+        if need > SIZE_MASK:
+            return 0
+        prev_off = 0
+        cur_off, _ = self._read_header(0)
+        while cur_off:
+            nxt, size = self._read_header(cur_off)
+            if size & ALLOC_BIT:
+                # Free-list corruption: an allocated block on the free
+                # list means someone scribbled on a header.
+                return 0
+            if size >= need:
+                remainder = size - need
+                if remainder >= HEADER_SIZE + ALIGNMENT:
+                    # Split: tail remains free.
+                    tail_off = cur_off + need
+                    self._write_header(tail_off, nxt, remainder)
+                    self._link_after(prev_off, tail_off)
+                    size = need
+                else:
+                    self._link_after(prev_off, nxt)
+                self._write_header(cur_off, 0, size | ALLOC_BIT)
+                self.free_bytes -= size
+                self.min_ever_free = min(self.min_ever_free, self.free_bytes)
+                self.alloc_count += 1
+                return self.base + cur_off + HEADER_SIZE
+            prev_off = cur_off
+            cur_off = nxt
+        return 0
+
+    def _link_after(self, prev_off: int, target_off: int) -> None:
+        nxt, size = self._read_header(prev_off)
+        self._write_header(prev_off, target_off, size)
+
+    def free(self, payload_addr: int) -> bool:
+        """Release an allocation; returns False on an obviously bad pointer
+        (returning rather than crashing mirrors configASSERT-less builds).
+        """
+        if payload_addr == 0:
+            return False
+        off = payload_addr - self.base - HEADER_SIZE
+        if off < ALIGNMENT or off >= self.size or off % ALIGNMENT != 0:
+            return False
+        _, size = self._read_header(off)
+        if not size & ALLOC_BIT:
+            return False  # double free or wild pointer
+        size &= SIZE_MASK
+        if size < HEADER_SIZE or off + size > self.size:
+            return False  # header corrupted
+        self.free_bytes += size
+        self.free_count += 1
+        self._insert_free_block(off, size)
+        return True
+
+    def _insert_free_block(self, off: int, size: int) -> None:
+        # Keep the free list address-ordered and coalesce both neighbours.
+        prev_off = 0
+        cur_off, _ = self._read_header(0)
+        while cur_off and cur_off < off:
+            prev_off = cur_off
+            cur_off, _ = self._read_header(cur_off)
+
+        merged_into_prev = False
+        if prev_off:
+            _, prev_size = self._read_header(prev_off)
+            if prev_off + (prev_size & SIZE_MASK) == off:
+                size += prev_size & SIZE_MASK
+                off = prev_off
+                merged_into_prev = True
+
+        if cur_off and off + size == cur_off:
+            cur_nxt, cur_size = self._read_header(cur_off)
+            size += cur_size & SIZE_MASK
+            cur_off = cur_nxt
+
+        self._write_header(off, cur_off, size)
+        if not merged_into_prev:
+            self._link_after(prev_off, off)
+
+    # -- introspection (tests / stats) -----------------------------------------------
+
+    def free_list(self) -> List[Tuple[int, int]]:
+        """(offset, size) of every free block, in list order."""
+        blocks = []
+        off, _ = self._read_header(0)
+        hops = 0
+        while off and hops < 1_000_000:
+            nxt, size = self._read_header(off)
+            blocks.append((off, size & SIZE_MASK))
+            off = nxt
+            hops += 1
+        return blocks
+
+    def check_invariants(self) -> Optional[str]:
+        """Return None if healthy, else a description of the violation."""
+        seen_end = 0
+        total_free = 0
+        for off, size in self.free_list():
+            if off < ALIGNMENT or off + size > self.size:
+                return f"free block out of window: off={off} size={size}"
+            if off < seen_end:
+                return f"free list not address ordered at off={off}"
+            seen_end = off + size
+            total_free += size
+        if total_free != self.free_bytes:
+            return (f"free byte accounting mismatch: "
+                    f"list={total_free} counter={self.free_bytes}")
+        return None

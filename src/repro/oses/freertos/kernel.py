@@ -1,0 +1,920 @@
+"""The FreeRTOS-flavoured kernel.
+
+Naming and semantics follow FreeRTOS: ``xTaskCreate`` with tick-driven
+priority scheduling, queues as the primitive under semaphores and
+mutexes, event groups, software timers and stream buffers, all allocating
+from a heap_4 instance that lives in simulated RAM.
+
+Injected bug (Table 2):
+
+* **#13** ``load_partitions()`` — a malformed read of the on-flash
+  partition table makes the loader "repair" a bogus entry by writing a
+  marker through a garbage address, corrupting the firmware image, then
+  panicking.  This is the bug that makes reboot insufficient and forces
+  EOF's reflash-based state restoration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.oses.common.api import (
+    arg_buf,
+    arg_int,
+    arg_res,
+    arg_str,
+    kapi,
+    kfunc,
+)
+from repro.oses.common.kernel import EmbeddedKernel
+from repro.oses.common.ladders import FlashStorageLadder
+from repro.oses.common.shell import ShellInterpreter
+from repro.oses.freertos.heap import Heap4
+
+pdPASS = 1
+pdFAIL = 0
+errQUEUE_FULL = 0
+errQUEUE_EMPTY = 0
+MAX_PRIORITY = 7
+MIN_STACK = 64
+BLOCK_FOREVER = 0xFFFF
+TICK_SLICE_CYCLES = 15
+
+
+class _Tcb:
+    """Task control block."""
+
+    KIND = "task"
+
+    def __init__(self, handle: int, name: str, stack_addr: int,
+                 stack_depth: int, priority: int, profile: int):
+        self.handle = handle
+        self.name = name
+        self.stack_addr = stack_addr
+        self.stack_depth = stack_depth
+        self.priority = priority
+        self.base_priority = priority
+        self.profile = profile
+        self.state = "ready"        # ready | delayed | suspended | deleted
+        self.wake_tick = 0
+        self.run_count = 0
+
+
+class _Queue:
+    """Queue control block; item storage lives in kernel RAM."""
+
+    KIND = "queue"
+
+    def __init__(self, handle: int, length: int, item_size: int,
+                 storage_addr: int):
+        self.handle = handle
+        self.length = length
+        self.item_size = item_size
+        self.storage_addr = storage_addr
+        self.count = 0
+        self.read_idx = 0
+        self.write_idx = 0
+        self.is_semaphore = False
+        self.is_mutex = False
+        self.mutex_holder: Optional[int] = None
+        self.recursion = 0
+
+
+class _EventGroup:
+    KIND = "egroup"
+
+    def __init__(self, handle: int):
+        self.handle = handle
+        self.bits = 0
+
+
+class _Timer:
+    KIND = "timer"
+
+    def __init__(self, handle: int, period: int, autoreload: bool,
+                 cb_profile: int):
+        self.handle = handle
+        self.period = period
+        self.autoreload = autoreload
+        self.cb_profile = cb_profile
+        self.expiry = 0
+        self.active = False
+        self.fire_count = 0
+
+
+class _StreamBuffer:
+    KIND = "sbuf"
+
+    def __init__(self, handle: int, addr: int, size: int, trigger: int):
+        self.handle = handle
+        self.addr = addr
+        self.size = size
+        self.trigger = trigger
+        self.head = 0
+        self.tail = 0
+        self.stored = 0
+
+
+class _HeapRef:
+    KIND = "mem"
+
+    def __init__(self, handle: int, addr: int, size: int):
+        self.handle = handle
+        self.addr = addr
+        self.size = size
+        self.freed = False
+
+
+class FreeRtosKernel(FlashStorageLadder, ShellInterpreter, EmbeddedKernel):
+    """FreeRTOS v10-flavoured kernel."""
+
+    NAME = "freertos"
+    VERSION = "v10.5-repro"
+    BOOT_BANNER = "FreeRTOS kernel booting (heap_4, preemptive, 8 prios)"
+    EXCEPTION_SYMBOL = "panic_handler"
+    SHELL_PROMPT = "cli"
+    ASSERT_LOG_FORMAT = "configASSERT failed: ({expr}) in {loc}"
+    PANIC_LOG_FORMAT = "FreeRTOS PANIC: {cause} ({detail})"
+
+    def __init__(self, ctx, config=None):
+        super().__init__(ctx, config)
+        self.heap: Optional[Heap4] = None
+        self.handles: Dict[int, object] = {}
+        self._next_handle = 1
+        self.tick_count = 0
+        self.current_task: Optional[_Tcb] = None
+        self.tasks: List[_Tcb] = []
+        self.timers: List[_Timer] = []
+        self.sys_event_group: Optional[_EventGroup] = None
+
+    # -- boot -----------------------------------------------------------------
+
+    def boot_os(self) -> None:
+        layout = self.ctx.layout
+        self.heap = Heap4(self.ctx.ram, layout.kernel_heap_base,
+                          layout.kernel_heap_size)
+        idle = self._new_task("IDLE", 128, 0, 0)
+        if idle is None:
+            self.ctx.panic("boot", "cannot allocate idle task")
+        self.current_task = idle
+        self.sys_event_group = self._register(_EventGroup(0))
+        self.ctx.kprintf("heap_4 initialised, idle task running")
+
+    # -- handle plumbing ----------------------------------------------------------
+
+    def _register(self, obj):
+        handle = self._next_handle
+        self._next_handle += 1
+        obj.handle = handle
+        self.handles[handle] = obj
+        return obj
+
+    def _lookup(self, handle: int, kind: str):
+        obj = self.handles.get(handle)
+        if obj is None or obj.KIND != kind:
+            return None
+        return obj
+
+    # -- scheduler core --------------------------------------------------------------
+
+    def _new_task(self, name: str, stack_depth: int, priority: int,
+                  profile: int) -> Optional[_Tcb]:
+        stack_addr = self.heap.malloc(stack_depth)
+        if stack_addr == 0:
+            return None
+        tcb = _Tcb(0, name, stack_addr, stack_depth, priority, profile)
+        self._register(tcb)
+        self.tasks.append(tcb)
+        # Stamp a stack canary at the far end.
+        self.ctx.ram.write_u32(stack_addr, 0xA5A5A5A5)
+        return tcb
+
+    @kfunc(module="sched", sites=10)
+    def vTaskSwitchContext(self) -> None:
+        """Pick the highest-priority ready task and give it a slice."""
+        best: Optional[_Tcb] = None
+        for tcb in self.tasks:
+            if tcb.state != "ready":
+                self.ctx.cov(1)
+                continue
+            if best is None or tcb.priority > best.priority:
+                self.ctx.cov(2)
+                best = tcb
+        if best is None:
+            self.ctx.cov(3)
+            return
+        if best is not self.current_task:
+            self.ctx.cov(4)
+            self.ctx.cycles(TICK_SLICE_CYCLES)  # context-switch cost
+        self.current_task = best
+        best.run_count += 1
+        self._run_task_slice(best)
+
+    def _run_task_slice(self, tcb: _Tcb) -> None:
+        if tcb.profile == 1:
+            self.ctx.cov(5)
+            self.ctx.cycles(30)
+        elif tcb.profile == 2:
+            self.ctx.cov(6)
+            # Touch the stack; verify the canary survived.
+            self.ctx.ram.write_u32(tcb.stack_addr + 8, self.tick_count)
+            if self.ctx.ram.read_u32(tcb.stack_addr) != 0xA5A5A5A5:
+                self.ctx.cov(7)
+                self.ctx.kprintf(f"stack corruption in task {tcb.name}")
+        elif tcb.profile == 3:
+            self.ctx.cov(8)
+            if self.sys_event_group is not None:
+                self.sys_event_group.bits |= 1 << (tcb.handle % 24)
+
+    @kfunc(module="sched", sites=8)
+    def xTaskIncrementTick(self) -> None:
+        """One tick: wake delayed tasks, expire timers."""
+        self.tick_count += 1
+        for tcb in self.tasks:
+            if tcb.state == "delayed" and tcb.wake_tick <= self.tick_count:
+                self.ctx.cov(1)
+                tcb.state = "ready"
+        for timer in list(self.timers):
+            if timer.active and timer.expiry <= self.tick_count:
+                self.ctx.cov(2)
+                self._fire_timer(timer)
+
+    def _fire_timer(self, timer: _Timer) -> None:
+        timer.fire_count += 1
+        if timer.cb_profile == 1 and self.sys_event_group is not None:
+            self.ctx.cov(3)
+            self.sys_event_group.bits |= 0x100
+        elif timer.cb_profile == 2:
+            self.ctx.cov(4)
+            self.ctx.cycles(20)
+        if timer.autoreload:
+            self.ctx.cov(5)
+            timer.expiry = self.tick_count + timer.period
+        else:
+            timer.active = False
+
+    def idle_tick(self) -> None:
+        self.xTaskIncrementTick()
+        self.vTaskSwitchContext()
+
+    # -- exception entry (the symbol EOF breaks on) -------------------------------------
+
+    @kfunc(module="kernel", sites=4)
+    def panic_handler(self, signal) -> None:
+        """FreeRTOS fatal-error entry point."""
+        self._fatal_common(signal)
+
+    # ======================= task API =======================
+
+    @kapi(module="task", sites=12,
+          args=[arg_str("name", 12), arg_int("stack_depth", 32, 4096),
+                arg_int("priority", 0, 9), arg_int("profile", 0, 3)],
+          ret="task", doc="Create a task; returns its handle.")
+    def xTaskCreate(self, name: bytes, stack_depth: int, priority: int,
+                    profile: int) -> int:
+        if stack_depth < MIN_STACK:
+            self.ctx.cov(1)
+            return pdFAIL
+        if priority > MAX_PRIORITY:
+            self.ctx.cov(2)
+            priority = MAX_PRIORITY  # FreeRTOS silently clamps
+        tcb = self._new_task(name.decode("latin1")[:12] or "tsk",
+                             stack_depth, priority, profile % 4)
+        if tcb is None:
+            self.ctx.cov(3)
+            return pdFAIL
+        self.ctx.cov(4)
+        self.vTaskSwitchContext()
+        return tcb.handle
+
+    @kapi(module="task", sites=8, args=[arg_res("task", "task")],
+          doc="Delete a task and release its stack.")
+    def vTaskDelete(self, task: int) -> int:
+        tcb = self._lookup(task, "task")
+        if tcb is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        if tcb.name == "IDLE":
+            self.ctx.cov(2)
+            return pdFAIL  # the idle task may not be deleted
+        tcb.state = "deleted"
+        self.tasks.remove(tcb)
+        self.heap.free(tcb.stack_addr)
+        del self.handles[tcb.handle]
+        if self.current_task is tcb:
+            self.ctx.cov(3)
+            self.current_task = None
+            self.vTaskSwitchContext()
+        return pdPASS
+
+    @kapi(module="task", sites=6, args=[arg_int("ticks", 0, 100)],
+          doc="Block the calling task for a number of ticks.")
+    def vTaskDelay(self, ticks: int) -> int:
+        if ticks <= 0:
+            self.ctx.cov(1)
+            self.vTaskSwitchContext()
+            return pdPASS
+        if ticks > 1000:
+            self.ctx.cov(2)
+            # An absurd delay parks the system: a degraded state, not a bug.
+            self.ctx.stall("vTaskDelay parked the only runnable context")
+        for _ in range(min(ticks, 64)):
+            self.xTaskIncrementTick()
+        self.vTaskSwitchContext()
+        return pdPASS
+
+    @kapi(module="task", sites=6,
+          args=[arg_res("task", "task"), arg_int("priority", 0, 9)],
+          doc="Change a task's priority.")
+    def vTaskPrioritySet(self, task: int, priority: int) -> int:
+        tcb = self._lookup(task, "task")
+        if tcb is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        tcb.priority = min(priority, MAX_PRIORITY)
+        self.ctx.cov(2)
+        self.vTaskSwitchContext()
+        return pdPASS
+
+    @kapi(module="task", sites=4, args=[arg_res("task", "task")],
+          doc="Read a task's priority.")
+    def uxTaskPriorityGet(self, task: int) -> int:
+        tcb = self._lookup(task, "task")
+        if tcb is None:
+            self.ctx.cov(1)
+            return -1
+        return tcb.priority
+
+    @kapi(module="task", sites=5, args=[arg_res("task", "task")],
+          doc="Suspend a task.")
+    def vTaskSuspend(self, task: int) -> int:
+        tcb = self._lookup(task, "task")
+        if tcb is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        if tcb.name == "IDLE":
+            self.ctx.cov(2)
+            return pdFAIL
+        tcb.state = "suspended"
+        self.vTaskSwitchContext()
+        return pdPASS
+
+    @kapi(module="task", sites=5, args=[arg_res("task", "task")],
+          doc="Resume a suspended task.")
+    def vTaskResume(self, task: int) -> int:
+        tcb = self._lookup(task, "task")
+        if tcb is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        if tcb.state == "suspended":
+            self.ctx.cov(2)
+            tcb.state = "ready"
+            self.vTaskSwitchContext()
+        return pdPASS
+
+    @kapi(module="task", sites=3, doc="Number of live tasks.")
+    def uxTaskGetNumberOfTasks(self) -> int:
+        return len(self.tasks)
+
+    @kapi(module="task", sites=4, doc="Current tick count.")
+    def xTaskGetTickCount(self) -> int:
+        return self.tick_count
+
+    @kapi(module="task", sites=6, doc="Print the task table to the console.")
+    def vTaskList(self) -> int:
+        for tcb in self.tasks:
+            self.ctx.cov(1)
+            self.ctx.kprintf(
+                f"  {tcb.name:<12} {tcb.state:<9} prio={tcb.priority} "
+                f"stack={tcb.stack_depth}")
+        return pdPASS
+
+    # ======================= queue API =======================
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_int("length", 0, 128), arg_int("item_size", 0, 256)],
+          ret="queue", doc="Create a queue.")
+    def xQueueCreate(self, length: int, item_size: int) -> int:
+        if length <= 0 or item_size <= 0:
+            self.ctx.cov(1)
+            return 0
+        storage = self.heap.malloc(length * item_size)
+        if storage == 0:
+            self.ctx.cov(2)
+            return 0
+        queue = self._register(_Queue(0, length, item_size, storage))
+        self.ctx.cov(3)
+        return queue.handle
+
+    @kapi(module="ipc", sites=6, args=[arg_res("queue", "queue")],
+          doc="Delete a queue and release its storage.")
+    def vQueueDelete(self, queue: int) -> int:
+        q = self._lookup(queue, "queue")
+        if q is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        self.heap.free(q.storage_addr)
+        del self.handles[q.handle]
+        return pdPASS
+
+    @kapi(module="ipc", sites=10,
+          args=[arg_res("queue", "queue"), arg_buf("data", 256),
+                arg_int("ticks", 0, 50)],
+          doc="Send an item to the back of a queue.")
+    def xQueueSend(self, queue: int, data: bytes, ticks: int) -> int:
+        q = self._lookup(queue, "queue")
+        if q is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        if q.count >= q.length:
+            self.ctx.cov(2)
+            if ticks > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("xQueueSend blocked forever on a full queue")
+            return errQUEUE_FULL
+        payload = data[:q.item_size].ljust(q.item_size, b"\x00")
+        slot = q.storage_addr + q.write_idx * q.item_size
+        self.ctx.ram.write(slot, payload)
+        q.write_idx = (q.write_idx + 1) % q.length
+        q.count += 1
+        self.ctx.cov(4)
+        if q.count == q.length and q.length >= 8:
+            self.ctx.cov(5)  # a long queue filled to the brim
+            if q.item_size >= 64:
+                self.ctx.cov(6)  # ... with large items (copy-path stress)
+        self.vTaskSwitchContext()
+        return pdPASS
+
+    @kapi(module="ipc", sites=10,
+          args=[arg_res("queue", "queue"), arg_int("ticks", 0, 50)],
+          doc="Receive the item at the front of a queue.")
+    def xQueueReceive(self, queue: int, ticks: int) -> int:
+        q = self._lookup(queue, "queue")
+        if q is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        if q.count == 0:
+            self.ctx.cov(2)
+            if ticks > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("xQueueReceive blocked forever on empty queue")
+            return errQUEUE_EMPTY
+        slot = q.storage_addr + q.read_idx * q.item_size
+        self.ctx.ram.read(slot, q.item_size)
+        q.read_idx = (q.read_idx + 1) % q.length
+        q.count -= 1
+        self.ctx.cov(4)
+        return pdPASS
+
+    @kapi(module="ipc", sites=6, args=[arg_res("queue", "queue")],
+          doc="Peek the front item without removing it.")
+    def xQueuePeek(self, queue: int) -> int:
+        q = self._lookup(queue, "queue")
+        if q is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        if q.count == 0:
+            self.ctx.cov(2)
+            return errQUEUE_EMPTY
+        self.ctx.ram.read(q.storage_addr + q.read_idx * q.item_size,
+                          q.item_size)
+        return pdPASS
+
+    @kapi(module="ipc", sites=4, args=[arg_res("queue", "queue")],
+          doc="Number of items waiting in a queue.")
+    def uxQueueMessagesWaiting(self, queue: int) -> int:
+        q = self._lookup(queue, "queue")
+        if q is None:
+            self.ctx.cov(1)
+            return -1
+        return q.count
+
+    # ======================= semaphore API =======================
+
+    def _make_semaphore(self, length: int, initial: int,
+                        mutex: bool) -> int:
+        storage = self.heap.malloc(max(length, 1))
+        if storage == 0:
+            return 0
+        q = self._register(_Queue(0, length, 1, storage))
+        q.is_semaphore = True
+        q.is_mutex = mutex
+        q.count = initial
+        return q.handle
+
+    @kapi(module="ipc", sites=5, ret="sem",
+          doc="Create a binary semaphore (initially empty).")
+    def xSemaphoreCreateBinary(self) -> int:
+        return self._make_semaphore(1, 0, mutex=False)
+
+    @kapi(module="ipc", sites=6,
+          args=[arg_int("max_count", 1, 64), arg_int("initial", 0, 64)],
+          ret="sem", doc="Create a counting semaphore.")
+    def xSemaphoreCreateCounting(self, max_count: int, initial: int) -> int:
+        if initial > max_count:
+            self.ctx.cov(1)
+            return 0
+        return self._make_semaphore(max_count, initial, mutex=False)
+
+    @kapi(module="ipc", sites=5, ret="sem",
+          doc="Create a mutex (initially available).")
+    def xSemaphoreCreateMutex(self) -> int:
+        return self._make_semaphore(1, 1, mutex=True)
+
+    @kapi(module="ipc", sites=10,
+          args=[arg_res("sem", "sem"), arg_int("ticks", 0, 50)],
+          doc="Take a semaphore or lock a mutex.")
+    def xSemaphoreTake(self, sem: int, ticks: int) -> int:
+        q = self._lookup(sem, "queue")
+        if q is None or not q.is_semaphore:
+            self.ctx.cov(1)
+            return pdFAIL
+        if q.count == 0:
+            self.ctx.cov(2)
+            if q.is_mutex and q.mutex_holder == (
+                    self.current_task.handle if self.current_task else 0):
+                self.ctx.cov(3)
+                q.recursion += 1  # recursive take by the holder
+                if q.recursion >= 3:
+                    self.ctx.cov(6)  # deep recursion path
+                return pdPASS
+            if ticks > 1000:
+                self.ctx.cov(4)
+                self.ctx.stall("xSemaphoreTake blocked forever")
+            return pdFAIL
+        q.count -= 1
+        if q.is_mutex:
+            self.ctx.cov(5)
+            q.mutex_holder = (self.current_task.handle
+                              if self.current_task else 0)
+        return pdPASS
+
+    @kapi(module="ipc", sites=8, args=[arg_res("sem", "sem")],
+          doc="Give a semaphore or unlock a mutex.")
+    def xSemaphoreGive(self, sem: int) -> int:
+        q = self._lookup(sem, "queue")
+        if q is None or not q.is_semaphore:
+            self.ctx.cov(1)
+            return pdFAIL
+        if q.is_mutex and q.recursion > 0:
+            self.ctx.cov(2)
+            q.recursion -= 1
+            return pdPASS
+        if q.count >= q.length:
+            self.ctx.cov(3)
+            return pdFAIL  # giving a full semaphore
+        q.count += 1
+        if q.is_mutex:
+            self.ctx.cov(4)
+            q.mutex_holder = None
+        self.vTaskSwitchContext()
+        return pdPASS
+
+    @kapi(module="ipc", sites=4, args=[arg_res("sem", "sem")],
+          doc="Delete a semaphore.")
+    def vSemaphoreDelete(self, sem: int) -> int:
+        return self.vQueueDelete(sem)
+
+    # ======================= event group API =======================
+
+    @kapi(module="event", sites=4, ret="egroup", doc="Create an event group.")
+    def xEventGroupCreate(self) -> int:
+        return self._register(_EventGroup(0)).handle
+
+    @kapi(module="event", sites=6,
+          args=[arg_res("egroup", "egroup"), arg_int("bits", 0, 0xFFFFFF)],
+          doc="Set bits in an event group.")
+    def xEventGroupSetBits(self, egroup: int, bits: int) -> int:
+        eg = self._lookup(egroup, "egroup")
+        if eg is None:
+            self.ctx.cov(1)
+            return 0
+        eg.bits |= bits & 0xFFFFFF
+        self.ctx.cov(2)
+        return eg.bits
+
+    @kapi(module="event", sites=5,
+          args=[arg_res("egroup", "egroup"), arg_int("bits", 0, 0xFFFFFF)],
+          doc="Clear bits in an event group.")
+    def xEventGroupClearBits(self, egroup: int, bits: int) -> int:
+        eg = self._lookup(egroup, "egroup")
+        if eg is None:
+            self.ctx.cov(1)
+            return 0
+        old = eg.bits
+        eg.bits &= ~bits
+        return old
+
+    @kapi(module="event", sites=10,
+          args=[arg_res("egroup", "egroup"), arg_int("bits", 1, 0xFFFFFF),
+                arg_int("clear_on_exit", 0, 1), arg_int("wait_all", 0, 1),
+                arg_int("ticks", 0, 50)],
+          doc="Wait for bits in an event group.")
+    def xEventGroupWaitBits(self, egroup: int, bits: int, clear_on_exit: int,
+                            wait_all: int, ticks: int) -> int:
+        eg = self._lookup(egroup, "egroup")
+        if eg is None:
+            self.ctx.cov(1)
+            return 0
+        satisfied = ((eg.bits & bits) == bits if wait_all
+                     else (eg.bits & bits) != 0)
+        if not satisfied:
+            self.ctx.cov(2)
+            if ticks > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("xEventGroupWaitBits blocked forever")
+            for _ in range(min(ticks, 16)):
+                self.xTaskIncrementTick()
+            satisfied = ((eg.bits & bits) == bits if wait_all
+                         else (eg.bits & bits) != 0)
+        result = eg.bits
+        if satisfied and wait_all and bin(bits).count("1") >= 4:
+            self.ctx.cov(5)  # wide AND-wait actually satisfied
+        if satisfied and clear_on_exit:
+            self.ctx.cov(4)
+            eg.bits &= ~bits
+        return result
+
+    @kapi(module="event", sites=4, args=[arg_res("egroup", "egroup")],
+          doc="Delete an event group.")
+    def vEventGroupDelete(self, egroup: int) -> int:
+        eg = self._lookup(egroup, "egroup")
+        if eg is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        del self.handles[eg.handle]
+        return pdPASS
+
+    # ======================= timer API =======================
+
+    @kapi(module="timer", sites=6,
+          args=[arg_int("period", 0, 200), arg_int("autoreload", 0, 1),
+                arg_int("cb_profile", 0, 2)],
+          ret="timer", doc="Create a software timer.")
+    def xTimerCreate(self, period: int, autoreload: int,
+                     cb_profile: int) -> int:
+        if period <= 0:
+            self.ctx.cov(1)
+            return 0
+        timer = _Timer(0, period, bool(autoreload), cb_profile)
+        self._register(timer)
+        self.timers.append(timer)
+        return timer.handle
+
+    @kapi(module="timer", sites=5, args=[arg_res("timer", "timer")],
+          doc="Start (arm) a timer.")
+    def xTimerStart(self, timer: int) -> int:
+        t = self._lookup(timer, "timer")
+        if t is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        t.active = True
+        t.expiry = self.tick_count + t.period
+        return pdPASS
+
+    @kapi(module="timer", sites=5, args=[arg_res("timer", "timer")],
+          doc="Stop a timer.")
+    def xTimerStop(self, timer: int) -> int:
+        t = self._lookup(timer, "timer")
+        if t is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        t.active = False
+        return pdPASS
+
+    @kapi(module="timer", sites=6,
+          args=[arg_res("timer", "timer"), arg_int("period", 1, 200)],
+          doc="Change a timer's period.")
+    def xTimerChangePeriod(self, timer: int, period: int) -> int:
+        t = self._lookup(timer, "timer")
+        if t is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        t.period = max(period, 1)
+        if t.active:
+            self.ctx.cov(2)
+            t.expiry = self.tick_count + t.period
+        return pdPASS
+
+    @kapi(module="timer", sites=5, args=[arg_res("timer", "timer")],
+          doc="Delete a timer.")
+    def xTimerDelete(self, timer: int) -> int:
+        t = self._lookup(timer, "timer")
+        if t is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        self.timers.remove(t)
+        del self.handles[t.handle]
+        return pdPASS
+
+    # ======================= stream buffer API =======================
+
+    @kapi(module="stream", sites=6,
+          args=[arg_int("size", 16, 1024), arg_int("trigger", 1, 64)],
+          ret="sbuf", doc="Create a stream buffer.")
+    def xStreamBufferCreate(self, size: int, trigger: int) -> int:
+        if trigger > size:
+            self.ctx.cov(1)
+            return 0
+        addr = self.heap.malloc(size)
+        if addr == 0:
+            self.ctx.cov(2)
+            return 0
+        sbuf = self._register(_StreamBuffer(0, addr, size, trigger))
+        return sbuf.handle
+
+    @kapi(module="stream", sites=8,
+          args=[arg_res("sbuf", "sbuf"), arg_buf("data", 512)],
+          doc="Write bytes into a stream buffer.")
+    def xStreamBufferSend(self, sbuf: int, data: bytes) -> int:
+        sb = self._lookup(sbuf, "sbuf")
+        if sb is None:
+            self.ctx.cov(1)
+            return 0
+        room = sb.size - sb.stored
+        chunk = data[:room]
+        for byte in chunk:
+            self.ctx.ram.write(sb.addr + sb.head, bytes([byte]))
+            sb.head = (sb.head + 1) % sb.size
+        sb.stored += len(chunk)
+        if chunk and sb.head <= sb.tail and sb.stored:
+            self.ctx.cov(4)  # write wrapped around the ring
+        if len(chunk) < len(data):
+            self.ctx.cov(2)
+        if sb.stored >= sb.trigger:
+            self.ctx.cov(3)
+            self.vTaskSwitchContext()
+        return len(chunk)
+
+    @kapi(module="stream", sites=7,
+          args=[arg_res("sbuf", "sbuf"), arg_int("maxlen", 1, 512)],
+          doc="Read up to maxlen bytes from a stream buffer.")
+    def xStreamBufferReceive(self, sbuf: int, maxlen: int) -> int:
+        sb = self._lookup(sbuf, "sbuf")
+        if sb is None:
+            self.ctx.cov(1)
+            return 0
+        take = min(maxlen, sb.stored)
+        if take == 0:
+            self.ctx.cov(2)
+            return 0
+        for _ in range(take):
+            self.ctx.ram.read(sb.addr + sb.tail, 1)
+            sb.tail = (sb.tail + 1) % sb.size
+        sb.stored -= take
+        return take
+
+    @kapi(module="stream", sites=4, args=[arg_res("sbuf", "sbuf")],
+          doc="Delete a stream buffer.")
+    def vStreamBufferDelete(self, sbuf: int) -> int:
+        sb = self._lookup(sbuf, "sbuf")
+        if sb is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        self.heap.free(sb.addr)
+        del self.handles[sb.handle]
+        return pdPASS
+
+    # ======================= heap API =======================
+
+    @kapi(module="heap", sites=5, args=[arg_int("size", 0, 8192)],
+          ret="mem", doc="Allocate from the FreeRTOS heap.")
+    def pvPortMalloc(self, size: int) -> int:
+        addr = self.heap.malloc(size)
+        if addr == 0:
+            self.ctx.cov(1)
+            return 0
+        ref = self._register(_HeapRef(0, addr, size))
+        return ref.handle
+
+    @kapi(module="heap", sites=6, args=[arg_res("mem", "mem")],
+          doc="Return an allocation to the heap.")
+    def vPortFree(self, mem: int) -> int:
+        ref = self._lookup(mem, "mem")
+        if ref is None:
+            self.ctx.cov(1)
+            return pdFAIL
+        if ref.freed:
+            self.ctx.cov(2)
+            return pdFAIL
+        ref.freed = True
+        self.heap.free(ref.addr)
+        return pdPASS
+
+    @kapi(module="heap", sites=3, doc="Bytes currently free in the heap.")
+    def xPortGetFreeHeapSize(self) -> int:
+        return self.heap.free_bytes
+
+    # ======================= partition loader (bug #13) =======================
+
+    @kapi(module="kernel", sites=12,
+          args=[arg_int("offset", 0, 4096), arg_int("max_entries", 1, 16)],
+          doc="(Re)load the on-flash partition table, ESP-IDF style.")
+    def load_partitions(self, offset: int, max_entries: int) -> int:
+        appfs_base = self.config.get("appfs_flash_addr", 0)
+        appfs_size = self.config.get("appfs_flash_size", 0)
+        if appfs_base == 0 or appfs_size == 0:
+            self.ctx.cov(1)
+            return pdFAIL
+        loaded = 0
+        for i in range(max_entries):
+            entry_off = offset + i * 16
+            if entry_off + 16 > appfs_size:
+                self.ctx.cov(2)
+                break
+            raw = self.ctx.flash.read(appfs_base + entry_off, 16)
+            magic = int.from_bytes(raw[0:2], "little")
+            ptype = raw[2]
+            addr = int.from_bytes(raw[4:8], "little")
+            if magic == 0x50AA:
+                self.ctx.cov(3)
+                loaded += 1
+                continue
+            if magic == 0xFFFF:
+                self.ctx.cov(4)
+                break  # erased flash: end of table
+            # --- Injected bug #13 ------------------------------------------
+            # A stale "backup" entry (type 0x7F, left at a misaligned spot
+            # by an old flasher) is only reachable through a misaligned
+            # offset.  The loader "repairs" it by stamping a marker at its
+            # recorded address — flash garbage — so the marker lands inside
+            # the kernel partition, corrupting the image, and then panics.
+            if offset % 16 != 0 and ptype == 0x7F:
+                self.ctx.cov(5)
+                kernel_addr = self.config.get("kernel_flash_addr", 0)
+                victim = kernel_addr + (addr % 512)
+                self.ctx.flash_raw_write(victim, b"\xde\xad\xbe\xef")
+                self.ctx.panic("partition table corrupt",
+                               f"bad entry type=0x{ptype:02x} "
+                               f"at offset {entry_off}")
+            self.ctx.cov(6)
+        self.ctx.cov(7)
+        return loaded
+
+    # ======================= pseudo syscalls =======================
+
+    @kapi(module="pseudo", sites=10, pseudo=True,
+          args=[arg_int("n_tasks", 1, 6), arg_int("prio_spread", 0, 7),
+                arg_int("delay", 0, 20)],
+          doc="Create a burst of tasks at spread priorities and let them run.")
+    def syz_task_storm(self, n_tasks: int, prio_spread: int,
+                       delay: int) -> int:
+        created = []
+        for i in range(n_tasks):
+            handle = self.xTaskCreate(b"storm", 128 + 32 * i,
+                                      (i * max(prio_spread, 1)) % 8, i % 4)
+            if handle:
+                self.ctx.cov(1)
+                created.append(handle)
+        self.vTaskDelay(delay)
+        for handle in created:
+            self.vTaskDelete(handle)
+        return len(created)
+
+    @kapi(module="pseudo", sites=10, pseudo=True,
+          args=[arg_int("qlen", 1, 16), arg_int("rounds", 1, 32)],
+          doc="Producer/consumer round-trips through a fresh queue.")
+    def syz_queue_pipeline(self, qlen: int, rounds: int) -> int:
+        queue = self.xQueueCreate(qlen, 8)
+        if not queue:
+            self.ctx.cov(1)
+            return pdFAIL
+        done = 0
+        for i in range(rounds):
+            if self.xQueueSend(queue, bytes([i & 0xFF]) * 8, 0) == pdPASS:
+                self.ctx.cov(2)
+                done += 1
+            if i % 3 == 2:
+                self.ctx.cov(3)
+                self.xQueueReceive(queue, 0)
+        while self.xQueueReceive(queue, 0) == pdPASS:
+            self.ctx.cov(4)
+        self.vQueueDelete(queue)
+        return done
+
+    @kapi(module="pseudo", sites=8, pseudo=True,
+          args=[arg_int("n", 1, 4), arg_int("period", 1, 10)],
+          doc="A cascade of auto-reloading timers driven for a while.")
+    def syz_timer_cascade(self, n: int, period: int) -> int:
+        handles = []
+        for i in range(n):
+            handle = self.xTimerCreate(period + i, 1, (i % 2) + 1)
+            if handle:
+                self.ctx.cov(1)
+                self.xTimerStart(handle)
+                handles.append(handle)
+        self.vTaskDelay(period * 3)
+        fired = 0
+        for handle in handles:
+            t = self._lookup(handle, "timer")
+            if t is not None and t.fire_count > 0:
+                self.ctx.cov(2)
+                fired += 1
+            self.xTimerDelete(handle)
+        return fired
+
+    @kapi(module="pseudo", sites=6, pseudo=True,
+          args=[arg_int("offset", 0, 256), arg_int("entries", 1, 16)],
+          doc="Reload partitions with a caller-chosen window.")
+    def syz_partition_reload(self, offset: int, entries: int) -> int:
+        return self.load_partitions(offset, entries)

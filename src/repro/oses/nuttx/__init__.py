@@ -1,0 +1,9 @@
+"""NuttX-flavoured kernel: POSIX-style surface (tasks, mqueues,
+semaphores, POSIX timers, environment variables, clock/time libc shims)
+over a granule (bitmap) allocator.
+"""
+
+from repro.oses.nuttx.kernel import NuttxKernel
+from repro.oses.nuttx.gran import GranAllocator
+
+__all__ = ["NuttxKernel", "GranAllocator"]

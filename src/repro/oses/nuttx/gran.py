@@ -1,0 +1,105 @@
+"""NuttX's granule allocator (``mm_gran``): bitmap-tracked fixed granules.
+
+A fourth allocator design: the window is divided into fixed-size granules
+and a bitmap (itself stored in simulated RAM at the start of the window)
+tracks which granules are in use.  Allocation is first-fit over runs of
+clear bits; there are no per-block headers, so the *caller* must remember
+allocation sizes (as NuttX's gran API requires).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.hw.memory import Ram
+
+GRANULE = 32
+
+
+class GranAllocator:
+    """Bitmap granule allocator over ``ram[base, base+size)``."""
+
+    def __init__(self, ram: Ram, base: int, size: int):
+        if size < 16 * GRANULE:
+            raise ValueError("gran window too small")
+        self.ram = ram
+        self.base = base
+        total_gran = size // GRANULE
+        # Reserve leading granules for the bitmap itself (1 bit each).
+        bitmap_bytes = (total_gran + 7) // 8
+        reserve = (bitmap_bytes + GRANULE - 1) // GRANULE
+        self.bitmap_addr = base
+        self.first_gran = reserve
+        self.ngranules = total_gran
+        self.heap_start = base + reserve * GRANULE
+        self.alloc_count = 0
+        self.free_count = 0
+        self.ram.write(self.bitmap_addr, bytes(bitmap_bytes))
+        # Mark the bitmap's own granules used.
+        for g in range(reserve):
+            self._set_bit(g, True)
+
+    # -- bitmap ---------------------------------------------------------------
+
+    def _get_bit(self, gran: int) -> bool:
+        byte = self.ram.read(self.bitmap_addr + gran // 8, 1)[0]
+        return bool(byte & (1 << (gran % 8)))
+
+    def _set_bit(self, gran: int, used: bool) -> None:
+        addr = self.bitmap_addr + gran // 8
+        byte = self.ram.read(addr, 1)[0]
+        mask = 1 << (gran % 8)
+        byte = (byte | mask) if used else (byte & ~mask)
+        self.ram.write(addr, bytes([byte]))
+
+    # -- API --------------------------------------------------------------------
+
+    def alloc(self, size: int) -> int:
+        """Allocate a run of granules; returns an absolute address or 0."""
+        if size <= 0:
+            return 0
+        need = (size + GRANULE - 1) // GRANULE
+        run = 0
+        start = 0
+        for gran in range(self.first_gran, self.ngranules):
+            if self._get_bit(gran):
+                run = 0
+                continue
+            if run == 0:
+                start = gran
+            run += 1
+            if run == need:
+                for g in range(start, start + need):
+                    self._set_bit(g, True)
+                self.alloc_count += 1
+                return self.base + start * GRANULE
+        return 0
+
+    def free(self, address: int, size: int) -> bool:
+        """Release a previously allocated run (caller supplies the size)."""
+        if size <= 0:
+            return False
+        gran = (address - self.base) // GRANULE
+        need = (size + GRANULE - 1) // GRANULE
+        if gran < self.first_gran or gran + need > self.ngranules:
+            return False
+        if (address - self.base) % GRANULE != 0:
+            return False
+        for g in range(gran, gran + need):
+            if not self._get_bit(g):
+                return False  # double free / wild free
+        for g in range(gran, gran + need):
+            self._set_bit(g, False)
+        self.free_count += 1
+        return True
+
+    def used_granules(self) -> int:
+        """Number of granules currently marked used (incl. the bitmap)."""
+        return sum(1 for g in range(self.ngranules) if self._get_bit(g))
+
+    def check_invariants(self) -> Optional[str]:
+        """The bitmap granules must always be marked used."""
+        for g in range(self.first_gran):
+            if not self._get_bit(g):
+                return f"bitmap granule {g} was freed"
+        return None

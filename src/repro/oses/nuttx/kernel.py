@@ -1,0 +1,643 @@
+"""The NuttX-flavoured kernel.
+
+A POSIX-shaped surface: ``task_create``/``task_delete``, POSIX message
+queues (``mq_open`` family over an internal ``nxmq`` layer), counting
+semaphores (``sem_*`` over ``nxsem``), POSIX timers, the process
+environment (``setenv``/``getenv``), and clock/time libc shims — all on a
+granule allocator.
+
+Injected bugs (Table 2):
+
+* **#14** ``setenv()``          unbounded name copy overflows the env block (confirmed upstream)
+* **#15** ``gettimeofday()``    a timezone pointer at a page boundary crosses into an unmapped page
+* **#16** ``nxmq_timedsend()``  send through a closed descriptor dereferences the freed mq
+* **#17** ``nxsem_trywait()``   trywait on a destroyed semaphore trips the init assertion (log monitor)
+* **#18** ``timer_create()``    unsupported clock + SIGEV_THREAD dereferences a NULL callback
+* **#19** ``clock_getres()``    out-of-range clock id indexes past the resolution table
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.oses.common.api import (
+    arg_buf,
+    arg_int,
+    arg_res,
+    arg_str,
+    kapi,
+    kfunc,
+)
+from repro.oses.common.kernel import EmbeddedKernel
+from repro.oses.common.ladders import MtdLadder
+from repro.oses.common.shell import ShellInterpreter
+from repro.oses.nuttx.gran import GranAllocator
+
+OK = 0
+ERROR = -1
+EINVAL = -22
+ENOMEM = -12
+EAGAIN = -11
+ENOENT = -2
+EEXIST = -17
+
+CLOCK_REALTIME = 0
+CLOCK_MONOTONIC = 1
+SIGEV_NONE = 0
+SIGEV_SIGNAL = 1
+SIGEV_THREAD = 2
+
+ENV_NAME_MAX = 24
+ENV_BLOCK_SLOTS = 16
+
+
+class _Task:
+    KIND = "pid"
+
+    def __init__(self, name: str, priority: int, stack_addr: int,
+                 stack_size: int):
+        self.handle = 0
+        self.name = name
+        self.priority = priority
+        self.stack_addr = stack_addr
+        self.stack_size = stack_size
+        self.state = "ready"
+
+
+class _Mq:
+    KIND = "mqd"
+
+    def __init__(self, name: str, maxmsg: int, msgsize: int, buf_addr: int):
+        self.handle = 0
+        self.name = name
+        self.maxmsg = maxmsg
+        self.msgsize = msgsize
+        self.buf_addr = buf_addr
+        self.msgs: List[int] = []   # priorities, payload lives in RAM
+        self.closed = False         # descriptor freed; handle dangles (#16)
+        self.unlinked = False
+
+
+class _NxSem:
+    KIND = "nxsem"
+
+    def __init__(self, value: int):
+        self.handle = 0
+        self.value = value
+        self.destroyed = False      # control block freed (#17 food)
+
+
+class _PTimer:
+    KIND = "ptimer"
+
+    def __init__(self, clockid: int, notify: int):
+        self.handle = 0
+        self.clockid = clockid
+        self.notify = notify
+        self.value = 0
+        self.interval = 0
+        self.armed = False
+        self.expirations = 0
+
+
+class NuttxKernel(MtdLadder, ShellInterpreter, EmbeddedKernel):
+    """NuttX 12-flavoured kernel."""
+
+    NAME = "nuttx"
+    VERSION = "12.5-repro"
+    BOOT_BANNER = "NuttShell (NSH) NuttX-12.5 (repro build)"
+    EXCEPTION_SYMBOL = "up_assert"
+    SHELL_PROMPT = "nsh>"
+    ASSERT_LOG_FORMAT = "_assert: Assertion failed {expr}: {loc}"
+    PANIC_LOG_FORMAT = "up_assert: Fatal {cause} ({detail})"
+
+    def __init__(self, ctx, config=None):
+        super().__init__(ctx, config)
+        self.gran: Optional[GranAllocator] = None
+        self.handles: Dict[int, object] = {}
+        self._next_handle = 1
+        self.tasks: List[_Task] = []
+        self.env: Dict[str, str] = {}
+        self.mq_names: Dict[str, int] = {}
+        self.clock_ticks = 0
+        self.realtime_offset = 1_700_000_000
+        self.timers: List[_PTimer] = []
+
+    # -- boot -----------------------------------------------------------------
+
+    def boot_os(self) -> None:
+        layout = self.ctx.layout
+        self.gran = GranAllocator(self.ctx.ram, layout.kernel_heap_base,
+                                  layout.kernel_heap_size)
+        init_stack = self.gran.alloc(1024)
+        init = _Task("init", 100, init_stack, 1024)
+        self._register(init)
+        self.tasks.append(init)
+        self.env["PATH"] = "/bin"
+        self.ctx.kprintf("gran allocator up; init task spawned")
+
+    def _register(self, obj):
+        handle = self._next_handle
+        self._next_handle += 1
+        obj.handle = handle
+        self.handles[handle] = obj
+        return obj
+
+    def _lookup(self, handle: int, kind: str):
+        obj = self.handles.get(handle)
+        if obj is None or obj.KIND != kind:
+            return None
+        return obj
+
+    def idle_tick(self) -> None:
+        self.clock_ticks += 1
+        for timer in self.timers:
+            if timer.armed and timer.value <= self.clock_ticks:
+                timer.expirations += 1
+                if timer.interval:
+                    timer.value = self.clock_ticks + timer.interval
+                else:
+                    timer.armed = False
+
+    # -- exception entry -------------------------------------------------------------
+
+    @kfunc(module="kernel", sites=4)
+    def up_assert(self, signal) -> None:
+        """NuttX fatal-error entry point."""
+        self._fatal_common(signal)
+
+    # ======================= tasks =======================
+
+    @kapi(module="task", sites=8,
+          args=[arg_str("name", 12), arg_int("priority", 1, 255),
+                arg_int("stack_size", 256, 4096)],
+          ret="pid", doc="Create a task.")
+    def task_create(self, name: bytes, priority: int, stack_size: int) -> int:
+        stack = self.gran.alloc(stack_size)
+        if stack == 0:
+            self.ctx.cov(1)
+            return ENOMEM
+        task = _Task(name.decode("latin1")[:12] or "task", priority, stack,
+                     stack_size)
+        self._register(task)
+        self.tasks.append(task)
+        self.ctx.cov(2)
+        return task.handle
+
+    @kapi(module="task", sites=7, args=[arg_res("pid", "pid")],
+          doc="Delete a task.")
+    def task_delete(self, pid: int) -> int:
+        task = self._lookup(pid, "pid")
+        if task is None:
+            self.ctx.cov(1)
+            return EINVAL
+        if task.name == "init":
+            self.ctx.cov(2)
+            return EINVAL
+        self.tasks.remove(task)
+        self.gran.free(task.stack_addr, task.stack_size)
+        del self.handles[task.handle]
+        return OK
+
+    @kapi(module="task", sites=6,
+          args=[arg_res("pid", "pid"), arg_int("priority", 1, 255)],
+          doc="Change a task's priority.")
+    def sched_setpriority(self, pid: int, priority: int) -> int:
+        task = self._lookup(pid, "pid")
+        if task is None:
+            self.ctx.cov(1)
+            return EINVAL
+        task.priority = priority
+        return OK
+
+    @kapi(module="task", sites=3, doc="Yield the processor.")
+    def sched_yield(self) -> int:
+        self.ctx.cycles(8)
+        return OK
+
+    @kapi(module="task", sites=5, args=[arg_int("usec", 0, 100000)],
+          doc="Sleep for microseconds.")
+    def usleep(self, usec: int) -> int:
+        if usec > 100_000:
+            self.ctx.cov(1)
+            self.ctx.stall("usleep parked the init task")
+        self.ctx.cycles(min(usec // 100, 500))
+        # Time passes while we sleep: armed timers expire.
+        for _ in range(min(usec // 10_000, 64)):
+            self.idle_tick()
+        return OK
+
+    # ======================= environment (bug #14) =======================
+
+    @kapi(module="env", sites=10,
+          args=[arg_str("name", 40, candidates=("PATH", "HOME", "TZ")),
+                arg_str("value", 32), arg_int("overwrite", 0, 1)],
+          doc="Set an environment variable.")
+    def setenv(self, name: bytes, value: bytes, overwrite: int) -> int:
+        key = name.decode("latin1").rstrip("\x00")
+        if not key or "=" in key:
+            self.ctx.cov(1)
+            return EINVAL
+        # Injected bug #14 (confirmed upstream): the name is copied into a
+        # fixed 24-byte slot of the env block with no bounds check.
+        if len(key) > ENV_NAME_MAX:
+            self.ctx.cov(2)
+            self.ctx.panic("env block overflow in setenv",
+                           f"name of {len(key)} bytes smashed the adjacent "
+                           f"slot ({ENV_NAME_MAX}-byte field)")
+        if key in self.env and not overwrite:
+            self.ctx.cov(3)
+            return OK
+        if key in self.env and len(value) > len(self.env[key].encode()):
+            self.ctx.cov(6)  # grow-in-place relocation path
+        if key not in self.env and len(self.env) >= ENV_BLOCK_SLOTS:
+            self.ctx.cov(4)
+            return ENOMEM
+        self.env[key] = value.decode("latin1").rstrip("\x00")
+        self.ctx.cov(5)
+        return OK
+
+    @kapi(module="env", sites=6,
+          args=[arg_str("name", 24, candidates=("PATH", "HOME", "TZ"))],
+          doc="Look up an environment variable; returns its length or -1.")
+    def getenv(self, name: bytes) -> int:
+        key = name.decode("latin1").rstrip("\x00")
+        if key not in self.env:
+            self.ctx.cov(1)
+            return ERROR
+        return len(self.env[key])
+
+    @kapi(module="env", sites=5,
+          args=[arg_str("name", 24, candidates=("PATH", "HOME", "TZ"))],
+          doc="Remove an environment variable.")
+    def unsetenv(self, name: bytes) -> int:
+        key = name.decode("latin1").rstrip("\x00")
+        if key in self.env:
+            self.ctx.cov(1)
+            del self.env[key]
+        return OK
+
+    @kapi(module="env", sites=3, doc="Clear the whole environment.")
+    def clearenv(self) -> int:
+        self.env.clear()
+        return OK
+
+    # ======================= POSIX mqueue (bug #16) =======================
+
+    @kapi(module="mq", sites=10,
+          args=[arg_str("name", 12, candidates=("/dev/mq0", "/mq1")),
+                arg_int("maxmsg", 1, 16), arg_int("msgsize", 4, 64)],
+          ret="mqd", doc="Open (create) a POSIX message queue.")
+    def mq_open(self, name: bytes, maxmsg: int, msgsize: int) -> int:
+        key = name.decode("latin1").rstrip("\x00") or "/mq"
+        existing = self.mq_names.get(key)
+        if existing is not None:
+            queue = self._lookup(existing, "mqd")
+            if queue is not None and not queue.closed:
+                self.ctx.cov(1)
+                return existing
+        buf = self.gran.alloc(maxmsg * msgsize)
+        if buf == 0:
+            self.ctx.cov(2)
+            return ENOMEM
+        queue = _Mq(key, maxmsg, msgsize, buf)
+        self._register(queue)
+        self.mq_names[key] = queue.handle
+        self.ctx.cov(3)
+        return queue.handle
+
+    @kapi(module="mq", sites=5, args=[arg_res("mqd", "mqd")],
+          doc="Close a message-queue descriptor.")
+    def mq_close(self, mqd: int) -> int:
+        queue = self._lookup(mqd, "mqd")
+        if queue is None or queue.closed:
+            self.ctx.cov(1)
+            return EINVAL
+        queue.closed = True  # descriptor freed; handle dangles (bug #16)
+        self.gran.free(queue.buf_addr, queue.maxmsg * queue.msgsize)
+        return OK
+
+    @kfunc(module="mq", sites=8)
+    def nxmq_timedsend(self, queue: _Mq, data: bytes, prio: int,
+                       timeout: int) -> int:
+        """The internal send path under ``mq_timedsend``.
+
+        Injected bug #16: no closed-descriptor check — the message copy
+        lands in the freed ring buffer.
+        """
+        if queue.closed:
+            self.ctx.cov(1)
+            self.ctx.panic("freed descriptor in nxmq_timedsend",
+                           f"mq {queue.name!r} was closed; msgq ring "
+                           f"buffer is dangling")
+        if len(queue.msgs) >= queue.maxmsg:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("nxmq_timedsend blocked forever")
+            return EAGAIN
+        payload = data[:queue.msgsize].ljust(queue.msgsize, b"\x00")
+        slot = len(queue.msgs)
+        self.ctx.ram.write(queue.buf_addr + slot * queue.msgsize, payload)
+        if queue.msgs and prio > queue.msgs[0]:
+            self.ctx.cov(4)  # priority insertion at the head
+        queue.msgs.append(prio)
+        queue.msgs.sort(reverse=True)
+        return OK
+
+    @kapi(module="mq", sites=6,
+          args=[arg_res("mqd", "mqd"), arg_buf("data", 64),
+                arg_int("prio", 0, 31), arg_int("timeout", 0, 50)],
+          doc="Send with a timeout.")
+    def mq_timedsend(self, mqd: int, data: bytes, prio: int,
+                     timeout: int) -> int:
+        queue = self._lookup(mqd, "mqd")
+        if queue is None:
+            self.ctx.cov(1)
+            return EINVAL
+        return self.nxmq_timedsend(queue, data, prio, timeout)
+
+    @kapi(module="mq", sites=8,
+          args=[arg_res("mqd", "mqd"), arg_int("timeout", 0, 50)],
+          doc="Receive with a timeout; returns the message priority.")
+    def mq_timedreceive(self, mqd: int, timeout: int) -> int:
+        queue = self._lookup(mqd, "mqd")
+        if queue is None or queue.closed:
+            self.ctx.cov(1)
+            return EINVAL
+        if not queue.msgs:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("mq_timedreceive blocked forever")
+            return EAGAIN
+        prio = queue.msgs.pop(0)
+        self.ctx.ram.read(queue.buf_addr, queue.msgsize)
+        return prio
+
+    @kapi(module="mq", sites=5,
+          args=[arg_str("name", 12, candidates=("/dev/mq0", "/mq1"))],
+          doc="Unlink a queue name.")
+    def mq_unlink(self, name: bytes) -> int:
+        key = name.decode("latin1").rstrip("\x00")
+        handle = self.mq_names.pop(key, None)
+        if handle is None:
+            self.ctx.cov(1)
+            return ENOENT
+        queue = self._lookup(handle, "mqd")
+        if queue is not None:
+            queue.unlinked = True
+        return OK
+
+    # ======================= semaphores (bug #17) =======================
+
+    @kapi(module="sem", sites=5, args=[arg_int("value", 0, 16)],
+          ret="nxsem", doc="Initialise a counting semaphore.")
+    def sem_init(self, value: int) -> int:
+        sem = _NxSem(value)
+        self._register(sem)
+        return sem.handle
+
+    @kapi(module="sem", sites=7,
+          args=[arg_res("sem", "nxsem"), arg_int("timeout", 0, 50)],
+          doc="Wait on a semaphore.")
+    def sem_wait(self, sem: int, timeout: int) -> int:
+        target = self._lookup(sem, "nxsem")
+        if target is None or target.destroyed:
+            self.ctx.cov(1)
+            return EINVAL
+        if target.value == 0:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("sem_wait blocked forever")
+            return EAGAIN
+        target.value -= 1
+        return OK
+
+    @kfunc(module="sem", sites=6)
+    def nxsem_trywait(self, sem: "_NxSem") -> int:
+        """Internal trywait.
+
+        Injected bug #17: on a destroyed semaphore the control block is
+        poisoned; the init-state assertion fires (log monitor).
+        """
+        self.k_assert(not sem.destroyed,
+                      "sem->semcount initialized", "nxsem_trywait")
+        if sem.value == 0:
+            self.ctx.cov(1)
+            return EAGAIN
+        sem.value -= 1
+        self.ctx.cov(2)
+        return OK
+
+    @kapi(module="sem", sites=5, args=[arg_res("sem", "nxsem")],
+          doc="Non-blocking wait.")
+    def sem_trywait(self, sem: int) -> int:
+        target = self._lookup(sem, "nxsem")
+        if target is None:
+            self.ctx.cov(1)
+            return EINVAL
+        return self.nxsem_trywait(target)
+
+    @kapi(module="sem", sites=5, args=[arg_res("sem", "nxsem")],
+          doc="Post a semaphore.")
+    def sem_post(self, sem: int) -> int:
+        target = self._lookup(sem, "nxsem")
+        if target is None or target.destroyed:
+            self.ctx.cov(1)
+            return EINVAL
+        target.value += 1
+        if target.value >= 8:
+            self.ctx.cov(2)  # heavily over-posted semaphore
+        return OK
+
+    @kapi(module="sem", sites=5, args=[arg_res("sem", "nxsem")],
+          doc="Destroy a semaphore.")
+    def sem_destroy(self, sem: int) -> int:
+        target = self._lookup(sem, "nxsem")
+        if target is None or target.destroyed:
+            self.ctx.cov(1)
+            return EINVAL
+        target.destroyed = True  # block freed; handle dangles (bug #17)
+        return OK
+
+    # ======================= clock / time libc (bugs #15, #19) =======================
+
+    @kapi(module="libc", sites=6, args=[arg_int("clockid", 0, 16)],
+          doc="Read a clock; returns seconds.")
+    def clock_gettime(self, clockid: int) -> int:
+        if clockid == CLOCK_REALTIME:
+            self.ctx.cov(1)
+            return self.realtime_offset + self.clock_ticks // 100
+        if clockid == CLOCK_MONOTONIC:
+            self.ctx.cov(2)
+            return self.clock_ticks // 100
+        self.ctx.cov(3)
+        return EINVAL
+
+    @kapi(module="libc", sites=8,
+          args=[arg_int("clockid", 0, 16), arg_int("res_ptr", 0, 0xFFFF)],
+          doc="Resolution of a clock, written through res_ptr.")
+    def clock_getres(self, clockid: int, res_ptr: int) -> int:
+        # Injected bug #19: the resolution table has 12 entries but the
+        # id is range-checked against the *configured* max (16), so ids
+        # 12..16 index past the table; with an unluckily aligned out
+        # pointer the wild read faults.
+        if clockid >= 12 and res_ptr % 8 == 4:
+            self.ctx.cov(1)
+            self.ctx.panic("wild read in clock_getres",
+                           f"clockid {clockid} indexed past the "
+                           f"12-entry resolution table")
+        if clockid > 16:
+            self.ctx.cov(2)
+            return EINVAL
+        self.ctx.cov(3)
+        return 100  # 10ms tick, in ns/100000
+    @kapi(module="libc", sites=8,
+          args=[arg_int("clockid", 0, 3), arg_int("sec", 0, 1 << 31)],
+          doc="Set a clock.")
+    def clock_settime(self, clockid: int, sec: int) -> int:
+        if clockid != CLOCK_REALTIME:
+            self.ctx.cov(1)
+            return EINVAL
+        self.realtime_offset = sec
+        self.ctx.cov(2)
+        return OK
+
+    @kapi(module="libc", sites=8, args=[arg_int("tz_ptr", 0, 0xFFFF)],
+          doc="Time of day; tz_ptr is the (obsolete) timezone out-pointer.")
+    def gettimeofday(self, tz_ptr: int) -> int:
+        # Injected bug #15: a non-NULL tz pointer is dereferenced without
+        # validation; one that lands at the last bytes of a page makes the
+        # 8-byte struct write cross into the unmapped guard page.
+        if tz_ptr != 0 and tz_ptr % 256 == 0xFF:
+            self.ctx.cov(1)
+            self.ctx.panic("page fault in gettimeofday",
+                           f"timezone struct write at 0x{tz_ptr:04x} "
+                           f"crossed a page boundary")
+        if tz_ptr != 0:
+            self.ctx.cov(2)
+            self.ctx.cycles(4)
+        return self.realtime_offset + self.clock_ticks // 100
+
+    # ======================= POSIX timers (bug #18) =======================
+
+    @kapi(module="timer", sites=10,
+          args=[arg_int("clockid", 0, 8), arg_int("notify", 0, 3)],
+          ret="ptimer", doc="Create a POSIX timer.")
+    def timer_create(self, clockid: int, notify: int) -> int:
+        if notify > SIGEV_THREAD:
+            self.ctx.cov(1)
+            return EINVAL
+        # Injected bug #18: the unsupported-boot-clock path allocates no
+        # callback context, but SIGEV_THREAD immediately dereferences it.
+        if clockid == 7 and notify == SIGEV_THREAD:
+            self.ctx.cov(2)
+            self.ctx.panic("NULL callback in timer_create",
+                           "CLOCK_BOOTTIME with SIGEV_THREAD left the "
+                           "notification callback unset")
+        if clockid not in (CLOCK_REALTIME, CLOCK_MONOTONIC):
+            self.ctx.cov(3)
+            return EINVAL
+        timer = _PTimer(clockid, notify)
+        self._register(timer)
+        self.timers.append(timer)
+        self.ctx.cov(4)
+        return timer.handle
+
+    @kapi(module="timer", sites=7,
+          args=[arg_res("timer", "ptimer"), arg_int("value", 0, 200),
+                arg_int("interval", 0, 100)],
+          doc="Arm a timer.")
+    def timer_settime(self, timer: int, value: int, interval: int) -> int:
+        target = self._lookup(timer, "ptimer")
+        if target is None:
+            self.ctx.cov(1)
+            return EINVAL
+        if value == 0 and interval == 0:
+            self.ctx.cov(2)
+            target.armed = False
+            return OK
+        if target.armed:
+            self.ctx.cov(3)  # re-arm while running
+        target.value = self.clock_ticks + value
+        target.interval = interval
+        target.armed = True
+        return OK
+
+    @kapi(module="timer", sites=5, args=[arg_res("timer", "ptimer")],
+          doc="Expirations so far.")
+    def timer_gettime(self, timer: int) -> int:
+        target = self._lookup(timer, "ptimer")
+        if target is None:
+            self.ctx.cov(1)
+            return EINVAL
+        return target.expirations
+
+    @kapi(module="timer", sites=5, args=[arg_res("timer", "ptimer")],
+          doc="Delete a timer.")
+    def timer_delete(self, timer: int) -> int:
+        target = self._lookup(timer, "ptimer")
+        if target is None:
+            self.ctx.cov(1)
+            return EINVAL
+        self.timers.remove(target)
+        del self.handles[target.handle]
+        return OK
+
+    # ======================= pseudo syscalls =======================
+
+    @kapi(module="pseudo", sites=8, pseudo=True,
+          args=[arg_str("name", 20, candidates=("LOGNAME", "SHELL")),
+                arg_int("rounds", 1, 8)],
+          doc="setenv/getenv/unsetenv round-trips.")
+    def syz_env_roundtrip(self, name: bytes, rounds: int) -> int:
+        done = 0
+        for i in range(rounds):
+            if self.setenv(name, f"v{i}".encode(), 1) == OK:
+                self.ctx.cov(1)
+                done += 1
+            self.getenv(name)
+        self.unsetenv(name)
+        return done
+
+    @kapi(module="pseudo", sites=10, pseudo=True,
+          args=[arg_int("maxmsg", 1, 8), arg_int("rounds", 1, 16)],
+          doc="mqueue producer/consumer through a fresh queue.")
+    def syz_mq_pipeline(self, maxmsg: int, rounds: int) -> int:
+        mqd = self.mq_open(b"/pipe", maxmsg, 16)
+        if mqd <= 0:
+            self.ctx.cov(1)
+            return ERROR
+        done = 0
+        for i in range(rounds):
+            if self.mq_timedsend(mqd, bytes([i & 0xFF]) * 16, i % 32, 0) == OK:
+                self.ctx.cov(2)
+                done += 1
+            if i % 2:
+                self.ctx.cov(3)
+                self.mq_timedreceive(mqd, 0)
+        self.mq_close(mqd)
+        self.mq_unlink(b"/pipe")
+        return done
+
+    @kapi(module="pseudo", sites=8, pseudo=True,
+          args=[arg_int("n", 1, 4), arg_int("period", 1, 20)],
+          doc="A burst of armed POSIX timers driven for a while.")
+    def syz_timer_burst(self, n: int, period: int) -> int:
+        handles = []
+        for _ in range(n):
+            handle = self.timer_create(CLOCK_MONOTONIC, SIGEV_SIGNAL)
+            if handle > 0:
+                self.ctx.cov(1)
+                self.timer_settime(handle, period, period)
+                handles.append(handle)
+        self.usleep(period * 20_000)
+        fired = 0
+        for handle in handles:
+            if self.timer_gettime(handle) > 0:
+                self.ctx.cov(2)
+                fired += 1
+            self.timer_delete(handle)
+        return fired

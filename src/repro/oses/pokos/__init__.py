@@ -1,0 +1,6 @@
+"""PoKOS: a minimal POK-style partitioned kernel (ARINC-653 flavour),
+the target of the paper's Gustave comparison (Table 3, last row)."""
+
+from repro.oses.pokos.kernel import PokKernel
+
+__all__ = ["PokKernel"]

@@ -1,0 +1,11 @@
+"""RT-Thread-flavoured kernel: object containers, 32-priority scheduler,
+small-mem boundary-tag heap, memory pools, rich IPC (semaphore, mutex,
+event, mailbox, message queue), a device model with a serial driver, and
+SAL sockets whose creation path logs through the serial device — the
+chain behind the paper's Figure 6 case study.
+"""
+
+from repro.oses.rtthread.kernel import RtThreadKernel
+from repro.oses.rtthread.smem import SmallMem
+
+__all__ = ["RtThreadKernel", "SmallMem"]

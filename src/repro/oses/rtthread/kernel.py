@@ -1,0 +1,1242 @@
+"""The RT-Thread-flavoured kernel.
+
+Everything is an *object* living in per-class containers; IPC is rich
+(semaphore / mutex / event / mailbox / message queue); memory comes from
+the small-mem boundary-tag heap and fixed-size memory pools; devices hang
+off a device model with a serial driver that the console writes through.
+SAL sockets log their creation over the console — the exact call chain of
+the paper's Figure 6 case study.
+
+Injected bugs (Table 2; numbers are the paper's):
+
+* **#5**  ``rt_object_get_type()``  assertion on a detached object (log monitor)
+* **#6**  ``rt_list_isempty()``     panic on a corrupted service list
+* **#7**  ``rt_mp_alloc()``         use-after-delete of a memory pool
+* **#8**  ``rt_object_init()``      assertion on re-initialising an object (log monitor)
+* **#9**  ``_heap_lock()``          leaked heap lock after a double free -> recursive-lock panic
+* **#10** ``rt_event_send()``       send to a deleted event control block
+* **#11** ``rt_smem_setname()``     unbounded name copy smashes the heap guard word
+* **#12** ``rt_serial_write()``     stale serial device dereferenced while logging socket creation
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.oses.common.api import (
+    arg_buf,
+    arg_int,
+    arg_res,
+    arg_str,
+    kapi,
+    kfunc,
+)
+from repro.oses.common.dlist import DList, DListNode
+from repro.oses.common.kernel import EmbeddedKernel
+from repro.oses.common.ladders import CanBusLadder
+from repro.oses.common.shell import ShellInterpreter
+from repro.oses.rtthread.smem import SmallMem
+
+RT_EOK = 0
+RT_ERROR = -1
+RT_ETIMEOUT = -2
+RT_EFULL = -3
+RT_EEMPTY = -4
+RT_EINVAL = -10
+
+# Object classes.
+OT_THREAD = 1
+OT_SEMAPHORE = 2
+OT_MUTEX = 3
+OT_EVENT = 4
+OT_MAILBOX = 5
+OT_MSGQUEUE = 6
+OT_MEMPOOL = 7
+OT_DEVICE = 8
+OT_TIMER = 9
+
+EVENT_AND = 0x01
+EVENT_OR = 0x02
+EVENT_CLEAR = 0x04
+
+MAX_PRIORITY = 31
+MAX_OBJECTS = 128
+
+
+class _RtObject:
+    KIND = "obj"
+
+    def __init__(self, otype: int, name: str):
+        self.handle = 0
+        self.otype = otype
+        self.name = name
+        self.detached = False
+
+
+class _Thread:
+    KIND = "thread"
+
+    def __init__(self, name: str, stack_addr: int, stack_size: int,
+                 priority: int, tick: int):
+        self.handle = 0
+        self.name = name
+        self.stack_addr = stack_addr
+        self.stack_size = stack_size
+        self.priority = priority
+        self.tick = tick
+        self.state = "init"    # init | ready | suspended | deleted
+        self.wake_tick = 0
+        self.run_count = 0
+
+
+class _Semaphore:
+    KIND = "sem"
+
+    def __init__(self, name: str, value: int, flag: int):
+        self.handle = 0
+        self.name = name
+        self.value = value
+        self.flag = flag
+
+
+class _Mutex:
+    KIND = "mutex"
+
+    def __init__(self, name: str):
+        self.handle = 0
+        self.name = name
+        self.holder = 0
+        self.hold_count = 0
+
+
+class _Event:
+    KIND = "event"
+
+    def __init__(self, name: str, flag: int):
+        self.handle = 0
+        self.name = name
+        self.flag = flag
+        self.set = 0
+        self.deleted = False  # graveyard flag: handle stays resolvable
+
+
+class _Mailbox:
+    KIND = "mb"
+
+    def __init__(self, name: str, size: int):
+        self.handle = 0
+        self.name = name
+        self.size = size
+        self.msgs: List[int] = []
+
+
+class _MsgQueue:
+    KIND = "mq"
+
+    def __init__(self, name: str, msg_size: int, max_msgs: int,
+                 storage_addr: int):
+        self.handle = 0
+        self.name = name
+        self.msg_size = msg_size
+        self.max_msgs = max_msgs
+        self.storage_addr = storage_addr
+        self.count = 0
+        self.head = 0
+        self.tail = 0
+
+
+class _MemPool:
+    KIND = "mp"
+
+    def __init__(self, name: str, block_count: int, block_size: int,
+                 storage_addr: int):
+        self.handle = 0
+        self.name = name
+        self.block_count = block_count
+        self.block_size = block_size
+        self.storage_addr = storage_addr
+        self.free_blocks = list(range(block_count))
+        self.deleted = False  # graveyard flag (bug #7 food)
+
+
+class _MpBlock:
+    KIND = "mpblock"
+
+    def __init__(self, pool: "_MemPool", index: int):
+        self.handle = 0
+        self.pool = pool
+        self.index = index
+        self.freed = False
+
+
+class _Device:
+    KIND = "device"
+
+    def __init__(self, name: str, dev_type: str):
+        self.handle = 0
+        self.name = name
+        self.dev_type = dev_type
+        self.open_count = 0
+        self.registered = True
+        self.ops_valid = True  # cleared on unregister: the stale pointer
+
+
+class _HeapRef:
+    KIND = "mem"
+
+    def __init__(self, addr: int, size: int):
+        self.handle = 0
+        self.addr = addr
+        self.size = size
+        self.freed = False
+
+
+class _ServiceSlot:
+    def __init__(self, slot: int):
+        self.slot = slot
+        self.node = DListNode(owner=self)
+        self.registered = False
+
+
+class RtThreadKernel(CanBusLadder, ShellInterpreter, EmbeddedKernel):
+    """RT-Thread v5-flavoured kernel."""
+
+    NAME = "rt-thread"
+    VERSION = "v5.0-repro"
+    BOOT_BANNER = "- RT -     Thread Operating System (repro build)"
+    EXCEPTION_SYMBOL = "common_exception"
+    SHELL_PROMPT = "msh"
+    ASSERT_LOG_FORMAT = "({expr}) assertion failed at function:{loc}"
+    PANIC_LOG_FORMAT = "BUG: unexpected stop: {cause} ({detail})"
+
+    def __init__(self, ctx, config=None):
+        super().__init__(ctx, config)
+        self.smem: Optional[SmallMem] = None
+        self.handles: Dict[int, object] = {}
+        self._next_handle = 1
+        self.tick = 0
+        self.threads: List[_Thread] = []
+        self.current_thread: Optional[_Thread] = None
+        self.containers: Dict[int, Dict[str, int]] = {}  # type -> name -> handle
+        self.heap_lock_depth = 0
+        self.service_list = DList()
+        self.service_slots = [_ServiceSlot(i) for i in range(8)]
+        self.service_list_corrupt = False
+        self.console: Optional[_Device] = None
+
+    # -- boot -------------------------------------------------------------------
+
+    def boot_os(self) -> None:
+        layout = self.ctx.layout
+        self.smem = SmallMem(self.ctx.ram, layout.kernel_heap_base,
+                             layout.kernel_heap_size)
+        main = _Thread("main", self.smem.malloc(512), 512, 10, 10)
+        main.state = "ready"
+        self._register(main)
+        self.threads.append(main)
+        self.current_thread = main
+        self.console = _Device("uart0", "serial")
+        self._register(self.console)
+        self._container_put(OT_DEVICE, "uart0", self.console.handle)
+        self.ctx.kprintf("rt_smem heap ready; console on uart0")
+
+    # -- plumbing -----------------------------------------------------------------
+
+    def _register(self, obj):
+        handle = self._next_handle
+        self._next_handle += 1
+        obj.handle = handle
+        self.handles[handle] = obj
+        return obj
+
+    def _lookup(self, handle: int, kind: str):
+        obj = self.handles.get(handle)
+        if obj is None or obj.KIND != kind:
+            return None
+        return obj
+
+    def _container_put(self, otype: int, name: str, handle: int) -> None:
+        self.containers.setdefault(otype, {})[name] = handle
+
+    def _container_del(self, otype: int, name: str) -> None:
+        self.containers.get(otype, {}).pop(name, None)
+
+    # -- console / serial chain (Figure 6) ---------------------------------------------
+
+    @kfunc(module="serial", sites=8)
+    def _serial_poll_tx(self, device: _Device, text: str) -> int:
+        """Polled serial transmit — the bottom of the Figure 6 stack."""
+        # RT_ASSERT(serial != RT_NULL) passes: the pointer is non-NULL,
+        # merely *stale*; the dereference of serial->ops->putc faults.
+        if not device.ops_valid:
+            self.ctx.cov(1)
+            self.ctx.panic("bus fault in _serial_poll_tx",
+                           "stale serial device: serial->ops->putc "
+                           "dereferences freed memory")
+        self.ctx.cov(2)
+        self.ctx.uart.putline(text)
+        self.ctx.cycles(10 + len(text) // 4)
+        return len(text)
+
+    @kfunc(module="serial", sites=6)
+    def rt_serial_write(self, device: _Device, text: str) -> int:
+        """serial.c:917 — forwards to the poll-mode transmitter."""
+        self.k_assert(device is not None, "serial != RT_NULL",
+                      "rt_serial_write")
+        return self._serial_poll_tx(device, text)
+
+    @kfunc(module="device", sites=8)
+    def _rt_device_write(self, device: _Device, text: str) -> int:
+        """device.c:396 — dispatch a write to the driver."""
+        if device.dev_type == "serial":
+            self.ctx.cov(1)
+            return self.rt_serial_write(device, text)
+        self.ctx.cov(2)
+        self.ctx.cycles(len(text))
+        return len(text)
+
+    @kfunc(module="kernel", sites=4)
+    def _kputs(self, text: str) -> None:
+        """kservice.c:298."""
+        if self.console is not None:
+            self._rt_device_write(self.console, text)
+
+    @kfunc(module="kernel", sites=4)
+    def rt_kprintf(self, text: str) -> None:
+        """kservice.c:349 — kernel console output."""
+        self._kputs(text)
+
+    # -- scheduler -----------------------------------------------------------------------
+
+    @kfunc(module="sched", sites=10)
+    def rt_schedule(self) -> None:
+        """Pick the highest-priority ready thread (lower number wins)."""
+        best: Optional[_Thread] = None
+        for thread in self.threads:
+            if thread.state != "ready":
+                self.ctx.cov(1)
+                continue
+            if best is None or thread.priority < best.priority:
+                self.ctx.cov(2)
+                best = thread
+        if best is None:
+            self.ctx.cov(3)
+            return
+        if best is not self.current_thread:
+            self.ctx.cov(4)
+            self.ctx.cycles(12)
+        self.current_thread = best
+        best.run_count += 1
+
+    @kfunc(module="sched", sites=6)
+    def rt_tick_increase(self) -> None:
+        self.tick += 1
+        for thread in self.threads:
+            if thread.state == "suspended" and thread.wake_tick and \
+                    thread.wake_tick <= self.tick:
+                self.ctx.cov(1)
+                thread.state = "ready"
+                thread.wake_tick = 0
+
+    def idle_tick(self) -> None:
+        self.rt_tick_increase()
+        self.rt_schedule()
+
+    # -- exception entry ---------------------------------------------------------------------
+
+    @kfunc(module="kernel", sites=4)
+    def common_exception(self, signal) -> None:
+        """RT-Thread fatal-error entry point."""
+        self._fatal_common(signal)
+
+    # ======================= object API =======================
+
+    @kapi(module="object", sites=10,
+          args=[arg_int("otype", 0, 12), arg_str("name", 8)], ret="obj",
+          doc="Initialise a kernel object into its class container.")
+    def rt_object_init(self, otype: int, name: bytes) -> int:
+        if not 1 <= otype <= 9:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if len(self.handles) >= MAX_OBJECTS:
+            self.ctx.cov(2)
+            return RT_ERROR
+        text = name.decode("latin1").rstrip("\x00")[:8]
+        if not text:
+            # Anonymous objects never enter a container.
+            self.ctx.cov(5)
+            return self._register(_RtObject(otype, "")).handle
+        existing = self.containers.get(otype, {}).get(text)
+        if existing is not None:
+            stale = self.handles.get(existing)
+            if stale is not None and not getattr(stale, "detached", False):
+                self.ctx.cov(3)
+                # Injected bug #8: re-initialising a live object trips the
+                # container-membership assertion (log monitor, then hang).
+                self.k_assert(False, "object != container_object",
+                              "rt_object_init")
+        obj = self._register(_RtObject(otype, text))
+        self._container_put(otype, text, obj.handle)
+        self.ctx.cov(4)
+        return obj.handle
+
+    @kapi(module="object", sites=6, args=[arg_res("obj", "obj")],
+          doc="Detach an object from its container.")
+    def rt_object_detach(self, obj: int) -> int:
+        target = self._lookup(obj, "obj")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if target.detached:
+            self.ctx.cov(2)
+            return RT_ERROR
+        target.detached = True
+        self._container_del(target.otype, target.name)
+        return RT_EOK
+
+    @kapi(module="object", sites=8, args=[arg_res("obj", "obj")],
+          doc="Class tag of an object.")
+    def rt_object_get_type(self, obj: int) -> int:
+        target = self._lookup(obj, "obj")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        # Injected bug #5: the type field of a detached object is poisoned,
+        # tripping the class-validity assertion (log monitor).
+        self.k_assert(not target.detached,
+                      "rt_object_get_type(object) < RT_Object_Class_Unknown",
+                      "rt_object_get_type")
+        self.ctx.cov(2)
+        return target.otype
+
+    @kapi(module="object", sites=8,
+          args=[arg_str("name", 8), arg_int("otype", 1, 9)],
+          doc="Find an object by name within a class container.")
+    def rt_object_find(self, name: bytes, otype: int) -> int:
+        text = name.decode("latin1").rstrip("\x00")[:8]
+        handle = self.containers.get(otype, {}).get(text)
+        if handle is None:
+            self.ctx.cov(1)
+            return 0
+        self.ctx.cov(2)
+        return handle
+
+    # ======================= thread API =======================
+
+    @kapi(module="thread", sites=10,
+          args=[arg_str("name", 8), arg_int("stack_size", 64, 4096),
+                arg_int("priority", 0, 40), arg_int("tick", 1, 32)],
+          ret="thread", doc="Create a thread (not yet started).")
+    def rt_thread_create(self, name: bytes, stack_size: int, priority: int,
+                         tick: int) -> int:
+        if priority > MAX_PRIORITY:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        stack = self.smem.malloc(stack_size)
+        if stack == 0:
+            self.ctx.cov(2)
+            return RT_ERROR
+        thread = _Thread(name.decode("latin1")[:8] or "t", stack, stack_size,
+                         priority, tick)
+        self._register(thread)
+        self.threads.append(thread)
+        self.ctx.cov(3)
+        return thread.handle
+
+    @kapi(module="thread", sites=6, args=[arg_res("thread", "thread")],
+          doc="Start a created thread.")
+    def rt_thread_startup(self, thread: int) -> int:
+        target = self._lookup(thread, "thread")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if target.state != "init":
+            self.ctx.cov(2)
+            return RT_ERROR
+        target.state = "ready"
+        self.rt_schedule()
+        return RT_EOK
+
+    @kapi(module="thread", sites=6, args=[arg_int("ticks", 0, 100)],
+          doc="Delay the current thread.")
+    def rt_thread_delay(self, ticks: int) -> int:
+        if ticks > 1000:
+            self.ctx.cov(1)
+            self.ctx.stall("rt_thread_delay parked the system")
+        for _ in range(min(ticks, 64)):
+            self.rt_tick_increase()
+        self.rt_schedule()
+        return RT_EOK
+
+    @kapi(module="thread", sites=8, args=[arg_res("thread", "thread")],
+          doc="Delete a thread and release its stack.")
+    def rt_thread_delete(self, thread: int) -> int:
+        target = self._lookup(thread, "thread")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if target.name == "main":
+            self.ctx.cov(2)
+            return RT_ERROR
+        target.state = "deleted"
+        self.threads.remove(target)
+        self.smem.free(target.stack_addr)
+        del self.handles[target.handle]
+        if self.current_thread is target:
+            self.ctx.cov(3)
+            self.current_thread = None
+            self.rt_schedule()
+        return RT_EOK
+
+    @kapi(module="thread", sites=4, doc="Yield the processor.")
+    def rt_thread_yield(self) -> int:
+        self.rt_schedule()
+        return RT_EOK
+
+    @kapi(module="thread", sites=8,
+          args=[arg_res("thread", "thread"), arg_int("cmd", 0, 4),
+                arg_int("arg", 0, 40)],
+          doc="Thread control: 0=setprio 1=suspend 2=resume 3=info.")
+    def rt_thread_control(self, thread: int, cmd: int, arg: int) -> int:
+        target = self._lookup(thread, "thread")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if cmd == 0:
+            if arg > MAX_PRIORITY:
+                self.ctx.cov(2)
+                return RT_EINVAL
+            target.priority = arg
+        elif cmd == 1:
+            self.ctx.cov(3)
+            target.state = "suspended"
+        elif cmd == 2:
+            if target.state == "suspended":
+                self.ctx.cov(4)
+                target.state = "ready"
+        elif cmd == 3:
+            return target.priority
+        else:
+            self.ctx.cov(5)
+            return RT_EINVAL
+        self.rt_schedule()
+        return RT_EOK
+
+    # ======================= heap API =======================
+
+    @kfunc(module="heap", sites=4)
+    def _heap_lock(self) -> None:
+        """Take the allocator lock.
+
+        Injected bug #9 manifests here: a double free leaks the lock
+        (see :meth:`rt_free`), so the next heap operation recurses on it.
+        """
+        if self.heap_lock_depth > 0:
+            self.ctx.cov(1)
+            self.ctx.panic("recursive heap lock in _heap_lock",
+                           "heap lock leaked by an earlier failed free")
+        self.heap_lock_depth += 1
+
+    @kfunc(module="heap", sites=2)
+    def _heap_unlock(self) -> None:
+        self.heap_lock_depth = max(self.heap_lock_depth - 1, 0)
+
+    @kapi(module="heap", sites=8, args=[arg_int("size", 0, 8192)],
+          ret="mem", doc="Allocate from the small-mem heap.")
+    def rt_malloc(self, size: int) -> int:
+        self._heap_lock()
+        addr = self.smem.malloc(size)
+        self._heap_unlock()
+        if addr == 0:
+            self.ctx.cov(1)
+            return 0
+        ref = self._register(_HeapRef(addr, size))
+        return ref.handle
+
+    @kapi(module="heap", sites=8, args=[arg_res("mem", "mem")],
+          doc="Return an allocation to the heap.")
+    def rt_free(self, mem: int) -> int:
+        ref = self._lookup(mem, "mem")
+        if ref is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        self._heap_lock()
+        if ref.freed:
+            self.ctx.cov(2)
+            # Injected bug #9 (cause): early return on a double free
+            # leaks the heap lock — the panic fires on the *next* heap
+            # operation, inside _heap_lock().
+            return RT_ERROR
+        ref.freed = True
+        self.smem.free(ref.addr)
+        self._heap_unlock()
+        return RT_EOK
+
+    @kapi(module="heap", sites=10,
+          args=[arg_res("mem", "mem"), arg_int("size", 0, 8192)],
+          ret="mem", doc="Resize an allocation.")
+    def rt_realloc(self, mem: int, size: int) -> int:
+        ref = self._lookup(mem, "mem")
+        if ref is None or ref.freed:
+            self.ctx.cov(1)
+            return 0
+        if size == 0:
+            self.ctx.cov(2)
+            self.rt_free(mem)
+            return 0
+        self._heap_lock()
+        if size > ref.size:
+            self.ctx.cov(4)  # grow
+        else:
+            self.ctx.cov(5)  # shrink
+        addr = self.smem.malloc(size)
+        if addr == 0:
+            self.ctx.cov(3)
+            self._heap_unlock()
+            return 0
+        self.smem.free(ref.addr)
+        ref.freed = True
+        self._heap_unlock()
+        new_ref = self._register(_HeapRef(addr, size))
+        return new_ref.handle
+
+    @kapi(module="heap", sites=4, doc="Print heap usage to the console.")
+    def rt_memory_info(self) -> int:
+        self.rt_kprintf(f"memory: used {self.smem.used_bytes} "
+                        f"max {self.smem.max_used}")
+        return self.smem.used_bytes
+
+    @kapi(module="heap", sites=8, args=[arg_str("name", 32)],
+          doc="Rename the small-mem heap (16-byte name field).")
+    def rt_smem_setname(self, name: bytes) -> int:
+        text = name.rstrip(b"\x00")
+        # Injected bug #11: the copy is unbounded (strcpy into the 16-byte
+        # name field); a long name smashes the guard word, which the
+        # post-write validation turns into a panic.  Like strcpy, the
+        # terminating NUL is written too.
+        self.smem.raw_name_write(text + b"\x00")
+        self.ctx.cov(1)
+        if not self.smem.guard_intact():
+            self.ctx.cov(2)
+            self.ctx.panic("heap control block corrupt in rt_smem_setname",
+                           f"name of {len(text)} bytes overran the name "
+                           f"field into the guard word")
+        return RT_EOK
+
+    # ======================= memory pool API =======================
+
+    @kapi(module="mempool", sites=8,
+          args=[arg_str("name", 8), arg_int("block_count", 1, 32),
+                arg_int("block_size", 8, 256)],
+          ret="mp", doc="Create a fixed-block memory pool.")
+    def rt_mp_create(self, name: bytes, block_count: int,
+                     block_size: int) -> int:
+        storage = self.smem.malloc(block_count * block_size)
+        if storage == 0:
+            self.ctx.cov(1)
+            return 0
+        pool = _MemPool(name.decode("latin1")[:8] or "mp", block_count,
+                        block_size, storage)
+        self._register(pool)
+        self.ctx.cov(2)
+        return pool.handle
+
+    @kapi(module="mempool", sites=10,
+          args=[arg_res("mp", "mp"), arg_int("timeout", 0, 50)],
+          ret="mpblock", doc="Allocate one block from a pool.")
+    def rt_mp_alloc(self, mp: int, timeout: int) -> int:
+        pool = self._lookup(mp, "mp")
+        if pool is None:
+            self.ctx.cov(1)
+            return 0
+        # Injected bug #7: the deleted-pool check is missing; the control
+        # block was freed by rt_mp_delete and this dereference faults.
+        if pool.deleted:
+            self.ctx.cov(2)
+            self.ctx.panic("use-after-free in rt_mp_alloc",
+                           f"pool {pool.name!r} control block was freed "
+                           f"by rt_mp_delete")
+        if not pool.free_blocks:
+            self.ctx.cov(3)
+            if timeout > 1000:
+                self.ctx.cov(4)
+                self.ctx.stall("rt_mp_alloc blocked forever on empty pool")
+            return 0
+        index = pool.free_blocks.pop()
+        if not pool.free_blocks and pool.block_count >= 8:
+            self.ctx.cov(5)  # a large pool fully drained
+        block = self._register(_MpBlock(pool, index))
+        self.ctx.ram.write(pool.storage_addr + index * pool.block_size,
+                           b"\xAB")
+        return block.handle
+
+    @kapi(module="mempool", sites=8, args=[arg_res("block", "mpblock")],
+          doc="Return a block to its pool.")
+    def rt_mp_free(self, block: int) -> int:
+        blk = self._lookup(block, "mpblock")
+        if blk is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if blk.freed or blk.pool.deleted:
+            self.ctx.cov(2)
+            return RT_ERROR
+        blk.freed = True
+        blk.pool.free_blocks.append(blk.index)
+        return RT_EOK
+
+    @kapi(module="mempool", sites=6, args=[arg_res("mp", "mp")],
+          doc="Delete a memory pool.")
+    def rt_mp_delete(self, mp: int) -> int:
+        pool = self._lookup(mp, "mp")
+        if pool is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if pool.deleted:
+            self.ctx.cov(2)
+            return RT_ERROR
+        pool.deleted = True  # handle stays resolvable: the stale pointer
+        self.smem.free(pool.storage_addr)
+        return RT_EOK
+
+    # ======================= IPC: semaphore / mutex =======================
+
+    @kapi(module="ipc", sites=6,
+          args=[arg_str("name", 8), arg_int("value", 0, 16),
+                arg_int("flag", 0, 1)],
+          ret="rtsem", doc="Create a semaphore.")
+    def rt_sem_create(self, name: bytes, value: int, flag: int) -> int:
+        sem = _Semaphore(name.decode("latin1")[:8] or "sem", value, flag)
+        self._register(sem)
+        return sem.handle
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_res("sem", "rtsem"), arg_int("timeout", 0, 50)],
+          doc="Take a semaphore.")
+    def rt_sem_take(self, sem: int, timeout: int) -> int:
+        target = self._lookup(sem, "sem")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if target.value == 0:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("rt_sem_take blocked forever")
+            return RT_ETIMEOUT
+        target.value -= 1
+        return RT_EOK
+
+    @kapi(module="ipc", sites=5, args=[arg_res("sem", "rtsem")],
+          doc="Release a semaphore.")
+    def rt_sem_release(self, sem: int) -> int:
+        target = self._lookup(sem, "sem")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        target.value += 1
+        self.rt_schedule()
+        return RT_EOK
+
+    @kapi(module="ipc", sites=5, args=[arg_res("sem", "rtsem")],
+          doc="Delete a semaphore.")
+    def rt_sem_delete(self, sem: int) -> int:
+        target = self._lookup(sem, "sem")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        del self.handles[target.handle]
+        return RT_EOK
+
+    @kapi(module="ipc", sites=5, args=[arg_str("name", 8)], ret="rtmutex",
+          doc="Create a mutex.")
+    def rt_mutex_create(self, name: bytes) -> int:
+        mutex = _Mutex(name.decode("latin1")[:8] or "mtx")
+        self._register(mutex)
+        return mutex.handle
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_res("mutex", "rtmutex"), arg_int("timeout", 0, 50)],
+          doc="Take a mutex (recursive for the holder).")
+    def rt_mutex_take(self, mutex: int, timeout: int) -> int:
+        target = self._lookup(mutex, "mutex")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        me = self.current_thread.handle if self.current_thread else 0
+        if target.holder in (0, me):
+            self.ctx.cov(2)
+            target.holder = me
+            target.hold_count += 1
+            if target.hold_count >= 3:
+                self.ctx.cov(4)  # deep recursive hold
+            return RT_EOK
+        if timeout > 1000:
+            self.ctx.cov(3)
+            self.ctx.stall("rt_mutex_take blocked forever")
+        return RT_ETIMEOUT
+
+    @kapi(module="ipc", sites=6, args=[arg_res("mutex", "rtmutex")],
+          doc="Release a mutex.")
+    def rt_mutex_release(self, mutex: int) -> int:
+        target = self._lookup(mutex, "mutex")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        me = self.current_thread.handle if self.current_thread else 0
+        if target.holder != me:
+            self.ctx.cov(2)
+            return RT_ERROR
+        target.hold_count -= 1
+        if target.hold_count <= 0:
+            target.holder = 0
+            target.hold_count = 0
+        return RT_EOK
+
+    # ======================= IPC: event =======================
+
+    @kapi(module="ipc", sites=5,
+          args=[arg_str("name", 8), arg_int("flag", 0, 3)], ret="rtevent",
+          doc="Create an event set.")
+    def rt_event_create(self, name: bytes, flag: int) -> int:
+        event = _Event(name.decode("latin1")[:8] or "evt", flag)
+        self._register(event)
+        return event.handle
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_res("event", "rtevent"), arg_int("set", 0, 0xFFFFFF)],
+          doc="Send (OR in) event bits.")
+    def rt_event_send(self, event: int, event_set: int) -> int:
+        target = self._lookup(event, "event")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        # Injected bug #10: no liveness check — a deleted event's control
+        # block has been freed; the waiter-list walk dereferences garbage.
+        if target.deleted:
+            self.ctx.cov(2)
+            self.ctx.panic("illegal control block in rt_event_send",
+                           f"event {target.name!r} was deleted; waiter "
+                           f"list pointer is dangling")
+        if event_set == 0:
+            self.ctx.cov(3)
+            return RT_EINVAL
+        if bin(target.set & event_set).count("1") >= 2:
+            self.ctx.cov(4)  # re-sending bits that are already pending
+        target.set |= event_set & 0xFFFFFF
+        self.rt_schedule()
+        return RT_EOK
+
+    @kapi(module="ipc", sites=10,
+          args=[arg_res("event", "rtevent"), arg_int("set", 1, 0xFFFFFF),
+                arg_int("option", 1, 7), arg_int("timeout", 0, 50)],
+          doc="Receive event bits (AND/OR, optional CLEAR).")
+    def rt_event_recv(self, event: int, event_set: int, option: int,
+                      timeout: int) -> int:
+        target = self._lookup(event, "event")
+        if target is None or target.deleted:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if not option & (EVENT_AND | EVENT_OR):
+            self.ctx.cov(2)
+            return RT_EINVAL
+        if option & EVENT_AND:
+            satisfied = (target.set & event_set) == event_set
+        else:
+            satisfied = (target.set & event_set) != 0
+        if not satisfied:
+            self.ctx.cov(3)
+            if timeout > 1000:
+                self.ctx.cov(4)
+                self.ctx.stall("rt_event_recv blocked forever")
+            return RT_ETIMEOUT
+        received = target.set & event_set
+        if option & EVENT_CLEAR:
+            self.ctx.cov(5)
+            target.set &= ~event_set
+        return received
+
+    @kapi(module="ipc", sites=5, args=[arg_res("event", "rtevent")],
+          doc="Delete an event set.")
+    def rt_event_delete(self, event: int) -> int:
+        target = self._lookup(event, "event")
+        if target is None or target.deleted:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        target.deleted = True  # control block freed; handle stays (bug #10)
+        return RT_EOK
+
+    # ======================= IPC: mailbox / message queue =======================
+
+    @kapi(module="ipc", sites=6,
+          args=[arg_str("name", 8), arg_int("size", 1, 16)], ret="rtmb",
+          doc="Create a mailbox of machine words.")
+    def rt_mb_create(self, name: bytes, size: int) -> int:
+        mailbox = _Mailbox(name.decode("latin1")[:8] or "mb", size)
+        self._register(mailbox)
+        return mailbox.handle
+
+    @kapi(module="ipc", sites=7,
+          args=[arg_res("mb", "rtmb"), arg_int("value", 0, 1 << 31)],
+          doc="Post a word to a mailbox.")
+    def rt_mb_send(self, mb: int, value: int) -> int:
+        target = self._lookup(mb, "mb")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if len(target.msgs) >= target.size:
+            self.ctx.cov(2)
+            return RT_EFULL
+        target.msgs.append(value)
+        return RT_EOK
+
+    @kapi(module="ipc", sites=7,
+          args=[arg_res("mb", "rtmb"), arg_int("timeout", 0, 50)],
+          doc="Receive a word from a mailbox.")
+    def rt_mb_recv(self, mb: int, timeout: int) -> int:
+        target = self._lookup(mb, "mb")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if not target.msgs:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("rt_mb_recv blocked forever")
+            return RT_ETIMEOUT
+        return target.msgs.pop(0) & 0x7FFFFFFF
+
+    @kapi(module="ipc", sites=5, args=[arg_res("mb", "rtmb")],
+          doc="Delete a mailbox.")
+    def rt_mb_delete(self, mb: int) -> int:
+        target = self._lookup(mb, "mb")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        del self.handles[target.handle]
+        return RT_EOK
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_str("name", 8), arg_int("msg_size", 4, 64),
+                arg_int("max_msgs", 1, 16)],
+          ret="rtmq", doc="Create a message queue.")
+    def rt_mq_create(self, name: bytes, msg_size: int, max_msgs: int) -> int:
+        storage = self.smem.malloc(msg_size * max_msgs)
+        if storage == 0:
+            self.ctx.cov(1)
+            return 0
+        queue = _MsgQueue(name.decode("latin1")[:8] or "mq", msg_size,
+                          max_msgs, storage)
+        self._register(queue)
+        return queue.handle
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_res("mq", "rtmq"), arg_buf("data", 64)],
+          doc="Send a message.")
+    def rt_mq_send(self, mq: int, data: bytes) -> int:
+        target = self._lookup(mq, "mq")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if target.count >= target.max_msgs:
+            self.ctx.cov(2)
+            return RT_EFULL
+        payload = data[:target.msg_size].ljust(target.msg_size, b"\x00")
+        self.ctx.ram.write(target.storage_addr + target.head * target.msg_size,
+                           payload)
+        target.head = (target.head + 1) % target.max_msgs
+        target.count += 1
+        if target.count == target.max_msgs and target.msg_size >= 32:
+            self.ctx.cov(4)  # wide queue filled completely
+        return RT_EOK
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_res("mq", "rtmq"), arg_int("timeout", 0, 50)],
+          doc="Receive a message.")
+    def rt_mq_recv(self, mq: int, timeout: int) -> int:
+        target = self._lookup(mq, "mq")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if target.count == 0:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("rt_mq_recv blocked forever")
+            return RT_ETIMEOUT
+        self.ctx.ram.read(target.storage_addr + target.tail * target.msg_size,
+                          target.msg_size)
+        target.tail = (target.tail + 1) % target.max_msgs
+        target.count -= 1
+        return RT_EOK
+
+    @kapi(module="ipc", sites=5, args=[arg_res("mq", "rtmq")],
+          doc="Delete a message queue.")
+    def rt_mq_delete(self, mq: int) -> int:
+        target = self._lookup(mq, "mq")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        self.smem.free(target.storage_addr)
+        del self.handles[target.handle]
+        return RT_EOK
+
+    # ======================= service registry (bug #6) =======================
+
+    @kfunc(module="service", sites=4)
+    def rt_list_isempty(self) -> int:
+        """kservice list probe — panics on a corrupted ring (bug #6)."""
+        if self.service_list_corrupt:
+            self.ctx.cov(1)
+            self.ctx.panic("list corruption in rt_list_isempty",
+                           "service list node unlinked twice; prev pointer "
+                           "dangles")
+        return 1 if self.service_list.is_empty() else 0
+
+    @kapi(module="service", sites=6, args=[arg_int("slot", 0, 9)],
+          doc="Register a system service slot.")
+    def rt_service_register(self, slot: int) -> int:
+        if not 0 <= slot < len(self.service_slots):
+            self.ctx.cov(1)
+            return RT_EINVAL
+        service = self.service_slots[slot]
+        if service.registered:
+            self.ctx.cov(2)
+            return RT_ERROR
+        self.service_list.push_back(service.node)
+        service.registered = True
+        return RT_EOK
+
+    @kapi(module="service", sites=8, args=[arg_int("slot", 0, 9)],
+          doc="Unregister a system service slot.")
+    def rt_service_unregister(self, slot: int) -> int:
+        if not 0 <= slot < len(self.service_slots):
+            self.ctx.cov(1)
+            return RT_EINVAL
+        service = self.service_slots[slot]
+        # Injected bug #6 (cause): the registered check is missing, so a
+        # double unregister splices a free node out of nothing and leaves
+        # the ring inconsistent.  The panic fires later, in
+        # rt_list_isempty(), when the walk trips on the damage.
+        if not service.registered:
+            self.ctx.cov(2)
+            self.service_list_corrupt = True
+        service.node.unlink()
+        service.registered = False
+        return RT_EOK
+
+    @kapi(module="service", sites=6, doc="Poll registered services.")
+    def rt_service_poll(self) -> int:
+        if self.rt_list_isempty():
+            self.ctx.cov(1)
+            return 0
+        count = 0
+        for _node in self.service_list:
+            self.ctx.cov(2)
+            self.ctx.cycles(8)
+            count += 1
+        return count
+
+    # ======================= device API =======================
+
+    @kapi(module="device", sites=6,
+          args=[arg_str("name", 8, candidates=("uart0", "uart1", "spi0"))],
+          ret="device", doc="Find a registered device by name.")
+    def rt_device_find(self, name: bytes) -> int:
+        text = name.decode("latin1").rstrip("\x00")[:8]
+        handle = self.containers.get(OT_DEVICE, {}).get(text)
+        if handle is None:
+            self.ctx.cov(1)
+            return 0
+        return handle
+
+    @kapi(module="device", sites=6,
+          args=[arg_res("device", "device"), arg_int("oflag", 0, 3)],
+          doc="Open a device.")
+    def rt_device_open(self, device: int, oflag: int) -> int:
+        target = self._lookup(device, "device")
+        if target is None or not target.registered:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        target.open_count += 1
+        return RT_EOK
+
+    @kapi(module="device", sites=6, args=[arg_res("device", "device")],
+          doc="Close a device.")
+    def rt_device_close(self, device: int) -> int:
+        target = self._lookup(device, "device")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if target.open_count == 0:
+            self.ctx.cov(2)
+            return RT_ERROR
+        target.open_count -= 1
+        return RT_EOK
+
+    @kapi(module="device", sites=7,
+          args=[arg_res("device", "device"), arg_buf("data", 128)],
+          doc="Write bytes to a device.")
+    def rt_device_write(self, device: int, data: bytes) -> int:
+        target = self._lookup(device, "device")
+        if target is None:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        return self._rt_device_write(target,
+                                     data.decode("latin1", "replace"))
+
+    @kapi(module="device", sites=6,
+          args=[arg_res("device", "device"), arg_int("length", 1, 128)],
+          doc="Read bytes from a device.")
+    def rt_device_read(self, device: int, length: int) -> int:
+        target = self._lookup(device, "device")
+        if target is None or not target.registered:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        self.ctx.cycles(length)
+        return 0  # nothing buffered on the virtual wire
+
+    @kapi(module="device", sites=6, args=[arg_res("device", "device")],
+          doc="Unregister a device (its ops table is freed).")
+    def rt_device_unregister(self, device: int) -> int:
+        target = self._lookup(device, "device")
+        if target is None or not target.registered:
+            self.ctx.cov(1)
+            return RT_EINVAL
+        target.registered = False
+        target.ops_valid = False  # the stale pointer behind bug #12
+        self._container_del(OT_DEVICE, target.name)
+        return RT_EOK
+
+    # ======================= SAL sockets (Figure 6) =======================
+
+    @kfunc(module="net", sites=8)
+    def sal_socket(self, domain: int, sock_type: int, protocol: int) -> int:
+        """sal_socket.c:1059 — the socket-abstraction-layer entry."""
+        if domain not in (2, 10):
+            self.ctx.cov(1)
+            # Unusual-but-tolerated domains get logged: the console write
+            # that Figure 6 shows blowing up on a stale serial device.
+            self.rt_kprintf(f"[sal] socket domain 0x{domain:x} "
+                            f"falls back to AF_INET")
+        if sock_type not in (1, 2, 3):
+            self.ctx.cov(2)
+            return RT_EINVAL
+        if protocol not in (0, 6, 17):
+            self.ctx.cov(3)
+            return RT_EINVAL
+        self.rt_kprintf("[sal] create socket")
+        sock = self._register(_RtObject(OT_DEVICE, "sock"))
+        self.ctx.cov(4)
+        return sock.handle
+
+    @kapi(module="net", sites=6,
+          args=[arg_int("domain", 0, 0xFFFF), arg_int("type", 0, 8),
+                arg_int("protocol", 0, 32)],
+          ret="sock", doc="net_sockets.c:244 — BSD socket().")
+    def socket(self, domain: int, sock_type: int, protocol: int) -> int:
+        result = self.sal_socket(domain, sock_type, protocol)
+        if result < 0:
+            self.ctx.cov(1)
+            return RT_ERROR
+        return result
+
+    @kapi(module="net", sites=6,
+          args=[arg_res("sock", "sock"), arg_int("port", 0, 65535)],
+          doc="Bind a socket to a local port.")
+    def bind(self, sock: int, port: int) -> int:
+        target = self._lookup(sock, "obj")
+        if target is None or target.name != "sock":
+            self.ctx.cov(1)
+            return RT_EINVAL
+        if port == 0:
+            self.ctx.cov(2)
+            return RT_EINVAL
+        return RT_EOK
+
+    @kapi(module="net", sites=5, args=[arg_res("sock", "sock")],
+          doc="Close a socket.")
+    def closesocket(self, sock: int) -> int:
+        target = self._lookup(sock, "obj")
+        if target is None or target.name != "sock":
+            self.ctx.cov(1)
+            return RT_EINVAL
+        del self.handles[target.handle]
+        return RT_EOK
+
+    # ======================= pseudo syscalls =======================
+
+    @kapi(module="pseudo", sites=8, pseudo=True,
+          args=[arg_int("domain", 0, 0xFFFF), arg_int("type", 0, 8),
+                arg_int("protocol", 0, 32), arg_int("port", 0, 65535)],
+          ret="sock",
+          doc="Create a socket and bind it (the Figure 6 reproducer).")
+    def syz_create_bind_socket(self, domain: int, sock_type: int,
+                               protocol: int, port: int) -> int:
+        sock = self.socket(domain, sock_type, protocol)
+        if sock < 0:
+            self.ctx.cov(1)
+            return RT_ERROR
+        if port:
+            self.ctx.cov(2)
+            self.bind(sock, port)
+        return sock
+
+    @kapi(module="pseudo", sites=10, pseudo=True,
+          args=[arg_int("n", 1, 8), arg_int("kind", 0, 3)],
+          doc="A burst of IPC traffic across fresh objects.")
+    def syz_ipc_storm(self, n: int, kind: int) -> int:
+        n = max(0, min(n, 24))
+        done = 0
+        if kind == 0:
+            sem = self.rt_sem_create(b"storm", 1, 0)
+            for _ in range(n):
+                if self.rt_sem_take(sem, 0) == RT_EOK:
+                    self.ctx.cov(1)
+                    self.rt_sem_release(sem)
+                    done += 1
+            self.rt_sem_delete(sem)
+        elif kind == 1:
+            event = self.rt_event_create(b"storm", 0)
+            for i in range(n):
+                if self.rt_event_send(event, 1 << (i % 24)) == RT_EOK:
+                    self.ctx.cov(2)
+                    done += 1
+            self.rt_event_recv(event, (1 << n) - 1 or 1, EVENT_OR, 0)
+            self.rt_event_delete(event)
+        elif kind == 2:
+            mailbox = self.rt_mb_create(b"storm", max(n, 1))
+            for i in range(n):
+                if self.rt_mb_send(mailbox, i * 3) == RT_EOK:
+                    self.ctx.cov(3)
+                    done += 1
+            while self.rt_mb_recv(mailbox, 0) >= 0:
+                pass
+            self.rt_mb_delete(mailbox)
+        else:
+            queue = self.rt_mq_create(b"storm", 8, max(n, 1))
+            if queue > 0:
+                for i in range(n):
+                    if self.rt_mq_send(queue, bytes([i & 0xFF]) * 8) == RT_EOK:
+                        self.ctx.cov(4)
+                        done += 1
+                while self.rt_mq_recv(queue, 0) == RT_EOK:
+                    pass
+                self.rt_mq_delete(queue)
+        return done
+
+    @kapi(module="pseudo", sites=8, pseudo=True,
+          args=[arg_int("n", 1, 5), arg_int("prio", 0, 31),
+                arg_int("ticks", 0, 16)],
+          doc="Thread create/start/delay/delete lifecycle burst.")
+    def syz_thread_lifecycle(self, n: int, prio: int, ticks: int) -> int:
+        created = []
+        for i in range(n):
+            handle = self.rt_thread_create(b"burst", 256, (prio + i) % 32, 4)
+            if handle > 0:
+                self.ctx.cov(1)
+                self.rt_thread_startup(handle)
+                created.append(handle)
+        self.rt_thread_delay(ticks)
+        for handle in created:
+            self.rt_thread_delete(handle)
+        return len(created)

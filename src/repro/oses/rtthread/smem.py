@@ -1,0 +1,184 @@
+"""RT-Thread's small-memory allocator (``rt_smem``), boundary-tag style.
+
+A deliberately different algorithm from FreeRTOS's heap_4: every block
+(used or free) carries a 12-byte boundary tag with *prev/next offsets*
+and a magic word, and allocation walks the block chain linearly (RT-Thread
+"small mem" keeps a lowest-free pointer rather than a free list).
+
+Block header (12 bytes, little-endian)::
+
+    u16 magic      0x1EA0
+    u16 used       0 free / 1 used
+    u32 next       offset of the next block header
+    u32 prev       offset of the previous block header
+
+The heap control block at the start of the window holds an 8-byte name
+field (``rt_smem_setname`` writes it) followed by a guard word — the
+adjacency that injected bug #11 exploits.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import List, Optional, Tuple
+
+from repro.hw.memory import Ram
+
+MAGIC = 0x1EA0
+HEADER_SIZE = 12
+NAME_FIELD = 16     # name buffer (overruns land on the guard word)
+CONTROL_SIZE = 24   # 16-byte name + 4-byte guard + 4 pad
+GUARD_WORD = 0x5AFE5AFE
+ALIGNMENT = 8
+
+
+class SmallMem:
+    """The rt_smem allocator over ``ram[base, base+size)``."""
+
+    def __init__(self, ram: Ram, base: int, size: int):
+        if size < CONTROL_SIZE + 2 * HEADER_SIZE + ALIGNMENT:
+            raise ValueError("smem window too small")
+        self.ram = ram
+        self.base = base
+        self.size = size & ~(ALIGNMENT - 1)
+        self.used_bytes = 0
+        self.max_used = 0
+        self.locked = False
+        self._init_control()
+
+    # -- control block --------------------------------------------------------
+
+    def _init_control(self) -> None:
+        self.ram.write(self.base, b"small-mm".ljust(NAME_FIELD, b"\x00"))
+        self.ram.write_u32(self.base + NAME_FIELD, GUARD_WORD)
+        self.ram.write_u32(self.base + NAME_FIELD + 4, 0)
+        first = CONTROL_SIZE
+        end = self.size - HEADER_SIZE
+        self._write_header(first, used=0, nxt=end, prev=first)
+        # Terminal sentinel block.
+        self._write_header(end, used=1, nxt=end, prev=first)
+        self.used_bytes = 0
+
+    def name(self) -> bytes:
+        """The heap's name field (C-string semantics: stops at NUL)."""
+        raw = self.ram.read(self.base, NAME_FIELD)
+        return raw.split(b"\x00", 1)[0]
+
+    def guard_intact(self) -> bool:
+        """Is the guard word after the name field undamaged?"""
+        return self.ram.read_u32(self.base + NAME_FIELD) == GUARD_WORD
+
+    def raw_name_write(self, data: bytes) -> None:
+        """Unbounded write into the name field (bug #11's memcpy)."""
+        self.ram.write(self.base, data)
+
+    # -- headers ---------------------------------------------------------------
+
+    def _write_header(self, off: int, used: int, nxt: int, prev: int) -> None:
+        self.ram.write(self.base + off,
+                       struct.pack("<HHII", MAGIC, used, nxt, prev))
+
+    def _read_header(self, off: int) -> Tuple[int, int, int, int]:
+        magic, used, nxt, prev = struct.unpack(
+            "<HHII", self.ram.read(self.base + off, HEADER_SIZE))
+        return magic, used, nxt, prev
+
+    def _end_off(self) -> int:
+        return self.size - HEADER_SIZE
+
+    # -- allocation ----------------------------------------------------------------
+
+    def malloc(self, want: int) -> int:
+        """Allocate; returns the payload's absolute address or 0."""
+        if want <= 0 or want > self.size:
+            return 0
+        need = (want + ALIGNMENT - 1) & ~(ALIGNMENT - 1)
+        off = CONTROL_SIZE
+        end = self._end_off()
+        while off < end:
+            magic, used, nxt, prev = self._read_header(off)
+            if magic != MAGIC or nxt <= off or nxt > end:
+                return 0  # chain corrupted
+            avail = nxt - off - HEADER_SIZE
+            if not used and avail >= need:
+                if avail - need >= HEADER_SIZE + ALIGNMENT:
+                    # Split the tail into a new free block.
+                    split = off + HEADER_SIZE + need
+                    self._write_header(split, used=0, nxt=nxt, prev=off)
+                    n_magic, n_used, n_nxt, n_prev = self._read_header(nxt)
+                    self._write_header(nxt, n_used, n_nxt, split)
+                    self._write_header(off, used=1, nxt=split, prev=prev)
+                else:
+                    self._write_header(off, used=1, nxt=nxt, prev=prev)
+                self.used_bytes += need + HEADER_SIZE
+                self.max_used = max(self.max_used, self.used_bytes)
+                return self.base + off + HEADER_SIZE
+            off = nxt
+        return 0
+
+    def free(self, payload_addr: int) -> bool:
+        """Release a block; returns False on an invalid pointer."""
+        off = payload_addr - self.base - HEADER_SIZE
+        end = self._end_off()
+        if off < CONTROL_SIZE or off >= end:
+            return False
+        magic, used, nxt, prev = self._read_header(off)
+        if magic != MAGIC or not used:
+            return False
+        self._write_header(off, used=0, nxt=nxt, prev=prev)
+        self.used_bytes -= (nxt - off)
+        self._coalesce(off)
+        return True
+
+    def _coalesce(self, off: int) -> None:
+        magic, used, nxt, prev = self._read_header(off)
+        end = self._end_off()
+        # Merge forward.
+        if nxt < end:
+            n_magic, n_used, n_nxt, _ = self._read_header(nxt)
+            if n_magic == MAGIC and not n_used:
+                nn_magic, nn_used, nn_nxt, nn_prev = self._read_header(n_nxt)
+                self._write_header(off, used=0, nxt=n_nxt, prev=prev)
+                self._write_header(n_nxt, nn_used, nn_nxt, off)
+                nxt = n_nxt
+        # Merge backward.
+        if prev != off:
+            p_magic, p_used, p_nxt, p_prev = self._read_header(prev)
+            if p_magic == MAGIC and not p_used:
+                self._write_header(prev, used=0, nxt=nxt, prev=p_prev)
+                n_magic, n_used, n_nxt, _ = self._read_header(nxt)
+                self._write_header(nxt, n_used, n_nxt, prev)
+
+    # -- introspection ----------------------------------------------------------------
+
+    def walk(self) -> List[Tuple[int, int, int]]:
+        """(offset, size, used) of every block; [] if the chain is broken."""
+        blocks = []
+        off = CONTROL_SIZE
+        end = self._end_off()
+        hops = 0
+        while off < end and hops < 100_000:
+            magic, used, nxt, _ = self._read_header(off)
+            if magic != MAGIC or nxt <= off or nxt > end:
+                return []
+            blocks.append((off, nxt - off - HEADER_SIZE, used))
+            off = nxt
+            hops += 1
+        return blocks
+
+    def check_invariants(self) -> Optional[str]:
+        """None if healthy, else what is broken (test hook)."""
+        if not self.guard_intact():
+            return "control-block guard word damaged"
+        blocks = self.walk()
+        if not blocks:
+            return "block chain broken"
+        prev_expected = CONTROL_SIZE
+        off = CONTROL_SIZE
+        while off < self._end_off():
+            magic, used, nxt, prev = self._read_header(off)
+            if prev != prev_expected:
+                return f"bad prev link at offset {off}"
+            prev_expected = off
+            off = nxt
+        return None

@@ -1,0 +1,10 @@
+"""Zephyr-flavoured kernel: k_threads with preemptive scheduling and a
+work queue, the chunk/bucket ``sys_heap`` allocator plus ``k_heap``
+instances carved from it, message queues, semaphores, mutexes, timers,
+and Zephyr's own JSON library (descriptor-based encode/decode).
+"""
+
+from repro.oses.zephyr.kernel import ZephyrKernel
+from repro.oses.zephyr.sysheap import SysHeap
+
+__all__ = ["ZephyrKernel", "SysHeap"]

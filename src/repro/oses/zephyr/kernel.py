@@ -1,0 +1,901 @@
+"""The Zephyr-flavoured kernel.
+
+Fully preemptive k_threads, a system work queue, the chunk/bucket
+``sys_heap`` plus carve-out ``k_heap`` instances, message queues,
+semaphores, mutexes, k_timers, and Zephyr's descriptor-style JSON
+library.
+
+Injected bugs (Table 2):
+
+* **#1** ``sys_heap_stress()``     a split/merge path in the stress helper
+  smashes a free-chunk canary; validation panics.
+* **#2** ``z_impl_k_msgq_get()``   get from a cleaned-up message queue
+  dereferences its freed ring buffer.
+* **#3** ``json_obj_encode()``     unbounded recursion over a deep
+  document overflows the kernel stack.
+* **#4** ``k_heap_init()``         a tiny-but-nonzero size underflows the
+  first-chunk computation.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Union
+
+from repro.oses.common.api import (
+    arg_buf,
+    arg_int,
+    arg_res,
+    kapi,
+    kfunc,
+)
+from repro.oses.common.kernel import EmbeddedKernel
+from repro.oses.common.ladders import SensorLadder
+from repro.oses.common.shell import ShellInterpreter
+from repro.oses.zephyr.sysheap import MIN_CHUNK, SysHeap
+
+K_OK = 0
+K_EINVAL = -22
+K_ENOMEM = -12
+K_EAGAIN = -11
+K_ENOMSG = -42
+
+MAX_PRIO = 15
+JSON_MAX_ENCODE_DEPTH = 6
+
+# Sentinel distinct from every legal JSON value (None is legal).
+_JSON_BAD = object()
+
+JsonValue = Union[None, bool, int, str, list, dict]
+
+
+class _KThread:
+    KIND = "kthread"
+
+    def __init__(self, stack_addr: int, stack_size: int, priority: int):
+        self.handle = 0
+        self.stack_addr = stack_addr
+        self.stack_size = stack_size
+        self.priority = priority
+        self.state = "ready"     # ready | sleeping | suspended | dead
+        self.wake_at = 0
+        self.run_count = 0
+
+
+class _KHeap:
+    KIND = "kheap"
+
+    def __init__(self, addr: int, size: int):
+        self.handle = 0
+        self.addr = addr
+        self.size = size
+        self.cursor = 0           # bump allocator inside the carve-out
+        self.live = 0
+
+
+class _KHeapRef:
+    KIND = "kmem"
+
+    def __init__(self, heap: "_KHeap", addr: int, size: int):
+        self.handle = 0
+        self.heap = heap
+        self.addr = addr
+        self.size = size
+        self.freed = False
+
+
+class _SysMem:
+    KIND = "sysmem"
+
+    def __init__(self, addr: int, size: int):
+        self.handle = 0
+        self.addr = addr
+        self.size = size
+        self.freed = False
+
+
+class _MsgQ:
+    KIND = "msgq"
+
+    def __init__(self, max_msgs: int, msg_size: int, buf_addr: int):
+        self.handle = 0
+        self.max_msgs = max_msgs
+        self.msg_size = msg_size
+        self.buf_addr = buf_addr
+        self.count = 0
+        self.head = 0
+        self.tail = 0
+        self.cleaned = False      # buffer freed; handle dangling (bug #2)
+
+
+class _KSem:
+    KIND = "ksem"
+
+    def __init__(self, count: int, limit: int):
+        self.handle = 0
+        self.count = count
+        self.limit = limit
+
+
+class _KMutex:
+    KIND = "kmutex"
+
+    def __init__(self):
+        self.handle = 0
+        self.owner = 0
+        self.lock_count = 0
+
+
+class _KTimer:
+    KIND = "ktimer"
+
+    def __init__(self, period: int):
+        self.handle = 0
+        self.period = period
+        self.expiry = 0
+        self.running = False
+        self.expire_count = 0
+
+
+class _Work:
+    KIND = "work"
+
+    def __init__(self, profile: int):
+        self.handle = 0
+        self.profile = profile
+        self.pending = False
+        self.run_count = 0
+
+
+class _JDoc:
+    KIND = "jzdoc"
+
+    def __init__(self, value: JsonValue):
+        self.handle = 0
+        self.value = value
+
+
+class ZephyrKernel(SensorLadder, ShellInterpreter, EmbeddedKernel):
+    """Zephyr v3-flavoured kernel."""
+
+    NAME = "zephyr"
+    VERSION = "v3.6-repro"
+    BOOT_BANNER = "*** Booting Zephyr OS build (repro) ***"
+    EXCEPTION_SYMBOL = "z_fatal_error"
+    SHELL_PROMPT = "uart:~$"
+    ASSERT_LOG_FORMAT = "ASSERTION FAIL [{expr}] @ {loc}"
+    PANIC_LOG_FORMAT = ">>> ZEPHYR FATAL ERROR: {cause} ({detail})"
+
+    def __init__(self, ctx, config=None):
+        super().__init__(ctx, config)
+        self.sys_heap: Optional[SysHeap] = None
+        self.handles: Dict[int, object] = {}
+        self._next_handle = 1
+        self.uptime_ticks = 0
+        self.threads: List[_KThread] = []
+        self.current: Optional[_KThread] = None
+        self.timers: List[_KTimer] = []
+        self.work_queue: List[_Work] = []
+
+    # -- boot ----------------------------------------------------------------
+
+    def boot_os(self) -> None:
+        layout = self.ctx.layout
+        self.sys_heap = SysHeap(self.ctx.ram, layout.kernel_heap_base,
+                                layout.kernel_heap_size)
+        main_stack = self.sys_heap.alloc(1024)
+        main = _KThread(main_stack, 1024, 0)
+        self._register(main)
+        self.threads.append(main)
+        self.current = main
+        self.ctx.kprintf("sys_heap up; main thread at priority 0")
+
+    def _register(self, obj):
+        handle = self._next_handle
+        self._next_handle += 1
+        obj.handle = handle
+        self.handles[handle] = obj
+        return obj
+
+    def _lookup(self, handle: int, kind: str):
+        obj = self.handles.get(handle)
+        if obj is None or obj.KIND != kind:
+            return None
+        return obj
+
+    # -- scheduler / work queue -----------------------------------------------------
+
+    @kfunc(module="sched", sites=10)
+    def z_swap(self) -> None:
+        """Pick the highest-priority runnable thread (lower wins)."""
+        best: Optional[_KThread] = None
+        for thread in self.threads:
+            if thread.state != "ready":
+                self.ctx.cov(1)
+                continue
+            if best is None or thread.priority < best.priority:
+                self.ctx.cov(2)
+                best = thread
+        if best is None:
+            self.ctx.cov(3)
+            return
+        if best is not self.current:
+            self.ctx.cov(4)
+            self.ctx.cycles(10)
+        self.current = best
+        best.run_count += 1
+
+    @kfunc(module="sched", sites=8)
+    def z_tick(self) -> None:
+        self.uptime_ticks += 1
+        for thread in self.threads:
+            if thread.state == "sleeping" and thread.wake_at <= self.uptime_ticks:
+                self.ctx.cov(1)
+                thread.state = "ready"
+        for timer in self.timers:
+            if timer.running and timer.expiry <= self.uptime_ticks:
+                self.ctx.cov(2)
+                timer.expire_count += 1
+                timer.expiry = self.uptime_ticks + timer.period
+
+    @kfunc(module="workq", sites=8)
+    def z_work_run_pending(self) -> int:
+        """Drain the system work queue (one pass)."""
+        ran = 0
+        for work in self.work_queue:
+            if not work.pending:
+                continue
+            self.ctx.cov(1)
+            work.pending = False
+            work.run_count += 1
+            if work.profile == 1:
+                self.ctx.cov(2)
+                self.ctx.cycles(25)
+            elif work.profile == 2:
+                self.ctx.cov(3)
+                self.z_swap()
+            ran += 1
+        return ran
+
+    def idle_tick(self) -> None:
+        self.z_tick()
+        self.z_work_run_pending()
+        self.z_swap()
+
+    # -- exception entry -----------------------------------------------------------------
+
+    @kfunc(module="kernel", sites=4)
+    def z_fatal_error(self, signal) -> None:
+        """Zephyr fatal-error entry point."""
+        self._fatal_common(signal)
+
+    # ======================= threads =======================
+
+    @kapi(module="thread", sites=10,
+          args=[arg_int("stack_size", 128, 4096), arg_int("priority", 0, 20),
+                arg_int("delay", 0, 50)],
+          ret="kthread", doc="Create and (optionally delayed) start a thread.")
+    def k_thread_create(self, stack_size: int, priority: int,
+                        delay: int) -> int:
+        if priority > MAX_PRIO:
+            self.ctx.cov(1)
+            return K_EINVAL
+        stack = self.sys_heap.alloc(stack_size)
+        if stack == 0:
+            self.ctx.cov(2)
+            return K_ENOMEM
+        thread = _KThread(stack, stack_size, priority)
+        if delay > 0:
+            self.ctx.cov(3)
+            thread.state = "sleeping"
+            thread.wake_at = self.uptime_ticks + delay
+        self._register(thread)
+        self.threads.append(thread)
+        self.z_swap()
+        return thread.handle
+
+    @kapi(module="thread", sites=7, args=[arg_res("thread", "kthread")],
+          doc="Abort a thread and reclaim its stack.")
+    def k_thread_abort(self, thread: int) -> int:
+        target = self._lookup(thread, "kthread")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if target is self.threads[0]:
+            self.ctx.cov(2)
+            return K_EINVAL  # aborting main is refused
+        target.state = "dead"
+        self.threads.remove(target)
+        self.sys_heap.free(target.stack_addr)
+        del self.handles[target.handle]
+        if self.current is target:
+            self.ctx.cov(3)
+            self.current = None
+            self.z_swap()
+        return K_OK
+
+    @kapi(module="thread", sites=5, args=[arg_res("thread", "kthread")],
+          doc="Suspend a thread.")
+    def k_thread_suspend(self, thread: int) -> int:
+        target = self._lookup(thread, "kthread")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        target.state = "suspended"
+        self.z_swap()
+        return K_OK
+
+    @kapi(module="thread", sites=5, args=[arg_res("thread", "kthread")],
+          doc="Resume a suspended thread.")
+    def k_thread_resume(self, thread: int) -> int:
+        target = self._lookup(thread, "kthread")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if target.state == "suspended":
+            self.ctx.cov(2)
+            target.state = "ready"
+            self.z_swap()
+        return K_OK
+
+    @kapi(module="thread", sites=6,
+          args=[arg_res("thread", "kthread"), arg_int("priority", 0, 20)],
+          doc="Change a thread's priority.")
+    def k_thread_priority_set(self, thread: int, priority: int) -> int:
+        target = self._lookup(thread, "kthread")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if priority > MAX_PRIO:
+            self.ctx.cov(2)
+            return K_EINVAL
+        target.priority = priority
+        self.z_swap()
+        return K_OK
+
+    @kapi(module="thread", sites=6, args=[arg_int("ms", 0, 100)],
+          doc="Sleep the current thread.")
+    def k_sleep(self, ms: int) -> int:
+        if ms > 1000:
+            self.ctx.cov(1)
+            self.ctx.stall("k_sleep parked the only runnable thread")
+        for _ in range(min(ms, 64)):
+            self.z_tick()
+        self.z_swap()
+        return K_OK
+
+    @kapi(module="thread", sites=3, doc="Yield to an equal-priority thread.")
+    def k_yield(self) -> int:
+        self.z_swap()
+        return K_OK
+
+    @kapi(module="thread", sites=3, doc="Uptime in ticks.")
+    def k_uptime_get(self) -> int:
+        return self.uptime_ticks
+
+    # ======================= sys_heap =======================
+
+    @kapi(module="heap", sites=6, args=[arg_int("size", 0, 8192)],
+          ret="sysmem", doc="Allocate from the system heap.")
+    def sys_heap_alloc(self, size: int) -> int:
+        addr = self.sys_heap.alloc(size)
+        if addr == 0:
+            self.ctx.cov(1)
+            return 0
+        ref = self._register(_SysMem(addr, size))
+        return ref.handle
+
+    @kapi(module="heap", sites=6, args=[arg_res("mem", "sysmem")],
+          doc="Free a system-heap allocation.")
+    def sys_heap_free(self, mem: int) -> int:
+        ref = self._lookup(mem, "sysmem")
+        if ref is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if ref.freed:
+            self.ctx.cov(2)
+            return K_EINVAL
+        ref.freed = True
+        self.sys_heap.free(ref.addr)
+        return K_OK
+
+    @kapi(module="heap", sites=12,
+          args=[arg_int("ops", 1, 64), arg_int("seed", 0, 1023)],
+          doc="Heap self-test: a deterministic alloc/free storm.")
+    def sys_heap_stress(self, ops: int, seed: int) -> int:
+        """Stress helper mirroring Zephyr's ``sys_heap_stress()``.
+
+        Injected bug #1: with enough operations and an unlucky seed the
+        storm takes a split-then-merge path that writes one word past a
+        shrunken chunk, smashing the next free chunk's canary.  The
+        post-storm validation catches it and panics.
+        """
+        live: List[int] = []
+        state = seed or 1
+        for i in range(ops):
+            state = (state * 1103515245 + 12345) & 0x7FFFFFFF
+            if state & 1 and live:
+                self.ctx.cov(1)
+                self.sys_heap.free(live.pop())
+            else:
+                size = MIN_CHUNK + (state >> 8) % 240
+                addr = self.sys_heap.alloc(size)
+                if addr:
+                    self.ctx.cov(2)
+                    live.append(addr)
+                else:
+                    self.ctx.cov(3)
+        if ops >= 24 and seed % 7 == 3:
+            self.ctx.cov(4)
+            self.sys_heap.corrupt_for_stress(seed % 5)
+        for addr in live:
+            self.sys_heap.free(addr)
+        defect = self.sys_heap.validate()
+        if defect is not None:
+            self.ctx.cov(5)
+            self.ctx.panic("sys_heap corruption in sys_heap_stress", defect)
+        return ops
+
+    # ======================= k_heap =======================
+
+    @kapi(module="kheap", sites=8, args=[arg_int("size", 0, 4096)],
+          ret="kheap", doc="Initialise a k_heap carve-out.")
+    def k_heap_init(self, size: int) -> int:
+        if size < MIN_CHUNK // 2:
+            self.ctx.cov(1)
+            return K_EINVAL  # rejected: rounds to zero granules
+        # Injected bug #4: sizes that pass the (wrong) half-chunk check
+        # but are smaller than a whole chunk header underflow the
+        # first-chunk size computation (size - sizeof(chunk) wraps).
+        if size < MIN_CHUNK:
+            self.ctx.cov(2)
+            self.ctx.panic("chunk0 underflow in k_heap_init",
+                           f"requested {size} bytes < {MIN_CHUNK}-byte "
+                           f"chunk header; first chunk size wrapped")
+        addr = self.sys_heap.alloc(size)
+        if addr == 0:
+            self.ctx.cov(3)
+            return K_ENOMEM
+        heap = _KHeap(addr, size)
+        self._register(heap)
+        return heap.handle
+
+    @kapi(module="kheap", sites=8,
+          args=[arg_res("heap", "kheap"), arg_int("size", 1, 1024),
+                arg_int("timeout", 0, 50)],
+          ret="kmem", doc="Allocate from a k_heap.")
+    def k_heap_alloc(self, heap: int, size: int, timeout: int) -> int:
+        target = self._lookup(heap, "kheap")
+        if target is None:
+            self.ctx.cov(1)
+            return 0
+        aligned = (size + 7) & ~7
+        if target.cursor + aligned > target.size:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("k_heap_alloc blocked forever")
+            return 0
+        addr = target.addr + target.cursor
+        target.cursor += aligned
+        target.live += 1
+        if target.live >= 4 and target.size - target.cursor < 64:
+            self.ctx.cov(4)  # carve-out nearly exhausted under load
+        ref = self._register(_KHeapRef(target, addr, aligned))
+        return ref.handle
+
+    @kapi(module="kheap", sites=6, args=[arg_res("mem", "kmem")],
+          doc="Free a k_heap allocation.")
+    def k_heap_free(self, mem: int) -> int:
+        ref = self._lookup(mem, "kmem")
+        if ref is None or ref.freed:
+            self.ctx.cov(1)
+            return K_EINVAL
+        ref.freed = True
+        ref.heap.live -= 1
+        if ref.heap.live == 0:
+            self.ctx.cov(2)
+            ref.heap.cursor = 0  # whole carve-out reclaimed
+        return K_OK
+
+    # ======================= message queues =======================
+
+    @kapi(module="msgq", sites=8,
+          args=[arg_int("max_msgs", 1, 32), arg_int("msg_size", 4, 64)],
+          ret="msgq", doc="Initialise a message queue.")
+    def k_msgq_init(self, max_msgs: int, msg_size: int) -> int:
+        buf = self.sys_heap.alloc(max_msgs * msg_size)
+        if buf == 0:
+            self.ctx.cov(1)
+            return K_ENOMEM
+        queue = _MsgQ(max_msgs, msg_size, buf)
+        self._register(queue)
+        return queue.handle
+
+    @kapi(module="msgq", sites=8,
+          args=[arg_res("msgq", "msgq"), arg_buf("data", 64),
+                arg_int("timeout", 0, 50)],
+          doc="Put a message.")
+    def k_msgq_put(self, msgq: int, data: bytes, timeout: int) -> int:
+        queue = self._lookup(msgq, "msgq")
+        if queue is None or queue.cleaned:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if queue.count >= queue.max_msgs:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("k_msgq_put blocked forever on a full queue")
+            return K_EAGAIN
+        payload = data[:queue.msg_size].ljust(queue.msg_size, b"\x00")
+        self.ctx.ram.write(queue.buf_addr + queue.head * queue.msg_size,
+                           payload)
+        queue.head = (queue.head + 1) % queue.max_msgs
+        queue.count += 1
+        if queue.count == queue.max_msgs and queue.max_msgs >= 8:
+            self.ctx.cov(4)  # large ring filled completely
+        return K_OK
+
+    @kfunc(module="msgq", sites=8)
+    def z_impl_k_msgq_get(self, queue: _MsgQ, timeout: int) -> int:
+        """The syscall implementation behind ``k_msgq_get``.
+
+        Injected bug #2: no liveness check against a cleaned-up queue —
+        the ring buffer was freed by ``k_msgq_cleanup`` and this read
+        dereferences it.
+        """
+        if queue.cleaned:
+            self.ctx.cov(1)
+            self.ctx.panic("dangling ring buffer in z_impl_k_msgq_get",
+                           "queue buffer was freed by k_msgq_cleanup")
+        if queue.count == 0:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("k_msgq_get blocked forever on empty queue")
+            return K_ENOMSG
+        self.ctx.ram.read(queue.buf_addr + queue.tail * queue.msg_size,
+                          queue.msg_size)
+        queue.tail = (queue.tail + 1) % queue.max_msgs
+        queue.count -= 1
+        return K_OK
+
+    @kapi(module="msgq", sites=5,
+          args=[arg_res("msgq", "msgq"), arg_int("timeout", 0, 50)],
+          doc="Get a message.")
+    def k_msgq_get(self, msgq: int, timeout: int) -> int:
+        queue = self._lookup(msgq, "msgq")
+        if queue is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        return self.z_impl_k_msgq_get(queue, timeout)
+
+    @kapi(module="msgq", sites=5, args=[arg_res("msgq", "msgq")],
+          doc="Discard all queued messages.")
+    def k_msgq_purge(self, msgq: int) -> int:
+        queue = self._lookup(msgq, "msgq")
+        if queue is None or queue.cleaned:
+            self.ctx.cov(1)
+            return K_EINVAL
+        queue.count = 0
+        queue.head = 0
+        queue.tail = 0
+        return K_OK
+
+    @kapi(module="msgq", sites=5, args=[arg_res("msgq", "msgq")],
+          doc="Release the queue's ring buffer.")
+    def k_msgq_cleanup(self, msgq: int) -> int:
+        queue = self._lookup(msgq, "msgq")
+        if queue is None or queue.cleaned:
+            self.ctx.cov(1)
+            return K_EINVAL
+        queue.cleaned = True  # buffer freed; handle dangles (bug #2 food)
+        self.sys_heap.free(queue.buf_addr)
+        return K_OK
+
+    # ======================= semaphores / mutexes =======================
+
+    @kapi(module="ipc", sites=6,
+          args=[arg_int("initial", 0, 16), arg_int("limit", 1, 16)],
+          ret="ksem", doc="Initialise a semaphore.")
+    def k_sem_init(self, initial: int, limit: int) -> int:
+        if initial > limit:
+            self.ctx.cov(1)
+            return K_EINVAL
+        sem = _KSem(initial, limit)
+        self._register(sem)
+        return sem.handle
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_res("sem", "ksem"), arg_int("timeout", 0, 50)],
+          doc="Take a semaphore.")
+    def k_sem_take(self, sem: int, timeout: int) -> int:
+        target = self._lookup(sem, "ksem")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if target.count == 0:
+            self.ctx.cov(2)
+            if timeout > 1000:
+                self.ctx.cov(3)
+                self.ctx.stall("k_sem_take blocked forever")
+            return K_EAGAIN
+        target.count -= 1
+        return K_OK
+
+    @kapi(module="ipc", sites=6, args=[arg_res("sem", "ksem")],
+          doc="Give a semaphore.")
+    def k_sem_give(self, sem: int) -> int:
+        target = self._lookup(sem, "ksem")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if target.count < target.limit:
+            self.ctx.cov(2)
+            target.count += 1
+        self.z_swap()
+        return K_OK
+
+    @kapi(module="ipc", sites=4, ret="kmutex", doc="Initialise a mutex.")
+    def k_mutex_init(self) -> int:
+        mutex = _KMutex()
+        self._register(mutex)
+        return mutex.handle
+
+    @kapi(module="ipc", sites=8,
+          args=[arg_res("mutex", "kmutex"), arg_int("timeout", 0, 50)],
+          doc="Lock a mutex (recursive).")
+    def k_mutex_lock(self, mutex: int, timeout: int) -> int:
+        target = self._lookup(mutex, "kmutex")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        me = self.current.handle if self.current else 0
+        if target.owner in (0, me):
+            self.ctx.cov(2)
+            target.owner = me
+            target.lock_count += 1
+            return K_OK
+        if timeout > 1000:
+            self.ctx.cov(3)
+            self.ctx.stall("k_mutex_lock blocked forever")
+        return K_EAGAIN
+
+    @kapi(module="ipc", sites=6, args=[arg_res("mutex", "kmutex")],
+          doc="Unlock a mutex.")
+    def k_mutex_unlock(self, mutex: int) -> int:
+        target = self._lookup(mutex, "kmutex")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        me = self.current.handle if self.current else 0
+        if target.owner != me:
+            self.ctx.cov(2)
+            return K_EINVAL
+        target.lock_count -= 1
+        if target.lock_count <= 0:
+            target.owner = 0
+            target.lock_count = 0
+        return K_OK
+
+    # ======================= timers / work =======================
+
+    @kapi(module="timer", sites=5, args=[arg_int("period", 1, 100)],
+          ret="ktimer", doc="Initialise a periodic timer.")
+    def k_timer_init(self, period: int) -> int:
+        if period <= 0:
+            self.ctx.cov(2)
+            return K_EINVAL
+        timer = _KTimer(period)
+        self._register(timer)
+        self.timers.append(timer)
+        return timer.handle
+
+    @kapi(module="timer", sites=5, args=[arg_res("timer", "ktimer")],
+          doc="Start a timer.")
+    def k_timer_start(self, timer: int) -> int:
+        target = self._lookup(timer, "ktimer")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        target.running = True
+        target.expiry = self.uptime_ticks + target.period
+        return K_OK
+
+    @kapi(module="timer", sites=5, args=[arg_res("timer", "ktimer")],
+          doc="Stop a timer.")
+    def k_timer_stop(self, timer: int) -> int:
+        target = self._lookup(timer, "ktimer")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        target.running = False
+        return K_OK
+
+    @kapi(module="timer", sites=5, args=[arg_res("timer", "ktimer")],
+          doc="Expirations since start.")
+    def k_timer_status_get(self, timer: int) -> int:
+        target = self._lookup(timer, "ktimer")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        return target.expire_count
+
+    @kapi(module="workq", sites=5, args=[arg_int("profile", 0, 2)],
+          ret="work", doc="Initialise a work item.")
+    def k_work_init(self, profile: int) -> int:
+        work = _Work(profile)
+        self._register(work)
+        self.work_queue.append(work)
+        return work.handle
+
+    @kapi(module="workq", sites=6, args=[arg_res("work", "work")],
+          doc="Submit a work item to the system queue.")
+    def k_work_submit(self, work: int) -> int:
+        target = self._lookup(work, "work")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if target.pending:
+            self.ctx.cov(2)
+            return 0  # already queued
+        target.pending = True
+        if sum(1 for w in self.work_queue if w.pending) >= 4:
+            self.ctx.cov(3)  # work queue backlog
+        return 1
+
+    @kapi(module="workq", sites=4, doc="Run all pending work now.")
+    def k_work_queue_drain(self) -> int:
+        return self.z_work_run_pending()
+
+    # ======================= JSON library =======================
+
+    @kapi(module="json", sites=10,
+          args=[arg_buf("data", 512, fmt="json")], ret="jzdoc",
+          doc="Parse a JSON buffer against the descriptor set.")
+    def json_obj_parse(self, data: bytes) -> int:
+        value = self._json_parse_value(data)
+        if value is _JSON_BAD:
+            self.ctx.cov(1)
+            return K_EINVAL
+        doc = self._register(_JDoc(value))
+        return doc.handle
+
+    @kapi(module="json", sites=8,
+          args=[arg_int("depth", 0, 12), arg_int("width", 1, 4)],
+          ret="jzdoc", doc="Build a synthetic nested document.")
+    def json_mkdeep(self, depth: int, width: int) -> int:
+        # The builder works from a bounded arena, so the node count is
+        # capped even for wide*deep requests (width**depth would not fit
+        # in RAM anyway); depth is what matters for the encoder.
+        budget = [512]
+        fanout = max(min(width, 4), 1)
+
+        def build(level: int) -> JsonValue:
+            if level <= 0 or budget[0] <= 0:
+                return 0
+            budget[0] -= fanout
+            return {f"f{i}": build(level - 1) for i in range(fanout)}
+        doc = self._register(_JDoc(build(min(depth, 12))))
+        self.ctx.cov(1)
+        return doc.handle
+
+    @kapi(module="json", sites=10, args=[arg_res("doc", "jzdoc")],
+          doc="Encode a document (descriptor-driven).")
+    def json_obj_encode(self, doc: int) -> int:
+        target = self._lookup(doc, "jzdoc")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        length = self._json_encode(target.value, 0)
+        self.ctx.cov(2)
+        return length
+
+    def _json_encode(self, value: JsonValue, depth: int) -> int:
+        # Injected bug #3: no depth guard — each level eats kernel stack;
+        # past the limit the encoder runs off the end of it.
+        if depth > JSON_MAX_ENCODE_DEPTH:
+            self.ctx.panic("stack overflow in json_obj_encode",
+                           f"encode recursion reached depth {depth} with a "
+                           f"{512}-byte kernel stack remaining")
+        if isinstance(value, dict):
+            return 2 + sum(len(k) + 3 + self._json_encode(v, depth + 1)
+                           for k, v in value.items())
+        if isinstance(value, list):
+            return 2 + sum(self._json_encode(v, depth + 1) for v in value)
+        if isinstance(value, bool) or value is None:
+            return 5
+        if isinstance(value, str):
+            return len(value) + 2
+        return len(str(value))
+
+    @kapi(module="json", sites=8,
+          args=[arg_res("a", "jzdoc"), arg_res("b", "jzdoc")], ret="jzdoc",
+          doc="Nest document b under a new key of a copy of a.")
+    def json_obj_nest(self, a: int, b: int) -> int:
+        left = self._lookup(a, "jzdoc")
+        right = self._lookup(b, "jzdoc")
+        if left is None or right is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        if not isinstance(left.value, dict):
+            self.ctx.cov(2)
+            return K_EINVAL
+        merged = dict(left.value)
+        merged["nested"] = right.value
+        doc = self._register(_JDoc(merged))
+        return doc.handle
+
+    @kapi(module="json", sites=4, args=[arg_res("doc", "jzdoc")],
+          doc="Release a document.")
+    def json_free(self, doc: int) -> int:
+        target = self._lookup(doc, "jzdoc")
+        if target is None:
+            self.ctx.cov(1)
+            return K_EINVAL
+        del self.handles[target.handle]
+        return K_OK
+
+    def _json_parse_value(self, data: bytes):
+        text = data.decode("utf-8", "replace").strip()
+        if not text:
+            return _JSON_BAD
+        try:
+            import json as _json
+            value = _json.loads(text)
+        except ValueError:
+            return _JSON_BAD
+        if not isinstance(value, (dict, list, str, int, bool, type(None))):
+            return _JSON_BAD
+        return value
+
+    # ======================= pseudo syscalls =======================
+
+    @kapi(module="pseudo", sites=8, pseudo=True,
+          args=[arg_int("n", 1, 8), arg_int("profile", 0, 2)],
+          doc="Flood the work queue and drain it.")
+    def syz_workq_flood(self, n: int, profile: int) -> int:
+        items = []
+        for _ in range(n):
+            handle = self.k_work_init(profile)
+            if handle > 0:
+                self.ctx.cov(1)
+                self.k_work_submit(handle)
+                items.append(handle)
+        return self.k_work_queue_drain()
+
+    @kapi(module="pseudo", sites=10, pseudo=True,
+          args=[arg_int("max_msgs", 1, 8), arg_int("rounds", 1, 16)],
+          doc="Message-queue producer/consumer round-trips.")
+    def syz_msgq_pipeline(self, max_msgs: int, rounds: int) -> int:
+        queue = self.k_msgq_init(max_msgs, 8)
+        if queue <= 0:
+            self.ctx.cov(1)
+            return K_ENOMEM
+        done = 0
+        for i in range(rounds):
+            if self.k_msgq_put(queue, bytes([i & 0xFF]) * 8, 0) == K_OK:
+                self.ctx.cov(2)
+                done += 1
+            if i % 2:
+                self.ctx.cov(3)
+                self.k_msgq_get(queue, 0)
+        self.k_msgq_purge(queue)
+        self.k_msgq_cleanup(queue)
+        return done
+
+    @kapi(module="pseudo", sites=8, pseudo=True,
+          args=[arg_int("n", 1, 16), arg_int("size", 8, 512)],
+          doc="Alloc/free churn against the system heap.")
+    def syz_heap_churn(self, n: int, size: int) -> int:
+        handles = []
+        for i in range(n):
+            handle = self.sys_heap_alloc(size + i * 8)
+            if handle > 0:
+                self.ctx.cov(1)
+                handles.append(handle)
+        for handle in handles[::2]:
+            self.sys_heap_free(handle)
+        for handle in handles[1::2]:
+            self.ctx.cov(2)
+            self.sys_heap_free(handle)
+        return len(handles)

@@ -1,0 +1,43 @@
+"""API specifications (Syzlang subset), §4.5.
+
+The pipeline mirrors the paper's: a synthesiser (:mod:`llmgen`, the
+stand-in for GPT-4o prompted with headers/docs) emits Syzlang text from
+each OS's machine-readable API registry; the text is then *post-validated*
+by parsing (:mod:`parser`) and type checking (:mod:`validate`), and only
+validated specifications are admitted to the fuzzer's corpus.
+"""
+
+from repro.spec.model import (
+    BufferType,
+    CallDef,
+    ConstType,
+    FlagsDef,
+    FlagsRef,
+    IntType,
+    Param,
+    ResourceDef,
+    ResourceRef,
+    SpecSet,
+    StringType,
+)
+from repro.spec.parser import parse_spec
+from repro.spec.llmgen import synthesize_spec_text, generate_validated_specs
+from repro.spec.validate import validate_against_api
+
+__all__ = [
+    "BufferType",
+    "CallDef",
+    "ConstType",
+    "FlagsDef",
+    "FlagsRef",
+    "IntType",
+    "Param",
+    "ResourceDef",
+    "ResourceRef",
+    "SpecSet",
+    "StringType",
+    "parse_spec",
+    "synthesize_spec_text",
+    "generate_validated_specs",
+    "validate_against_api",
+]

@@ -1,0 +1,123 @@
+"""Specification synthesis — the LLM stand-in.
+
+The paper prompts GPT-4o with the target OS's headers, unit-test examples
+and API reference text, asks it to extract signatures, typed arguments
+and constraints, and emit pseudo functions; the output is post-validated
+by parsing and type checking (§4.5).
+
+Offline substitution: each kernel's ``@kapi`` registry *is* our
+machine-readable header/API-reference corpus.  ``synthesize_spec_text``
+walks it and renders Syzlang text; ``generate_validated_specs`` then runs
+the same admit-only-validated gate (parse + type check against the built
+API table).  The synthesiser can optionally inject the kinds of defects a
+generative model produces (unknown types, bad ranges) so the validation
+gate is actually exercised end to end.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Set
+
+from repro.errors import SpecError, SpecParseError, SpecTypeError
+from repro.firmware.builder import BuildInfo
+from repro.oses.common.api import ApiDef, ArgDef
+from repro.spec.model import SpecSet
+from repro.spec.parser import parse_spec
+from repro.spec.validate import validate_against_api
+
+
+def _render_type(arg: ArgDef) -> str:
+    if arg.kind == "int":
+        return f"int32[{arg.lo}:{arg.hi}]"
+    if arg.kind == "flags":
+        # Flag sets are hoisted to named declarations by the caller.
+        return f"flags[{arg.name}_flags]"
+    if arg.kind == "buf":
+        if arg.fmt:
+            return f"buffer[in, {arg.maxlen}, {arg.fmt}]"
+        return f"buffer[in, {arg.maxlen}]"
+    if arg.kind == "str":
+        literals = "".join(f'"{c}", ' for c in arg.candidates)
+        return f"string[{literals}{arg.maxlen}]"
+    if arg.kind == "res":
+        return arg.res or "handle"
+    if arg.kind == "const":
+        return f"const[{arg.value}]"
+    raise SpecError(f"unknown arg kind {arg.kind!r}")
+
+
+def synthesize_spec_text(api_defs: Iterable[ApiDef], os_name: str,
+                         defect_rate: float = 0.0,
+                         defect_seed: int = 0) -> str:
+    """Render Syzlang text for an API registry.
+
+    ``defect_rate`` > 0 makes the synthesiser imperfect on purpose
+    (mimicking raw LLM output): a fraction of declarations get a corrupt
+    type or range, which the validation gate must reject.
+    """
+    api_list = list(api_defs)
+    lines: List[str] = [
+        f"# Syzlang specification for {os_name}",
+        f"# synthesised from the API registry "
+        f"({len(api_list)} calls)",
+        "",
+    ]
+
+    resources: Set[str] = set()
+    for api in api_list:
+        if api.ret:
+            resources.add(api.ret)
+        for arg in api.args:
+            if arg.kind == "res" and arg.res:
+                resources.add(arg.res)
+    for resource in sorted(resources):
+        lines.append(f"resource {resource}[int32]")
+    if resources:
+        lines.append("")
+
+    for api in api_list:
+        for arg in api.args:
+            if arg.kind == "flags":
+                body = ", ".join(f"{n}:{v}" for n, v in arg.flags)
+                lines.append(f"flags {arg.name}_flags = {body}")
+
+    defect_state = defect_seed or 1
+    for api in api_list:
+        params = []
+        for arg in api.args:
+            rendered = _render_type(arg)
+            if defect_rate > 0:
+                defect_state = (defect_state * 48271) % 2147483647
+                if (defect_state % 1000) < defect_rate * 1000:
+                    rendered = "intptr[broken"  # the model hallucinated
+            params.append(f"{arg.name} {rendered}")
+        suffix = f" {api.ret}" if api.ret else ""
+        pseudo = " (pseudo)" if api.pseudo else ""
+        doc = f"  # {api.doc}" if api.doc else ""
+        lines.append(f"{api.name}({', '.join(params)}){suffix}{pseudo}{doc}")
+    return "\n".join(lines) + "\n"
+
+
+def generate_validated_specs(build: BuildInfo,
+                             defect_rate: float = 0.0) -> SpecSet:
+    """The full §4.5 pipeline: synthesise, parse, type check, admit.
+
+    With a nonzero ``defect_rate`` the synthesiser retries declaration-
+    by-declaration, dropping whatever fails validation — only validated
+    specifications enter the corpus, as in the paper.
+    """
+    text = synthesize_spec_text(build.api_defs, build.config.os_name,
+                                defect_rate=defect_rate)
+    try:
+        spec = parse_spec(text, os_name=build.config.os_name)
+        validate_against_api(spec, build.api_defs)
+        return spec
+    except (SpecParseError, SpecTypeError):
+        if defect_rate <= 0:
+            raise
+    # Defective output: regenerate cleanly (the paper re-prompts; we
+    # simply fall back to the defect-free rendering, which must validate).
+    text = synthesize_spec_text(build.api_defs, build.config.os_name)
+    spec = parse_spec(text, os_name=build.config.os_name)
+    validate_against_api(spec, build.api_defs)
+    return spec

@@ -1,0 +1,165 @@
+"""Typed AST of parsed API specifications.
+
+This is the internal representation the paper describes: "EOF converts
+Syzlang into an internal abstract syntax tree that encodes API name,
+typed arguments, and constraints to facilitate input generation" (§4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+
+@dataclass(frozen=True)
+class ResourceDef:
+    """``resource name[int32]`` — a handle type produced/consumed by calls."""
+
+    name: str
+    underlying: str = "int32"
+
+
+@dataclass(frozen=True)
+class FlagsDef:
+    """``flags name = A:1, B:2`` — named bit values."""
+
+    name: str
+    values: Tuple[Tuple[str, int], ...]
+
+    def all_bits(self) -> int:
+        mask = 0
+        for _, bit in self.values:
+            mask |= bit
+        return mask
+
+
+@dataclass(frozen=True)
+class IntType:
+    """``intN[lo:hi]``."""
+
+    bits: int = 32
+    lo: int = 0
+    hi: int = 0xFFFFFFFF
+
+
+@dataclass(frozen=True)
+class FlagsRef:
+    """A reference to a :class:`FlagsDef` by name."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ResourceRef:
+    """An argument consuming a resource handle."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class StringType:
+    """``string[maxlen]`` or ``string["a", "b", maxlen]``."""
+
+    maxlen: int
+    candidates: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class BufferType:
+    """``buffer[in, maxlen]`` or ``buffer[in, maxlen, format]``."""
+
+    maxlen: int
+    fmt: str = ""
+
+
+@dataclass(frozen=True)
+class ConstType:
+    """``const[value]``."""
+
+    value: int
+
+
+TypeRef = Union[IntType, FlagsRef, ResourceRef, StringType, BufferType,
+                ConstType]
+
+
+@dataclass(frozen=True)
+class Param:
+    """One typed parameter."""
+
+    name: str
+    type: TypeRef
+
+
+@dataclass(frozen=True)
+class CallDef:
+    """One API call description."""
+
+    name: str
+    params: Tuple[Param, ...] = ()
+    ret: Optional[str] = None      # resource produced
+    pseudo: bool = False           # syz_* pseudo syscall
+
+    def consumes(self) -> List[str]:
+        """Resource types this call's arguments require."""
+        return [p.type.name for p in self.params
+                if isinstance(p.type, ResourceRef)]
+
+
+@dataclass
+class SpecSet:
+    """A full specification: resources, flags, and ordered call defs.
+
+    Call order is significant — it must match the target kernel's API
+    dispatch table so ``api_id`` values line up on the wire.
+    """
+
+    os_name: str = ""
+    resources: Dict[str, ResourceDef] = field(default_factory=dict)
+    flags: Dict[str, FlagsDef] = field(default_factory=dict)
+    calls: List[CallDef] = field(default_factory=list)
+
+    def call_index(self, name: str) -> int:
+        """api_id of a call."""
+        for i, call in enumerate(self.calls):
+            if call.name == name:
+                return i
+        raise KeyError(name)
+
+    def producers_of(self, resource: str) -> List[int]:
+        """Indices of calls producing ``resource``."""
+        return [i for i, call in enumerate(self.calls)
+                if call.ret == resource]
+
+    def without_pseudo(self) -> "SpecSet":
+        """A copy whose pseudo syscalls are dropped from *generation*.
+
+        The calls list keeps its length (api_ids must stay aligned); the
+        pseudo entries are replaced by None placeholders the generator
+        skips.  Used to model baseline fuzzers whose specs lack the
+        pseudo-function layer (e.g. Tardis, §5.1).
+        """
+        clone = SpecSet(os_name=self.os_name, resources=dict(self.resources),
+                        flags=dict(self.flags), calls=list(self.calls))
+        clone.disabled = {i for i, c in enumerate(self.calls) if c.pseudo}
+        return clone
+
+    # Indices the generator must not emit (populated by without_pseudo).
+    disabled: set = field(default_factory=set)
+
+    def enabled_indices(self) -> List[int]:
+        """api_ids the generator may emit."""
+        return [i for i in range(len(self.calls)) if i not in self.disabled]
+
+    def restricted_to(self, names) -> "SpecSet":
+        """A copy whose generation is confined to the named calls.
+
+        Used for the Table 4 setup, where EOF "is limited to testing the
+        HTTP server and JSON API".  api_ids stay aligned.
+        """
+        allowed = set(names)
+        clone = SpecSet(os_name=self.os_name, resources=dict(self.resources),
+                        flags=dict(self.flags), calls=list(self.calls))
+        clone.disabled = {i for i, c in enumerate(self.calls)
+                          if c.name not in allowed} | set(self.disabled)
+        return clone

@@ -1,0 +1,225 @@
+"""Parser for the Syzlang subset.
+
+Grammar (one declaration per line, ``#`` comments)::
+
+    resource NAME[int32]
+    flags NAME = IDENT:INT, IDENT:INT, ...
+    CALLNAME(param type, param type, ...) [RESOURCE] [(pseudo)]
+
+Parameter types::
+
+    int8[lo:hi] | int16[lo:hi] | int32[lo:hi] | int64[lo:hi]
+    flags[NAME]
+    string[maxlen] | string["lit", "lit", maxlen]
+    buffer[in, maxlen]
+    const[value]
+    RESOURCE            (a previously declared resource name)
+
+This is the "parsing" half of the paper's post-validation gate: text from
+the spec synthesiser that does not parse is rejected before it ever
+reaches the fuzzer.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import List, Tuple
+
+from repro.errors import SpecParseError
+from repro.spec.model import (
+    BufferType,
+    CallDef,
+    ConstType,
+    FlagsDef,
+    FlagsRef,
+    IntType,
+    Param,
+    ResourceDef,
+    ResourceRef,
+    SpecSet,
+    StringType,
+    TypeRef,
+)
+
+_IDENT = r"[A-Za-z_][A-Za-z0-9_]*"
+_RES_RE = re.compile(rf"^resource\s+({_IDENT})\s*\[\s*(int8|int16|int32|int64)\s*\]$")
+_FLAGS_RE = re.compile(rf"^flags\s+({_IDENT})\s*=\s*(.+)$")
+_CALL_RE = re.compile(rf"^({_IDENT})\s*\((.*)\)\s*({_IDENT})?$")
+_INT_TYPE_RE = re.compile(r"^int(8|16|32|64)\[\s*(-?\d+)\s*:\s*(-?\d+)\s*\]$")
+
+
+def _split_top_level(text: str, sep: str = ",") -> List[str]:
+    """Split on ``sep`` outside brackets/quotes."""
+    parts: List[str] = []
+    depth = 0
+    in_str = False
+    current = []
+    for char in text:
+        if in_str:
+            current.append(char)
+            if char == '"':
+                in_str = False
+            continue
+        if char == '"':
+            in_str = True
+            current.append(char)
+        elif char == "[":
+            depth += 1
+            current.append(char)
+        elif char == "]":
+            depth -= 1
+            current.append(char)
+        elif char == sep and depth == 0:
+            parts.append("".join(current).strip())
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return parts
+
+
+def _parse_type(text: str, spec: SpecSet, line_no: int) -> TypeRef:
+    text = text.strip()
+    match = _INT_TYPE_RE.match(text)
+    if match:
+        bits = int(match.group(1))
+        lo, hi = int(match.group(2)), int(match.group(3))
+        if lo > hi:
+            raise SpecParseError(f"empty int range [{lo}:{hi}]", line_no)
+        return IntType(bits=bits, lo=lo, hi=hi)
+    if text.startswith("flags[") and text.endswith("]"):
+        name = text[len("flags["):-1].strip()
+        if not re.fullmatch(_IDENT, name):
+            raise SpecParseError(f"bad flags reference {text!r}", line_no)
+        return FlagsRef(name)
+    if text.startswith("string[") and text.endswith("]"):
+        inner = _split_top_level(text[len("string["):-1])
+        if not inner:
+            raise SpecParseError("string[] needs a max length", line_no)
+        candidates: List[str] = []
+        for piece in inner[:-1]:
+            if not (piece.startswith('"') and piece.endswith('"')):
+                raise SpecParseError(f"bad string literal {piece!r}", line_no)
+            candidates.append(piece[1:-1])
+        try:
+            maxlen = int(inner[-1], 0)
+        except ValueError:
+            raise SpecParseError(f"bad string maxlen {inner[-1]!r}",
+                                 line_no) from None
+        if maxlen <= 0:
+            raise SpecParseError("string maxlen must be positive", line_no)
+        return StringType(maxlen=maxlen, candidates=tuple(candidates))
+    if text.startswith("buffer[") and text.endswith("]"):
+        inner = _split_top_level(text[len("buffer["):-1])
+        if len(inner) not in (2, 3) or inner[0] != "in":
+            raise SpecParseError(f"bad buffer type {text!r}", line_no)
+        try:
+            maxlen = int(inner[1], 0)
+        except ValueError:
+            raise SpecParseError(f"bad buffer maxlen {inner[1]!r}",
+                                 line_no) from None
+        fmt = inner[2] if len(inner) == 3 else ""
+        if fmt and not re.fullmatch(_IDENT, fmt):
+            raise SpecParseError(f"bad buffer format {fmt!r}", line_no)
+        return BufferType(maxlen=maxlen, fmt=fmt)
+    if text.startswith("const[") and text.endswith("]"):
+        try:
+            value = int(text[len("const["):-1], 0)
+        except ValueError:
+            raise SpecParseError(f"bad const {text!r}", line_no) from None
+        return ConstType(value=value)
+    if re.fullmatch(_IDENT, text):
+        if text not in spec.resources:
+            raise SpecParseError(f"unknown resource type {text!r}", line_no)
+        return ResourceRef(text)
+    raise SpecParseError(f"unparseable type {text!r}", line_no)
+
+
+def parse_spec(text: str, os_name: str = "") -> SpecSet:
+    """Parse Syzlang text into a :class:`SpecSet`.
+
+    Raises :class:`SpecParseError` on the first malformed declaration.
+    """
+    spec = SpecSet(os_name=os_name)
+    for line_no, raw_line in enumerate(text.splitlines(), start=1):
+        line = raw_line.split("#", 1)[0].strip()
+        if not line:
+            continue
+
+        match = _RES_RE.match(line)
+        if match:
+            name, underlying = match.groups()
+            if name in spec.resources:
+                raise SpecParseError(f"duplicate resource {name!r}", line_no)
+            spec.resources[name] = ResourceDef(name=name,
+                                               underlying=underlying)
+            continue
+
+        match = _FLAGS_RE.match(line)
+        if match:
+            name, body = match.groups()
+            if name in spec.flags:
+                raise SpecParseError(f"duplicate flags {name!r}", line_no)
+            values: List[Tuple[str, int]] = []
+            for piece in _split_top_level(body):
+                if ":" not in piece:
+                    raise SpecParseError(f"flag {piece!r} missing value",
+                                         line_no)
+                flag_name, _, flag_value = piece.partition(":")
+                flag_name = flag_name.strip()
+                if not re.fullmatch(_IDENT, flag_name):
+                    raise SpecParseError(f"bad flag name {flag_name!r}",
+                                         line_no)
+                try:
+                    values.append((flag_name, int(flag_value.strip(), 0)))
+                except ValueError:
+                    raise SpecParseError(
+                        f"bad flag value {flag_value!r}", line_no) from None
+            if not values:
+                raise SpecParseError("flags need at least one value", line_no)
+            spec.flags[name] = FlagsDef(name=name, values=tuple(values))
+            continue
+
+        pseudo = None
+        if line.endswith("(pseudo)"):
+            pseudo = "(pseudo)"
+            line = line[:-len("(pseudo)")].strip()
+        match = _CALL_RE.match(line)
+        if match:
+            name, params_text, ret = match.groups()
+            params: List[Param] = []
+            if params_text.strip():
+                for piece in _split_top_level(params_text):
+                    tokens = piece.split(None, 1)
+                    if len(tokens) != 2:
+                        raise SpecParseError(
+                            f"parameter {piece!r} needs 'name type'", line_no)
+                    param_name, type_text = tokens
+                    if not re.fullmatch(_IDENT, param_name):
+                        raise SpecParseError(
+                            f"bad parameter name {param_name!r}", line_no)
+                    params.append(Param(name=param_name,
+                                        type=_parse_type(type_text, spec,
+                                                         line_no)))
+            if ret is not None and ret not in spec.resources:
+                raise SpecParseError(f"unknown return resource {ret!r}",
+                                     line_no)
+            if any(call.name == name for call in spec.calls):
+                raise SpecParseError(f"duplicate call {name!r}", line_no)
+            spec.calls.append(CallDef(name=name, params=tuple(params),
+                                      ret=ret, pseudo=pseudo is not None))
+            continue
+
+        raise SpecParseError(f"unrecognised declaration: {line!r}", line_no)
+
+    # Referential integrity for flags (resources were checked inline).
+    for call in spec.calls:
+        for param in call.params:
+            if isinstance(param.type, FlagsRef) and \
+                    param.type.name not in spec.flags:
+                raise SpecParseError(
+                    f"call {call.name!r} references unknown flags "
+                    f"{param.type.name!r}")
+    return spec

@@ -1,0 +1,94 @@
+"""Type checking of parsed specifications against the built API table.
+
+The second half of the paper's post-validation gate: a parsed SpecSet is
+only admitted if every call lines up with the target's actual dispatch
+table — same order (api_ids ride the wire), same arity, and argument
+types compatible with what the kernel implementation declares.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.errors import SpecTypeError
+from repro.oses.common.api import ApiDef
+from repro.spec.model import (
+    BufferType,
+    ConstType,
+    FlagsRef,
+    IntType,
+    ResourceRef,
+    SpecSet,
+    StringType,
+)
+
+_KIND_TO_NODE = {
+    "int": IntType,
+    "flags": FlagsRef,
+    "buf": BufferType,
+    "str": StringType,
+    "res": ResourceRef,
+    "const": ConstType,
+}
+
+
+def validate_against_api(spec: SpecSet, api_defs: Sequence[ApiDef]) -> None:
+    """Raise :class:`SpecTypeError` on the first mismatch."""
+    if len(spec.calls) != len(api_defs):
+        raise SpecTypeError(
+            f"spec has {len(spec.calls)} calls, target exposes "
+            f"{len(api_defs)}")
+    for index, (call, api) in enumerate(zip(spec.calls, api_defs)):
+        where = f"call #{index} ({call.name})"
+        if call.name != api.name:
+            raise SpecTypeError(
+                f"{where}: order mismatch, target has {api.name!r} here")
+        if len(call.params) != len(api.args):
+            raise SpecTypeError(
+                f"{where}: arity {len(call.params)} != {len(api.args)}")
+        if call.pseudo != api.pseudo:
+            raise SpecTypeError(f"{where}: pseudo attribute mismatch")
+        if call.ret != api.ret:
+            raise SpecTypeError(
+                f"{where}: return resource {call.ret!r} != {api.ret!r}")
+        for param, arg in zip(call.params, api.args):
+            expected = _KIND_TO_NODE[arg.kind]
+            if not isinstance(param.type, expected):
+                raise SpecTypeError(
+                    f"{where}: param {param.name!r} is "
+                    f"{type(param.type).__name__}, target wants {arg.kind}")
+            if isinstance(param.type, IntType):
+                if param.type.lo > param.type.hi:
+                    raise SpecTypeError(
+                        f"{where}: param {param.name!r} has an empty range")
+            if isinstance(param.type, ResourceRef) and \
+                    param.type.name != arg.res:
+                raise SpecTypeError(
+                    f"{where}: param {param.name!r} consumes "
+                    f"{param.type.name!r}, target wants {arg.res!r}")
+            if isinstance(param.type, BufferType):
+                if param.type.maxlen > 1024:
+                    raise SpecTypeError(
+                        f"{where}: buffer {param.name!r} exceeds the "
+                        f"wire limit")
+                if param.type.fmt != arg.fmt:
+                    raise SpecTypeError(
+                        f"{where}: buffer {param.name!r} format "
+                        f"{param.type.fmt!r} != {arg.fmt!r}")
+
+
+def check_resource_reachability(spec: SpecSet) -> List[str]:
+    """Sanity report: resources that are consumed but never produced.
+
+    Not a hard error (a spec may intentionally model externally-created
+    handles), but the generator cannot satisfy such parameters, so the
+    report is surfaced in logs and tests.
+    """
+    produced = {call.ret for call in spec.calls if call.ret}
+    orphans = []
+    for call in spec.calls:
+        for need in call.consumes():
+            if need not in produced:
+                orphans.append(f"{call.name} needs unproduced resource "
+                               f"{need!r}")
+    return orphans

@@ -1,0 +1,79 @@
+"""Shared fixtures: built images and booted kernels.
+
+Building a firmware image is deterministic, so builds are cached per
+configuration for the whole test session; boots are cheap and give each
+test a fresh board.
+"""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+from typing import Dict, Tuple
+
+import pytest
+
+from repro.firmware.builder import BuildInfo, build_firmware
+from repro.firmware.layout import BuildConfig
+from repro.firmware.loader import install_firmware_loader
+from repro.firmware.builder import flash_build
+from repro.hw.boards import make_board
+
+_BUILD_CACHE: Dict[Tuple, BuildInfo] = {}
+
+
+def cached_build(os_name: str, board: str = "stm32f407",
+                 components: Tuple[str, ...] = (),
+                 instrument: bool = True,
+                 instrument_modules=None) -> BuildInfo:
+    """Session-cached firmware build."""
+    key = (os_name, board, components, instrument, instrument_modules)
+    if key not in _BUILD_CACHE:
+        _BUILD_CACHE[key] = build_firmware(BuildConfig(
+            os_name=os_name, board=board, components=components,
+            instrument=instrument, instrument_modules=instrument_modules))
+    return _BUILD_CACHE[key]
+
+
+def boot_target(os_name: str, board: str = "stm32f407",
+                components: Tuple[str, ...] = ()) -> SimpleNamespace:
+    """Flash + boot a fresh board; returns kernel/board/build handles."""
+    build = cached_build(os_name, board, components)
+    hw_board = make_board(board)
+    install_firmware_loader(hw_board)
+    flash_build(hw_board, build)
+    hw_board.power_on()
+    assert not hw_board.boot_failed, f"{os_name} failed to boot"
+    runtime = hw_board.runtime
+    return SimpleNamespace(board=hw_board, build=build, runtime=runtime,
+                           kernel=runtime.kernel, ctx=runtime.kernel.ctx)
+
+
+@pytest.fixture
+def freertos():
+    return boot_target("freertos")
+
+
+@pytest.fixture
+def rtthread():
+    return boot_target("rt-thread")
+
+
+@pytest.fixture
+def zephyr():
+    return boot_target("zephyr")
+
+
+@pytest.fixture
+def nuttx():
+    return boot_target("nuttx")
+
+
+@pytest.fixture
+def pokos():
+    return boot_target("pokos", board="qemu-virt")
+
+
+@pytest.fixture
+def freertos_app():
+    return boot_target("freertos", board="esp32",
+                       components=("json", "http"))

@@ -1,0 +1,219 @@
+"""The wire protocol and the execution agent's state machine."""
+
+import struct
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agent.executor import (
+    AGENT_STATUS_MAGIC,
+    STATUS_BAD_PROG,
+    STATUS_CRASHED,
+    STATUS_DONE,
+    STATUS_STALLED,
+)
+from repro.agent.protocol import (
+    ArgData,
+    ArgImm,
+    ArgRef,
+    Call,
+    MAX_CALLS,
+    MAX_DATA,
+    TestProgram,
+    deserialize_program,
+    serialize_program,
+)
+from repro.errors import ProtocolError
+from repro.hw.machine import HaltReason
+
+from conftest import boot_target
+
+
+# -- protocol ----------------------------------------------------------------
+
+args_strategy = st.one_of(
+    st.builds(ArgImm, st.integers(-(1 << 63), (1 << 63) - 1)),
+    st.builds(ArgData, st.binary(max_size=64)),
+)
+
+
+class TestProtocolRoundtrip:
+    def test_empty_program(self):
+        raw = serialize_program(TestProgram(calls=[]))
+        assert deserialize_program(raw).calls == []
+
+    def test_all_argument_kinds(self):
+        program = TestProgram(calls=[
+            Call(1, (ArgImm(-5), ArgData(b"bytes"))),
+            Call(2, (ArgRef(0), ArgImm(1 << 40))),
+        ])
+        back = deserialize_program(serialize_program(program))
+        assert back.calls == program.calls
+
+    @given(st.lists(st.builds(
+        Call,
+        api_id=st.integers(0, 200),
+        args=st.tuples() | st.tuples(args_strategy) |
+        st.tuples(args_strategy, args_strategy)),
+        max_size=16))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_arbitrary_programs(self, calls):
+        program = TestProgram(calls=calls)
+        assert deserialize_program(serialize_program(program)).calls == calls
+
+    def test_refs_must_point_backwards(self):
+        program = TestProgram(calls=[Call(0, (ArgRef(0),))])
+        raw = serialize_program(program)  # self-reference on call 0
+        with pytest.raises(ProtocolError):
+            deserialize_program(raw)
+
+    def test_backward_ref_accepted(self):
+        program = TestProgram(calls=[Call(0, ()), Call(1, (ArgRef(0),))])
+        deserialize_program(serialize_program(program))
+
+
+class TestProtocolRejections:
+    def test_bad_magic(self):
+        with pytest.raises(ProtocolError):
+            deserialize_program(b"\x00" * 16)
+
+    def test_short_header(self):
+        with pytest.raises(ProtocolError):
+            deserialize_program(b"\x50")
+
+    def test_truncated_call(self):
+        raw = serialize_program(TestProgram(calls=[Call(1, (ArgImm(7),))]))
+        with pytest.raises(ProtocolError):
+            deserialize_program(raw[:-3])
+
+    def test_too_many_calls_rejected_on_serialize(self):
+        program = TestProgram(calls=[Call(0, ())] * (MAX_CALLS + 1))
+        with pytest.raises(ProtocolError):
+            serialize_program(program)
+
+    def test_oversized_data_rejected(self):
+        program = TestProgram(calls=[Call(0, (ArgData(b"x" * (MAX_DATA + 1)),))])
+        with pytest.raises(ProtocolError):
+            serialize_program(program)
+
+    def test_unknown_tag_rejected(self):
+        raw = bytearray(serialize_program(
+            TestProgram(calls=[Call(0, (ArgImm(0),))])))
+        raw[8 + 3] = 9  # the argument tag byte
+        with pytest.raises(ProtocolError):
+            deserialize_program(bytes(raw))
+
+
+# -- agent state machine ---------------------------------------------------------
+
+
+def write_program(env, program):
+    raw = serialize_program(program)
+    layout = env.build.ram_layout
+    env.board.ram.write_u32(layout.input_buf_addr, len(raw))
+    env.board.ram.write(layout.input_buf_addr + 4, raw)
+
+
+def read_status(env):
+    layout = env.build.ram_layout
+    raw = env.board.ram.read(layout.status_addr, 20)
+    return struct.unpack("<IIIq", raw)
+
+
+class TestAgentFlow:
+    def test_happy_path_halts_in_figure4_order(self, freertos):
+        api = freertos.build.api_order.index("uxTaskGetNumberOfTasks")
+        write_program(freertos, TestProgram(calls=[Call(api, ())]))
+        symbols = []
+        for _ in range(3):
+            event = freertos.board.resume()
+            symbols.append(event.symbol)
+        assert symbols == ["read_prog", "execute_one", "executor_main"]
+        magic, state, executed, last_rv = read_status(freertos)
+        assert magic == AGENT_STATUS_MAGIC
+        assert state == STATUS_DONE
+        assert executed == 1
+        assert last_rv >= 1
+
+    def test_garbage_input_rejected_without_execution(self, freertos):
+        layout = freertos.build.ram_layout
+        freertos.board.ram.write_u32(layout.input_buf_addr, 40)
+        freertos.board.ram.write(layout.input_buf_addr + 4, b"\xFF" * 40)
+        event = freertos.board.resume()
+        assert event.symbol == "read_prog"
+        assert read_status(freertos)[1] == STATUS_BAD_PROG
+        event = freertos.board.resume()
+        assert event.symbol == "executor_main"
+
+    def test_unknown_api_id_rejected(self, freertos):
+        n_apis = len(freertos.build.api_order)
+        write_program(freertos, TestProgram(calls=[Call(n_apis + 5, ())]))
+        freertos.board.resume()
+        assert read_status(freertos)[1] == STATUS_BAD_PROG
+
+    def test_crash_halts_at_exception_symbol(self, freertos):
+        handler = freertos.build.address_of("panic_handler")
+        freertos.board.machine.set_breakpoint(handler, "exc")
+        api = freertos.build.api_order.index("load_partitions")
+        write_program(freertos, TestProgram(
+            calls=[Call(api, (ArgImm(56), ArgImm(2)))]))
+        events = [freertos.board.resume() for _ in range(3)]
+        assert events[-1].reason == HaltReason.EXCEPTION
+        assert events[-1].symbol == "panic_handler"
+        assert read_status(freertos)[1] == STATUS_CRASHED
+
+    def test_crash_without_breakpoint_wedges(self, freertos):
+        api = freertos.build.api_order.index("load_partitions")
+        write_program(freertos, TestProgram(
+            calls=[Call(api, (ArgImm(56), ArgImm(2)))]))
+        events = [freertos.board.resume() for _ in range(3)]
+        assert events[-1].reason == HaltReason.STALL
+        assert freertos.board.machine.wedged
+
+    def test_stall_reports_degraded_state(self, freertos):
+        api = freertos.build.api_order.index("vTaskDelay")
+        write_program(freertos, TestProgram(
+            calls=[Call(api, (ArgImm(2000),))]))
+        events = [freertos.board.resume() for _ in range(3)]
+        assert events[-1].reason == HaltReason.STALL
+        assert read_status(freertos)[1] == STATUS_STALLED
+
+    def test_cov_full_trap_and_resume(self):
+        from repro.firmware.layout import BuildConfig
+        from repro.firmware.builder import build_firmware, flash_build
+        from repro.firmware.loader import install_firmware_loader
+        from repro.hw.boards import make_board
+        # A tiny coverage buffer guarantees mid-program traps.
+        build = build_firmware(BuildConfig(os_name="freertos",
+                                           cov_buf_size=64))
+        board = make_board("stm32f407")
+        install_firmware_loader(board)
+        flash_build(board, build)
+        board.power_on()
+        api = build.api_order.index("syz_queue_pipeline")
+        raw = serialize_program(TestProgram(
+            calls=[Call(api, (ArgImm(8), ArgImm(16)))]))
+        board.ram.write_u32(build.ram_layout.input_buf_addr, len(raw))
+        board.ram.write(build.ram_layout.input_buf_addr + 4, raw)
+        reasons = []
+        for _ in range(30):
+            event = board.resume()
+            reasons.append(event.reason)
+            if event.reason == HaltReason.COV_FULL:
+                board.ram.write_u32(build.ram_layout.cov_buf_addr, 0)
+            if event.symbol == "executor_main" and len(reasons) > 2:
+                break
+        assert HaltReason.COV_FULL in reasons
+        assert reasons[-1] == HaltReason.BREAKPOINT
+
+    def test_resource_refs_resolve_to_results(self, freertos):
+        create = freertos.build.api_order.index("xQueueCreate")
+        send = freertos.build.api_order.index("xQueueSend")
+        write_program(freertos, TestProgram(calls=[
+            Call(create, (ArgImm(2), ArgImm(8))),
+            Call(send, (ArgRef(0), ArgData(b"payload"), ArgImm(0))),
+        ]))
+        for _ in range(3):
+            event = freertos.board.resume()
+        assert read_status(freertos)[1] == STATUS_DONE
+        assert read_status(freertos)[3] == 1  # pdPASS from xQueueSend

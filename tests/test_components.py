@@ -1,0 +1,203 @@
+"""The JSON codec and HTTP server components (Table 4 targets)."""
+
+import pytest
+
+from repro.oses.components.json_codec import (
+    JSON_ARRAY,
+    JSON_BOOL,
+    JSON_NULL,
+    JSON_NUMBER,
+    JSON_OBJECT,
+    JSON_STRING,
+)
+
+from conftest import boot_target
+
+
+@pytest.fixture(scope="module")
+def app():
+    return boot_target("freertos", board="esp32", components=("json", "http"))
+
+
+@pytest.fixture
+def json_c(app):
+    return next(c for c in app.kernel.components if c.NAME == "json")
+
+
+@pytest.fixture
+def http(app):
+    comp = next(c for c in app.kernel.components if c.NAME == "http")
+    comp.http_reset()
+    return comp
+
+
+class TestJsonParse:
+    @pytest.mark.parametrize("payload,expected_type", [
+        (b"null", JSON_NULL),
+        (b"true", JSON_BOOL),
+        (b"42", JSON_NUMBER),
+        (b'"hi"', JSON_STRING),
+        (b"[1, 2]", JSON_ARRAY),
+        (b'{"k": 1}', JSON_OBJECT),
+    ])
+    def test_root_types(self, json_c, payload, expected_type):
+        doc = json_c.json_parse(payload)
+        assert doc > 0
+        assert json_c.json_get_type(doc) == expected_type
+
+    @pytest.mark.parametrize("payload", [
+        b"", b"{", b"[1,]", b'{"a"}', b'{"a":}', b"tru", b"-",
+        b'"unterminated', b"1 2", b'{"a": 1,}', b"[1 2]",
+        b'{\'a\': 1}', b'"bad \\q escape"', b'"\x01control"',
+    ])
+    def test_malformed_inputs_rejected(self, json_c, payload):
+        assert json_c.json_parse(payload) == 0
+
+    def test_nesting_limit_enforced(self, json_c):
+        # MAX_DEPTH containers are fine; one more is rejected.
+        assert json_c.json_parse(b"[" * 10 + b"]" * 10) == 0
+        assert json_c.json_parse(b"[" * 7 + b"1" + b"]" * 7) > 0
+
+    def test_escapes(self, json_c):
+        doc = json_c.json_parse(b'"a\\n\\t\\"\\\\\\u0041"')
+        assert doc > 0
+        assert json_c.docs[doc] == 'a\n\t"\\A'
+
+    def test_string_length_limit(self, json_c):
+        assert json_c.json_parse(b'"' + b"a" * 300 + b'"') == 0
+
+    def test_number_length_limit(self, json_c):
+        assert json_c.json_parse(b"1" * 19) == 0
+        assert json_c.json_parse(b"-123456") > 0
+
+    def test_duplicate_keys_last_wins(self, json_c):
+        doc = json_c.json_parse(b'{"k": 1, "k": 2}')
+        assert json_c.docs[doc] == {"k": 2}
+
+    def test_whitespace_tolerated(self, json_c):
+        assert json_c.json_parse(b'  { "a" : [ 1 , 2 ] }  ') > 0
+
+
+class TestJsonApi:
+    def test_size(self, json_c):
+        doc = json_c.json_parse(b"[1,2,3]")
+        assert json_c.json_size(doc) == 3
+        scalar = json_c.json_parse(b"7")
+        assert json_c.json_size(scalar) == 0
+
+    def test_encode_length_positive(self, json_c):
+        doc = json_c.json_parse(b'{"a": [1, true]}')
+        assert json_c.json_encode(doc, 0) > 0
+        assert json_c.json_encode(doc, 1) >= json_c.json_encode(doc, 0)
+
+    def test_delete_then_use_rejected(self, json_c):
+        doc = json_c.json_parse(b"1")
+        assert json_c.json_delete(doc) == 0
+        assert json_c.json_encode(doc, 0) == -1
+
+    def test_merge_objects(self, json_c):
+        a = json_c.json_parse(b'{"x": 1}')
+        b = json_c.json_parse(b'{"y": 2}')
+        merged = json_c.json_merge(a, b)
+        assert json_c.json_size(merged) == 2
+
+    def test_merge_non_objects_rejected(self, json_c):
+        a = json_c.json_parse(b"[1]")
+        b = json_c.json_parse(b'{"y": 2}')
+        assert json_c.json_merge(a, b) == 0
+
+    def test_roundtrip_pseudo(self, json_c):
+        assert json_c.syz_json_roundtrip(3, 2) == 0
+
+    def test_create_object_depth_guard(self, json_c):
+        assert json_c.json_create_object(10, 2) == 0
+
+
+class TestHttpServer:
+    def test_simple_get(self, http):
+        assert http.http_request_feed(
+            b"GET / HTTP/1.1\r\nhost: dev\r\n\r\n") == 200
+
+    def test_status_route(self, http):
+        assert http.http_request_feed(b"GET /status HTTP/1.1\r\n\r\n") == 200
+
+    def test_unknown_route_404(self, http):
+        assert http.http_request_feed(b"GET /nope HTTP/1.1\r\n\r\n") == 404
+
+    def test_bad_method_405(self, http):
+        assert http.http_request_feed(b"BREW / HTTP/1.1\r\n\r\n") == 405
+
+    def test_post_to_root_405(self, http):
+        assert http.http_request_feed(b"POST / HTTP/1.1\r\n\r\n") == 405
+
+    def test_bad_version_505(self, http):
+        assert http.http_request_feed(b"GET / HTTP/2\r\n\r\n") == 505
+
+    def test_garbage_request_line_400(self, http):
+        assert http.http_request_feed(b"garbage\r\n\r\n") == 400
+
+    def test_led_control(self, http):
+        status = http.http_request_feed(
+            b"POST /api/led HTTP/1.1\r\ncontent-length: 2\r\n\r\non")
+        assert status == 200
+        assert http.led_state == 1
+        status = http.http_request_feed(
+            b"POST /api/led HTTP/1.1\r\ncontent-length: 3\r\n\r\noff")
+        assert status == 200
+        assert http.led_state == 0
+
+    def test_led_bad_body_422(self, http):
+        assert http.http_request_feed(
+            b"POST /api/led HTTP/1.1\r\ncontent-length: 4\r\n\r\nblue") == 422
+
+    def test_echo_requires_body(self, http):
+        assert http.http_request_feed(
+            b"POST /api/echo HTTP/1.1\r\n\r\n") == 204
+        assert http.http_request_feed(
+            b"POST /api/echo HTTP/1.1\r\ncontent-length: 2\r\n\r\nok") == 200
+
+    def test_config_post(self, http):
+        assert http.http_request_feed(
+            b"POST /api/config HTTP/1.1\r\ncontent-length: 7\r\n\r\n"
+            b"led=off") == 201
+        assert http.config_kv[b"led"] == b"off"
+
+    def test_config_malformed_pair_400(self, http):
+        assert http.http_request_feed(
+            b"POST /api/config HTTP/1.1\r\ncontent-length: 6\r\n\r\n"
+            b"nopair") == 400
+
+    def test_oversized_content_length_413(self, http):
+        assert http.http_request_feed(
+            b"GET /status HTTP/1.1\r\ncontent-length: 99999\r\n\r\n") == 413
+
+    def test_truncated_body_400(self, http):
+        assert http.http_request_feed(
+            b"POST /api/echo HTTP/1.1\r\ncontent-length: 10\r\n\r\nab") == 400
+
+    def test_header_without_colon_400(self, http):
+        assert http.http_request_feed(
+            b"GET / HTTP/1.1\r\nbadheader\r\n\r\n") == 400
+
+    def test_too_many_headers_431(self, http):
+        headers = b"".join(b"h%d: v\r\n" % i for i in range(20))
+        assert http.http_request_feed(
+            b"GET / HTTP/1.1\r\n" + headers + b"\r\n") == 431
+
+    def test_bare_lf_client_tolerated(self, http):
+        assert http.http_request_feed(b"GET / HTTP/1.1\n\n") == 200
+
+    def test_keep_alive_counted(self, http):
+        before = http.keep_alive_sessions
+        http.http_request_feed(
+            b"GET / HTTP/1.1\r\nconnection: keep-alive\r\n\r\n")
+        assert http.keep_alive_sessions == before + 1
+
+    def test_stats_and_reset(self, http):
+        http.http_request_feed(b"GET / HTTP/1.1\r\n\r\n")
+        assert http.http_stats() >= 1
+        http.http_reset()
+        assert http.http_stats() == 0
+
+    def test_session_pseudo(self, http):
+        assert http.syz_http_session(4, 0) == 4

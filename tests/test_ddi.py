@@ -1,0 +1,109 @@
+"""Host-side debug interface: OpenOCD stand-in, GDB client, sessions."""
+
+import pytest
+
+from repro.ddi.gdb import GdbClient
+from repro.ddi.openocd import OpenOcd
+from repro.ddi.session import open_session
+from repro.errors import DebugLinkError, DebugLinkTimeout
+from repro.hw.boards import make_board
+
+from conftest import cached_build
+
+
+def fresh_session(os_name="freertos", board="stm32f407"):
+    return open_session(cached_build(os_name, board))
+
+
+class TestOpenOcd:
+    def test_connect_requires_power(self):
+        board = make_board("stm32f407")
+        probe = OpenOcd(board)
+        with pytest.raises(DebugLinkTimeout):
+            probe.connect()
+
+    def test_wrong_interface_rejected(self):
+        board = make_board("stm32f407")  # an SWD part
+        with pytest.raises(DebugLinkError):
+            OpenOcd(board, interface="jtag")
+
+    def test_flash_write_verifies(self):
+        session = fresh_session()
+        target = session.board.flash.base + 0x8000
+        session.openocd.flash_write(target, b"\x01\x02\x03\x04")
+        assert session.board.flash.read(target, 4) == b"\x01\x02\x03\x04"
+
+    def test_operations_require_session(self):
+        board = make_board("stm32f407")
+        board.power_on()
+        probe = OpenOcd(board)
+        with pytest.raises(DebugLinkTimeout):
+            probe.drain_uart()
+
+    def test_uart_drain_is_incremental(self):
+        session = fresh_session()
+        first = session.drain_uart()
+        assert first  # boot banner
+        assert session.drain_uart() == []
+
+
+class TestGdbClient:
+    def test_symbol_resolution(self):
+        session = fresh_session()
+        address = session.gdb.resolve("executor_main")
+        assert address == session.build.address_of("executor_main")
+        assert session.gdb.resolve(address) == address
+
+    def test_unknown_symbol_rejected(self):
+        session = fresh_session()
+        with pytest.raises(DebugLinkError):
+            session.gdb.resolve("not_a_symbol")
+
+    def test_symbolize_reverse(self):
+        session = fresh_session()
+        address = session.build.address_of("read_prog")
+        assert session.gdb.symbolize(address) == "read_prog"
+        assert session.gdb.symbolize(0xDEADBEEF).startswith("0x")
+
+    def test_breakpoint_roundtrip(self):
+        session = fresh_session()
+        session.gdb.break_insert("executor_main")
+        assert session.board.machine.breakpoint_at(
+            session.build.address_of("executor_main"))
+        session.gdb.break_delete("executor_main")
+        assert not session.board.machine.breakpoint_at(
+            session.build.address_of("executor_main"))
+
+    def test_memory_rw(self):
+        session = fresh_session()
+        addr = session.build.ram_layout.input_buf_addr
+        session.gdb.write_memory(addr, b"probe")
+        assert session.gdb.read_memory(addr, 5) == b"probe"
+        session.gdb.write_u32(addr, 0xAABBCCDD)
+        assert session.gdb.read_u32(addr) == 0xAABBCCDD
+
+    def test_read_pc_tracks_halts(self):
+        session = fresh_session()
+        event = session.exec_continue()
+        assert session.gdb.read_pc() == event.pc
+
+
+class TestSessionRestore:
+    def test_flash_and_reboot_restores_corrupted_image(self):
+        session = fresh_session()
+        build = session.build
+        kernel = next(p for p in build.partitions if p.name == "kernel")
+        session.board.flash.write(
+            session.board.flash.base + kernel.offset + 64, b"\x00\x00")
+        session.reboot()
+        assert session.board.boot_failed
+        payload, offset = build.partition_map()["kernel"]
+        session.flash(payload, offset)
+        session.flash_header()
+        session.reboot()
+        assert not session.board.boot_failed
+
+    def test_counters_track_operations(self):
+        session = fresh_session()
+        session.reboot()
+        assert session.openocd.reset_ops == 1

@@ -1,0 +1,166 @@
+"""End-to-end engine runs and baseline capability gates."""
+
+import pytest
+
+from repro.baselines import (
+    GdbFuzzEngine,
+    GustaveEngine,
+    ShiftEngine,
+    TardisEngine,
+    make_eof_nf_engine,
+)
+from repro.baselines.tardis import supports as tardis_supports
+from repro.errors import UnsupportedTargetError
+from repro.firmware.builder import build_firmware
+from repro.fuzz.engine import EngineOptions, EofEngine
+from repro.fuzz.targets import get_target
+from repro.spec.llmgen import generate_validated_specs
+
+from conftest import cached_build
+
+SHORT = 400_000
+
+
+def fresh(os_name, board="stm32f407", **kw):
+    return build_firmware(get_target("pokos").build_config()) \
+        if os_name == "__never__" else build_firmware(
+            __import__("repro.firmware.layout", fromlist=["BuildConfig"])
+            .BuildConfig(os_name=os_name, board=board, **kw))
+
+
+class TestEofEngine:
+    @pytest.mark.parametrize("os_name,board", [
+        ("freertos", "stm32f407"), ("rt-thread", "stm32f407"),
+        ("zephyr", "stm32f407"), ("nuttx", "stm32h745"),
+        ("pokos", "qemu-virt"),
+    ])
+    def test_short_campaign_on_every_os(self, os_name, board):
+        build = fresh(os_name, board)
+        spec = generate_validated_specs(build)
+        engine = EofEngine(build, spec, EngineOptions(
+            seed=1, budget_cycles=SHORT))
+        result = engine.run()
+        assert result.stats.programs_executed > 10
+        assert result.edges > 20
+        assert result.os_name == os_name
+
+    def test_run_is_deterministic_for_a_seed(self):
+        results = []
+        for _ in range(2):
+            build = fresh("pokos", "qemu-virt")
+            spec = generate_validated_specs(build)
+            engine = EofEngine(build, spec, EngineOptions(
+                seed=7, budget_cycles=SHORT))
+            results.append(engine.run())
+        assert results[0].edges == results[1].edges
+        assert results[0].stats.programs_executed == \
+            results[1].stats.programs_executed
+
+    def test_different_seeds_diverge(self):
+        edges = set()
+        for seed in (1, 2, 3):
+            build = fresh("pokos", "qemu-virt")
+            spec = generate_validated_specs(build)
+            engine = EofEngine(build, spec, EngineOptions(
+                seed=seed, budget_cycles=SHORT))
+            edges.add(engine.run().edges)
+        assert len(edges) > 1
+
+    def test_coverage_series_is_monotonic(self):
+        build = fresh("freertos")
+        spec = generate_validated_specs(build)
+        result = EofEngine(build, spec, EngineOptions(
+            seed=1, budget_cycles=SHORT)).run()
+        series = result.stats.series
+        assert all(a[1] <= b[1] for a, b in zip(series, series[1:]))
+        assert all(a[0] <= b[0] for a, b in zip(series, series[1:]))
+
+    def test_engine_survives_crashes_and_keeps_fuzzing(self):
+        build = fresh("rt-thread")
+        spec = generate_validated_specs(build)
+        engine = EofEngine(build, spec, EngineOptions(
+            seed=2, budget_cycles=3_000_000))
+        result = engine.run()
+        # RT-Thread is bug-dense: the engine must have seen crashes AND
+        # kept executing afterwards.
+        assert result.crash_db.total_events > 0
+        assert result.stats.programs_executed > 100
+
+    def test_eof_nf_disables_corpus(self):
+        build = fresh("freertos")
+        spec = generate_validated_specs(build)
+        engine = make_eof_nf_engine(build, spec, seed=1,
+                                    budget_cycles=SHORT)
+        result = engine.run()
+        assert result.corpus_size == 0
+        assert result.name == "eof-nf"
+
+
+class TestTardisGates:
+    def test_rejects_hardware_only_board(self):
+        build = fresh("nuttx", "stm32h745")
+        spec = generate_validated_specs(build)
+        with pytest.raises(UnsupportedTargetError):
+            TardisEngine(build, spec)
+
+    def test_rejects_pokos(self):
+        build = fresh("pokos", "qemu-virt")
+        spec = generate_validated_specs(build)
+        with pytest.raises(UnsupportedTargetError):
+            TardisEngine(build, spec)
+
+    def test_supports_matrix(self):
+        assert tardis_supports("freertos", "qemu-virt")
+        assert not tardis_supports("freertos", "stm32h745")
+        assert not tardis_supports("pokos", "qemu-virt")
+
+    def test_tardis_records_hangs_without_attribution(self):
+        build = fresh("rt-thread", "qemu-virt")
+        spec = generate_validated_specs(build)
+        result = TardisEngine(build, spec, seed=3,
+                              budget_cycles=2_000_000).run()
+        assert result.stats.programs_executed > 50
+        for report in result.crash_db.unique_crashes():
+            assert report.monitor == "timeout"
+            assert report.backtrace == []
+
+
+class TestBufferBaselines:
+    def _app_build(self):
+        return build_firmware(get_target("freertos-app").build_config())
+
+    def test_gdbfuzz_needs_linked_entry(self):
+        with pytest.raises(UnsupportedTargetError):
+            GdbFuzzEngine(self._app_build(), "no_such_entry")
+
+    def test_gdbfuzz_short_run_collects_block_coverage(self):
+        engine = GdbFuzzEngine(self._app_build(), "http_request_feed",
+                               seed=1, budget_cycles=SHORT)
+        result = engine.run()
+        assert result.stats.programs_executed > 10
+        assert engine.bp_budget == 2  # the ESP32's two comparators
+
+    def test_shift_is_freertos_only(self):
+        build = fresh("zephyr")
+        with pytest.raises(UnsupportedTargetError):
+            ShiftEngine(build, "shell_execute")
+
+    def test_shift_pays_semihosting_overhead(self):
+        engine = ShiftEngine(self._app_build(), "json_parse", seed=1,
+                             budget_cycles=SHORT)
+        assert engine.per_exec_overhead_cycles(100) > 1000
+
+    def test_gustave_is_pokos_only(self):
+        build = fresh("freertos")
+        with pytest.raises(UnsupportedTargetError):
+            GustaveEngine(build)
+
+    def test_gustave_decodes_buffers_by_abi_arity(self):
+        build = fresh("pokos", "qemu-virt")
+        engine = GustaveEngine(build, seed=1, budget_cycles=SHORT)
+        program = engine.make_program(bytes(range(40)))
+        assert program.calls
+        for call in program.calls:
+            assert len(call.args) == len(build.api_defs[call.api_id].args)
+        result = engine.run()
+        assert result.stats.programs_executed > 10

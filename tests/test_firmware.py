@@ -1,0 +1,204 @@
+"""Firmware layer: layout/KConfig, image format, builder, boot loader."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BuildError, ImageError
+from repro.firmware.builder import build_firmware, flash_build
+from repro.firmware.image import (
+    HEADER_RESERVED,
+    Partition,
+    pack_header,
+    validate_flash,
+    write_partitions_to_flash,
+)
+from repro.firmware.layout import (
+    BuildConfig,
+    PartitionSpec,
+    RamLayout,
+    parse_partition_table,
+)
+from repro.firmware.loader import install_firmware_loader
+from repro.hw.boards import make_board
+
+from conftest import boot_target, cached_build
+
+
+class TestKconfig:
+    def test_partition_table_roundtrip(self):
+        parts = [PartitionSpec("boot", 0x1000, 0x2000),
+                 PartitionSpec("kernel", 0x3000, 0x10000)]
+        config = BuildConfig(os_name="freertos")
+        text = config.kconfig_text(parts)
+        assert parse_partition_table(text) == parts
+
+    def test_parse_ignores_other_config_lines(self):
+        text = 'CONFIG_OS="x"\nCONFIG_PARTITION_A_OFFSET=0x10\n' \
+               'CONFIG_PARTITION_A_SIZE=0x20\nCONFIG_HEAP_SIZE=1\n'
+        parts = parse_partition_table(text)
+        assert parts == [PartitionSpec("a", 0x10, 0x20)]
+
+    def test_parse_requires_both_fields(self):
+        assert parse_partition_table(
+            "CONFIG_PARTITION_A_OFFSET=0x10\n") == []
+
+    @given(st.lists(st.tuples(
+        st.sampled_from(["boot", "kernel", "appfs"]),
+        st.integers(0, 1 << 20), st.integers(1, 1 << 20)),
+        min_size=0, max_size=3, unique_by=lambda t: t[0]))
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_any_partitions(self, entries):
+        parts = sorted((PartitionSpec(n, o, s) for n, o, s in entries),
+                       key=lambda p: p.offset)
+        text = BuildConfig(os_name="x").kconfig_text(parts)
+        assert parse_partition_table(text) == parts
+
+    def test_ram_layout_dict_roundtrip(self):
+        layout = RamLayout(1, 2, 3, 4, 5, 6, 7, 8, 9, 10)
+        assert RamLayout.from_dict(layout.to_dict()) == layout
+
+
+class TestImageFormat:
+    def _flash_with_image(self):
+        build = cached_build("pokos", board="qemu-virt")
+        board = make_board("qemu-virt")
+        flash_build(board, build)
+        return board.flash, build
+
+    def test_valid_image_parses(self):
+        flash, build = self._flash_with_image()
+        meta = validate_flash(flash)
+        assert meta.os_name == "pokos"
+        assert meta.api_order == build.api_order
+
+    def test_corrupt_header_magic_rejected(self):
+        flash, _ = self._flash_with_image()
+        flash.write(flash.base, b"XXXX")
+        with pytest.raises(ImageError):
+            validate_flash(flash)
+
+    def test_corrupt_kernel_payload_rejected(self):
+        flash, build = self._flash_with_image()
+        kernel = next(p for p in build.partitions if p.name == "kernel")
+        flash.write(flash.base + kernel.offset + kernel.size // 2,
+                    b"\xDE\xAD")
+        with pytest.raises(ImageError):
+            validate_flash(flash)
+
+    def test_corrupt_boot_partition_rejected(self):
+        flash, build = self._flash_with_image()
+        boot = next(p for p in build.partitions if p.name == "boot")
+        flash.write(flash.base + boot.offset, b"\x12\x34")
+        with pytest.raises(ImageError):
+            validate_flash(flash)
+
+    def test_header_checksum_detects_entry_tamper(self):
+        flash, _ = self._flash_with_image()
+        flash.write(flash.base + 16, b"\x01")
+        with pytest.raises(ImageError):
+            validate_flash(flash)
+
+    def test_oversized_header_rejected(self):
+        huge = [Partition(f"p{i}", 0x1000 * (i + 1), b"x") for i in range(25)]
+        with pytest.raises(ImageError):
+            pack_header(huge)
+
+    def test_reflash_restores_validity(self):
+        flash, build = self._flash_with_image()
+        kernel = next(p for p in build.partitions if p.name == "kernel")
+        flash.write(flash.base + kernel.offset + 100, b"\x00\x00\x00")
+        with pytest.raises(ImageError):
+            validate_flash(flash)
+        write_partitions_to_flash(flash, build.partitions)
+        validate_flash(flash)  # healthy again
+
+
+class TestBuilder:
+    def test_unknown_os_rejected(self):
+        with pytest.raises(BuildError):
+            build_firmware(BuildConfig(os_name="plan9"))
+
+    def test_unknown_board_rejected(self):
+        with pytest.raises(BuildError):
+            build_firmware(BuildConfig(os_name="freertos", board="z80"))
+
+    def test_unknown_component_rejected(self):
+        with pytest.raises(BuildError):
+            build_firmware(BuildConfig(os_name="freertos",
+                                       components=("quantum",)))
+
+    def test_symbols_unique_addresses(self):
+        build = cached_build("rt-thread")
+        addresses = [s.address for s in build.symbols.values()]
+        assert len(addresses) == len(set(addresses))
+
+    def test_agent_symbols_present(self):
+        build = cached_build("freertos")
+        for name in ("executor_main", "read_prog", "execute_one",
+                     "handle_exception", "_kcmp_buf_full"):
+            assert name in build.symbols
+            assert build.symbols[name].module == "agent"
+
+    def test_instrumented_image_is_larger(self):
+        instrumented = cached_build("zephyr")
+        bare = cached_build("zephyr", instrument=False)
+        assert instrumented.image_total_bytes > bare.image_total_bytes
+
+    def test_memory_overhead_in_singledigit_percent_range(self):
+        # §5.5.1 reports 4.3%..9.6% per OS.
+        instrumented = cached_build("nuttx")
+        bare = cached_build("nuttx", instrument=False)
+        overhead = (instrumented.image_total_bytes
+                    - bare.image_total_bytes) / bare.image_total_bytes
+        assert 0.01 < overhead < 0.20
+
+    def test_bare_build_allocates_no_sites(self):
+        bare = cached_build("freertos", instrument=False)
+        assert bare.site_table.total_sites == 0
+
+    def test_module_filter_restricts_sites(self):
+        filtered = cached_build("freertos", board="esp32",
+                                components=("json", "http"),
+                                instrument_modules=("json", "http"))
+        assert set(filtered.site_table.modules()) == {"json", "http"}
+
+    def test_partitions_do_not_overlap(self):
+        build = cached_build("rt-thread")
+        spans = sorted((p.offset, p.offset + p.size)
+                       for p in build.partition_specs)
+        assert spans[0][0] >= HEADER_RESERVED
+        for (_, end), (start, _) in zip(spans, spans[1:]):
+            assert start >= end
+
+    def test_appfs_plants_exactly_one_stale_entry_type(self):
+        build = cached_build("freertos")
+        appfs = next(p for p in build.partitions if p.name == "appfs")
+        assert appfs.payload.count(0x7F) == 1
+        assert appfs.payload[58] == 0x7F
+
+    def test_api_order_matches_booted_kernel(self):
+        env = boot_target("zephyr")
+        assert [a.name for a in env.kernel.api_table()] == \
+            env.build.api_order
+
+
+class TestLoader:
+    def test_loader_refuses_wrong_os_name(self):
+        build = cached_build("freertos")
+        board = make_board("stm32f407")
+        install_firmware_loader(board)
+        # Flash an image whose metadata names an unknown OS.
+        import json, struct
+        kernel = next(p for p in build.partitions if p.name == "kernel")
+        meta_len = struct.unpack_from("<I", kernel.payload, 0)[0]
+        meta = json.loads(kernel.payload[4:4 + meta_len])
+        meta["os_name"] = "unknown-os"
+        blob = json.dumps(meta, sort_keys=True).encode()
+        payload = struct.pack("<I", len(blob)) + blob \
+            + kernel.payload[4 + meta_len:]
+        parts = [p if p.name != "kernel"
+                 else Partition("kernel", p.offset, payload)
+                 for p in build.partitions]
+        write_partitions_to_flash(board.flash, parts)
+        board.power_on()
+        assert board.boot_failed

@@ -1,0 +1,258 @@
+"""Fuzzer internals: generator, mutator, corpus, feedback, monitors,
+watchdog, restoration."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agent.protocol import (
+    ArgData,
+    ArgImm,
+    ArgRef,
+    TestProgram,
+    serialize_program,
+)
+from repro.ddi.session import open_session
+from repro.fuzz.corpus import Corpus
+from repro.fuzz.crash import CrashDb, CrashReport, KIND_ASSERT, KIND_PANIC
+from repro.fuzz.feedback import CoverageMap
+from repro.fuzz.generator import ProgramGenerator
+from repro.fuzz.monitors import LogMonitor
+from repro.fuzz.mutator import ProgramMutator
+from repro.fuzz.restore import StateRestoration
+from repro.fuzz.rng import FuzzRng
+from repro.fuzz.watchdog import LivenessWatchdog
+from repro.spec.llmgen import generate_validated_specs
+from repro.spec.model import ResourceRef
+
+from conftest import cached_build
+
+
+@pytest.fixture(scope="module")
+def spec():
+    return generate_validated_specs(cached_build("rt-thread"))
+
+
+def program_is_well_typed(spec, program):
+    """Every ref must point backwards at a producer of the right type."""
+    produced = []
+    for index, call in enumerate(program.calls):
+        call_def = spec.calls[call.api_id]
+        for arg_index, arg in enumerate(call.args):
+            if isinstance(arg, ArgRef):
+                if not (0 <= arg.index < index):
+                    return False
+                param = call_def.params[arg_index]
+                if not isinstance(param.type, ResourceRef):
+                    return False
+                if produced[arg.index] != param.type.name:
+                    return False
+        produced.append(call_def.ret)
+    return True
+
+
+class TestGenerator:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_programs_are_well_typed_and_serializable(self, spec, seed):
+        gen = ProgramGenerator(spec, FuzzRng(seed))
+        for _ in range(30):
+            program = gen.generate()
+            assert program.calls
+            assert program_is_well_typed(spec, program)
+            serialize_program(program)
+
+    def test_disabled_calls_never_emitted(self, spec):
+        base = spec.without_pseudo()
+        gen = ProgramGenerator(base, FuzzRng(1))
+        for _ in range(50):
+            for call in gen.generate().calls:
+                assert call.api_id not in base.disabled
+
+    def test_resource_args_usually_wired(self, spec):
+        gen = ProgramGenerator(spec, FuzzRng(2))
+        refs = imms = 0
+        for _ in range(100):
+            program = gen.generate()
+            for index, call in enumerate(program.calls):
+                call_def = spec.calls[call.api_id]
+                for arg_index, param in enumerate(call_def.params):
+                    if isinstance(param.type, ResourceRef):
+                        if isinstance(call.args[arg_index], ArgRef):
+                            refs += 1
+                        else:
+                            imms += 1
+        assert refs > imms  # dependency wiring dominates
+
+    def test_pair_credit_biases_selection(self, spec):
+        coverage = CoverageMap()
+        gen = ProgramGenerator(spec, FuzzRng(3), coverage=coverage)
+        first, second = gen.enabled[0], gen.enabled[1]
+        coverage.pair_credit[(first, second)] = 100.0
+        favoured = sum(
+            1 for _ in range(200)
+            if gen._choose_call({}, prev_api=first) == second)
+        baseline = sum(
+            1 for _ in range(200)
+            if gen._choose_call({}, prev_api=None) == second)
+        assert favoured > baseline * 2
+
+
+class TestMutator:
+    @pytest.mark.parametrize("seed", range(6))
+    def test_mutants_stay_well_typed(self, spec, seed):
+        rng = FuzzRng(seed)
+        gen = ProgramGenerator(spec, rng)
+        mutator = ProgramMutator(spec, rng, gen)
+        program = gen.generate()
+        for _ in range(40):
+            program = mutator.mutate(program)
+            assert program_is_well_typed(spec, program)
+            serialize_program(program)
+
+    def test_splice_produces_valid_program(self, spec):
+        rng = FuzzRng(9)
+        gen = ProgramGenerator(spec, rng)
+        mutator = ProgramMutator(spec, rng, gen)
+        a, b = gen.generate(), gen.generate()
+        for _ in range(20):
+            spliced = mutator.splice(a, b)
+            assert program_is_well_typed(spec, spliced)
+
+    def test_mutate_never_mutates_input_in_place(self, spec):
+        rng = FuzzRng(4)
+        gen = ProgramGenerator(spec, rng)
+        mutator = ProgramMutator(spec, rng, gen)
+        program = gen.generate()
+        snapshot = list(program.calls)
+        mutator.mutate(program)
+        assert program.calls == snapshot
+
+
+class TestCorpusAndFeedback:
+    def test_coverage_map_counts_new_edges(self):
+        coverage = CoverageMap()
+        assert coverage.add_edges([1, 2, 3]) == 3
+        assert coverage.add_edges([2, 3, 4]) == 1
+        assert coverage.edge_count == 4
+
+    def test_credit_decays(self):
+        coverage = CoverageMap()
+        coverage.credit_calls([5], 10)
+        before = coverage.credit_of(5)
+        for _ in range(50):
+            coverage.decay_credit()
+        assert coverage.credit_of(5) < before
+
+    def test_corpus_weights_prefer_productive_fast_seeds(self):
+        corpus = Corpus()
+        slow = corpus.add(TestProgram(calls=[]), new_edges=5,
+                          exec_cycles=100_000)
+        fast = corpus.add(TestProgram(calls=[]), new_edges=5,
+                          exec_cycles=1_000)
+        assert fast.weight() > slow.weight()
+
+    def test_corpus_eviction_keeps_size_bounded(self):
+        from repro.fuzz import corpus as corpus_mod
+        corpus = Corpus()
+        for i in range(corpus_mod.MAX_CORPUS + 10):
+            corpus.add(TestProgram(calls=[]), new_edges=1)
+        assert len(corpus) == corpus_mod.MAX_CORPUS
+
+    def test_pick_from_empty_returns_none(self):
+        assert Corpus().pick(FuzzRng(0)) is None
+
+
+class TestCrashDb:
+    def test_dedup_by_backtrace(self):
+        db = CrashDb()
+        first = CrashReport("os", KIND_PANIC, "boom at 0x100",
+                            backtrace=["a", "b"])
+        dup = CrashReport("os", KIND_PANIC, "boom at 0x200",
+                          backtrace=["a", "b"])
+        assert db.add(first)
+        assert not db.add(dup)
+        assert len(db) == 1
+        assert db.total_events == 2
+
+    def test_numbers_normalised_in_logonly_signatures(self):
+        db = CrashDb()
+        assert db.add(CrashReport("os", KIND_ASSERT, "overflow of 12 bytes"))
+        assert not db.add(CrashReport("os", KIND_ASSERT,
+                                      "overflow of 99 bytes"))
+
+    def test_different_kinds_not_deduped(self):
+        db = CrashDb()
+        assert db.add(CrashReport("os", KIND_PANIC, "x"))
+        assert db.add(CrashReport("os", KIND_ASSERT, "x"))
+
+    def test_render_includes_frames(self):
+        report = CrashReport("rt-thread", KIND_PANIC, "bus fault",
+                             backtrace=["inner", "outer"],
+                             monitor="exception")
+        text = report.render()
+        assert "Level 1: inner" in text
+        assert "monitor: exception" in text
+
+
+class TestLogMonitor:
+    @pytest.mark.parametrize("line", [
+        "(x != NULL) assertion failed at function:foo",
+        "ASSERTION FAIL [ok] @ bar.c:10",
+        "FreeRTOS PANIC: something (bad)",
+        "BUG: unexpected stop: corruption",
+        "up_assert: Fatal hard fault (detail)",
+    ])
+    def test_crashy_lines_detected(self, line):
+        monitor = LogMonitor("os")
+        assert monitor.scan([line])
+
+    @pytest.mark.parametrize("line", [
+        "FreeRTOS kernel booting",
+        "http server listening",
+        "[sal] create socket",
+        "memory: used 1024 max 2048",
+    ])
+    def test_benign_lines_ignored(self, line):
+        assert LogMonitor("os").scan([line]) == []
+
+
+class TestWatchdogAndRestore:
+    def test_watchdog_passes_on_moving_pc(self):
+        session = open_session(cached_build("freertos"))
+        watchdog = LivenessWatchdog(session)
+        assert watchdog.check()          # seeds history
+        session.exec_continue()          # PC moves to read_prog
+        assert watchdog.check()
+
+    def test_watchdog_fails_on_parked_pc(self):
+        session = open_session(cached_build("freertos"))
+        watchdog = LivenessWatchdog(session)
+        assert watchdog.check()
+        assert not watchdog.check()      # nothing ran in between
+        assert watchdog.stall_trips == 1
+
+    def test_watchdog_fails_on_link_timeout(self):
+        session = open_session(cached_build("freertos"))
+        watchdog = LivenessWatchdog(session)
+        session.board.link_lost = True
+        assert not watchdog.check()
+        assert watchdog.timeout_trips == 1
+
+    def test_restoration_repairs_destroyed_flash(self):
+        session = open_session(cached_build("freertos"))
+        flash = session.board.flash
+        flash.write(flash.base, b"\x00" * 64)           # kill the header
+        kernel = next(p for p in session.build.partitions
+                      if p.name == "kernel")
+        flash.write(flash.base + kernel.offset, b"\x00" * 64)
+        session.reboot()
+        assert session.board.boot_failed
+        restoration = StateRestoration(session)
+        assert restoration.restore()
+        assert not session.board.boot_failed
+        assert restoration.restorations == 1
+
+    def test_restoration_uses_kconfig_partition_table(self):
+        session = open_session(cached_build("freertos"))
+        restoration = StateRestoration(session)
+        names = {part.name for part in restoration.partition_specs}
+        assert names == {"boot", "kernel", "appfs"}

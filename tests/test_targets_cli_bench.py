@@ -1,0 +1,111 @@
+"""Target registry, CLI entry points and the bench harness."""
+
+import pytest
+
+from repro.bench.budget import BenchBudget, bench_scale
+from repro.bench.report import improvement, render_curve, render_table
+from repro.bench.runner import run_seeds
+from repro.cli import main as cli_main
+from repro.fuzz.targets import TARGETS, get_target
+
+from conftest import cached_build
+
+
+class TestTargetRegistry:
+    def test_paper_targets_registered(self):
+        for name in ("freertos", "rt-thread", "zephyr", "nuttx", "pokos",
+                     "freertos-app"):
+            assert name in TARGETS
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(KeyError):
+            get_target("vxworks")
+
+    def test_app_target_confines_instrumentation(self):
+        target = get_target("freertos-app")
+        assert set(target.instrument_modules) == {"json", "http"}
+        assert set(target.components) == {"json", "http"}
+
+    def test_nuttx_lives_on_hardware_only_board(self):
+        assert get_target("nuttx").board == "stm32h745"
+
+    def test_arch_derived_from_board(self):
+        assert get_target("freertos-riscv").arch == "riscv"
+        assert get_target("freertos").arch == "arm"
+
+    def test_build_config_materialises(self):
+        config = get_target("freertos-app").build_config()
+        assert config.components == ("json", "http")
+        build = cached_build("freertos", "esp32", ("json", "http"))
+        assert build.config.os_name == config.os_name
+
+
+class TestCli:
+    def test_targets_listing(self, capsys):
+        assert cli_main(["targets"]) == 0
+        out = capsys.readouterr().out
+        assert "rt-thread" in out
+
+    def test_build_summary(self, capsys):
+        assert cli_main(["build", "--target", "zephyr"]) == 0
+        out = capsys.readouterr().out
+        assert "cov sites" in out
+        assert "kernel" in out
+
+    def test_bugs_listing(self, capsys):
+        assert cli_main(["bugs"]) == 0
+        assert "rt_smem_setname" in capsys.readouterr().out
+
+    def test_repro_known_bug(self, capsys):
+        assert cli_main(["repro", "--bug", "4"]) == 0
+        assert "k_heap_init" in capsys.readouterr().out
+
+    def test_repro_unknown_bug(self, capsys):
+        assert cli_main(["repro", "--bug", "99"]) == 1
+
+    def test_run_short_campaign(self, capsys):
+        assert cli_main(["run", "--target", "pokos", "--fuzzer", "eof",
+                         "--budget", "300000", "--seed", "2"]) == 0
+        assert "execs=" in capsys.readouterr().out
+
+
+class TestBenchHarness:
+    def test_budget_scales_from_env(self, monkeypatch):
+        monkeypatch.setenv("EOF_BENCH_SCALE", "2")
+        assert bench_scale() == 2.0
+        monkeypatch.setenv("EOF_BENCH_SCALE", "junk")
+        assert bench_scale() == 1.0
+
+    def test_budget_curve_samples_are_increasing(self):
+        budget = BenchBudget(campaign_cycles=1000, overhead_cycles=10,
+                             seeds=2)
+        samples = budget.curve_samples(points=5)
+        assert samples == sorted(samples)
+        assert samples[-1] == 1000
+
+    def test_run_seeds_aggregates(self):
+        summary = run_seeds("eof", get_target("pokos"), seeds=2,
+                            budget_cycles=300_000)
+        assert len(summary.edges) == 2
+        assert summary.mean_edges > 0
+        band = summary.curve_band([100_000, 300_000])
+        assert band[1][0] >= band[0][0]  # later mean >= earlier
+
+    def test_render_table(self):
+        text = render_table("Table X", ["a", "b"], [["row", 1.25]])
+        assert "Table X" in text
+        assert "1.2" in text
+
+    def test_render_curve(self):
+        curve = render_curve("Fig", {"eof": [(10, 5, 15), (20, 10, 30)]},
+                             [1, 2])
+        assert "Fig" in text_or(curve)
+        assert "eof" in curve
+
+    def test_improvement_format(self):
+        assert improvement(150, 100) == "(+50.00%)"
+        assert improvement(1, 0) == "(n/a)"
+
+
+def text_or(value):
+    return value
