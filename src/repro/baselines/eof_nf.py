@@ -17,7 +17,8 @@ from repro.spec.model import SpecSet
 def make_eof_nf_engine(build: BuildInfo, spec: SpecSet,
                        seed: int = 0,
                        budget_cycles: int = 2_000_000,
-                       max_iterations: int = 1_000_000) -> EofEngine:
+                       max_iterations: int = 1_000_000,
+                       obs=None) -> EofEngine:
     """Construct the no-feedback ablation engine."""
     options = EngineOptions(
         seed=seed,
@@ -26,4 +27,4 @@ def make_eof_nf_engine(build: BuildInfo, spec: SpecSet,
         feedback=False,
         name="eof-nf",
     )
-    return EofEngine(build, spec, options)
+    return EofEngine(build, spec, options, obs=obs)

@@ -35,7 +35,7 @@ class TardisEngine:
 
     def __init__(self, build: BuildInfo, spec: SpecSet, seed: int = 0,
                  budget_cycles: int = 2_000_000,
-                 max_iterations: int = 1_000_000):
+                 max_iterations: int = 1_000_000, obs=None):
         board_spec = build.board_spec
         if not board_spec.has_emulator:
             raise UnsupportedTargetError(
@@ -55,7 +55,8 @@ class TardisEngine:
             restore_with_reflash=True,       # VM restart == image reload
             name="tardis",
         )
-        self.engine = EofEngine(build, spec.without_pseudo(), options)
+        self.engine = EofEngine(build, spec.without_pseudo(), options,
+                                obs=obs)
 
     def run(self) -> FuzzResult:
         """Fuzz to the budget."""

@@ -19,7 +19,9 @@ from repro.baselines import (
 )
 from repro.firmware.builder import BuildInfo, build_firmware
 from repro.fuzz.engine import EngineOptions, EofEngine, FuzzResult
+from repro.fuzz.stats import series_edges_at
 from repro.fuzz.targets import TargetConfig
+from repro.obs import Observability, RingBufferSink
 from repro.spec.llmgen import generate_validated_specs
 
 
@@ -35,6 +37,8 @@ class SeedSummary:
     execs: List[int] = field(default_factory=list)
     curves: List[List[tuple]] = field(default_factory=list)
     results: List[FuzzResult] = field(default_factory=list)
+    # Per-seed observability snapshots (run_seeds(observe=True) only).
+    obs_snapshots: List[dict] = field(default_factory=list)
 
     @property
     def mean_edges(self) -> float:
@@ -57,12 +61,20 @@ class SeedSummary:
 
     @staticmethod
     def _at(curve, when: int) -> int:
-        best = 0
-        for cycles, edges in curve:
-            if cycles > when:
-                break
-            best = edges
-        return best
+        return series_edges_at(curve, when)
+
+    def phase_breakdown(self) -> dict:
+        """Mean virtual cycles per loop phase across observed seeds.
+
+        Empty unless the summary was produced with ``observe=True``;
+        this is what throughput-breakdown bench tables render.
+        """
+        totals: dict = {}
+        for snapshot in self.obs_snapshots:
+            for phase, entry in snapshot.get("phases", {}).items():
+                totals[phase] = totals.get(phase, 0) + entry["cycles"]
+        runs = max(len(self.obs_snapshots), 1)
+        return {phase: cycles / runs for phase, cycles in totals.items()}
 
 
 def edges_in_module(result: FuzzResult, build: BuildInfo,
@@ -80,8 +92,13 @@ def edges_in_module(result: FuzzResult, build: BuildInfo,
 
 def make_engine(fuzzer: str, build: BuildInfo, seed: int,
                 budget_cycles: int, entry_api: Optional[str] = None,
-                restrict_modules: Optional[Sequence[str]] = None):
-    """Construct a named engine for a built target."""
+                restrict_modules: Optional[Sequence[str]] = None,
+                obs: Optional[Observability] = None):
+    """Construct a named engine for a built target.
+
+    ``obs`` attaches an observability bundle to the engines built on the
+    EOF loop (buffer-based baselines ignore it).
+    """
     if fuzzer in ("eof", "eof-nf", "tardis"):
         spec = generate_validated_specs(build)
         if restrict_modules:
@@ -90,12 +107,12 @@ def make_engine(fuzzer: str, build: BuildInfo, seed: int,
                  if a.module in set(restrict_modules)])
         if fuzzer == "eof":
             return EofEngine(build, spec, EngineOptions(
-                seed=seed, budget_cycles=budget_cycles))
+                seed=seed, budget_cycles=budget_cycles), obs=obs)
         if fuzzer == "eof-nf":
             return make_eof_nf_engine(build, spec, seed=seed,
-                                      budget_cycles=budget_cycles)
+                                      budget_cycles=budget_cycles, obs=obs)
         return TardisEngine(build, spec, seed=seed,
-                            budget_cycles=budget_cycles)
+                            budget_cycles=budget_cycles, obs=obs)
     if fuzzer == "gdbfuzz":
         return GdbFuzzEngine(build, entry_api, seed=seed,
                              budget_cycles=budget_cycles)
@@ -110,12 +127,13 @@ def make_engine(fuzzer: str, build: BuildInfo, seed: int,
 def run_engine(fuzzer: str, target: TargetConfig, seed: int,
                budget_cycles: int, entry_api: Optional[str] = None,
                restrict_modules: Optional[Sequence[str]] = None,
-               module: Optional[str] = None):
+               module: Optional[str] = None,
+               obs: Optional[Observability] = None):
     """One seed of one fuzzer on one target; returns (result, build)."""
     build = build_firmware(target.build_config())
     engine = make_engine(fuzzer, build, seed, budget_cycles,
                          entry_api=entry_api,
-                         restrict_modules=restrict_modules)
+                         restrict_modules=restrict_modules, obs=obs)
     result = engine.run()
     return result, build
 
@@ -123,18 +141,32 @@ def run_engine(fuzzer: str, target: TargetConfig, seed: int,
 def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
               budget_cycles: int, entry_api: Optional[str] = None,
               restrict_modules: Optional[Sequence[str]] = None,
-              module: Optional[str] = None) -> SeedSummary:
-    """The paper's repeated-runs protocol."""
+              module: Optional[str] = None,
+              observe: bool = False) -> SeedSummary:
+    """The paper's repeated-runs protocol.
+
+    ``observe=True`` attaches a fresh in-memory observability bundle to
+    each seed and stores its snapshot, so bench tables can report where
+    the budget's cycles went (see :meth:`SeedSummary.phase_breakdown`).
+    """
     summary = SeedSummary(fuzzer=fuzzer, target=target.name)
     for seed in range(1, seeds + 1):
+        obs = None
+        if observe:
+            obs = Observability(
+                run_id=f"{fuzzer}-{target.name}-seed{seed}")
+            obs.attach(RingBufferSink())
         result, build = run_engine(fuzzer, target, seed, budget_cycles,
                                    entry_api=entry_api,
-                                   restrict_modules=restrict_modules)
+                                   restrict_modules=restrict_modules,
+                                   obs=obs)
         summary.edges.append(result.edges)
         summary.bugs.append(len(result.crash_db))
         summary.execs.append(result.stats.programs_executed)
         summary.curves.append(list(result.stats.series))
         summary.results.append(result)
+        if obs is not None:
+            summary.obs_snapshots.append(obs.snapshot())
         if module is not None:
             summary.module_edges.append(
                 edges_in_module(result, build, module))

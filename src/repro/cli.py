@@ -5,6 +5,8 @@ Subcommands::
     eof-fuzz targets                   list registered fuzz targets
     eof-fuzz build   --target NAME     build an image and show its layout
     eof-fuzz run     --target NAME     fuzz a target
+                     --trace-dir DIR   ... writing run artifacts to DIR
+    eof-fuzz report  RUN_DIR           render a recorded run's report
     eof-fuzz repro   --bug N           run a Table 2 bug reproducer
     eof-fuzz bugs                      list the Table 2 bug catalog
 """
@@ -12,6 +14,7 @@ Subcommands::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from repro.bench.runner import make_engine
@@ -47,7 +50,16 @@ def _cmd_build(args) -> int:
 def _cmd_run(args) -> int:
     target = get_target(args.target)
     build = build_firmware(target.build_config())
-    engine = make_engine(args.fuzzer, build, args.seed, args.budget)
+    obs = None
+    if args.trace_dir:
+        from repro.obs import JsonlSink, Observability
+        from repro.obs.report import EVENTS_FILE
+        os.makedirs(args.trace_dir, exist_ok=True)
+        obs = Observability(
+            run_id=f"{args.fuzzer}-{args.target}-seed{args.seed}")
+        obs.attach(JsonlSink(os.path.join(args.trace_dir, EVENTS_FILE)))
+    engine = make_engine(args.fuzzer, build, args.seed, args.budget,
+                         obs=obs)
     print(f"fuzzing {target.name} with {args.fuzzer} "
           f"(budget {args.budget} cycles, seed {args.seed}) ...")
     result = engine.run()
@@ -55,6 +67,29 @@ def _cmd_run(args) -> int:
     for report in result.crash_db.unique_crashes():
         print()
         print(report.render())
+    if obs is not None:
+        from repro.obs.report import collect_run_data, write_run_artifacts
+        obs.close()
+        data = collect_run_data(obs, stats=result.stats, meta={
+            "target": args.target, "fuzzer": args.fuzzer,
+            "seed": args.seed, "budget_cycles": args.budget})
+        write_run_artifacts(args.trace_dir, data)
+        print(f"run artifacts written to {args.trace_dir}")
+    return 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs.report import (METRICS_FILE, count_events,
+                                  load_run_data, render_report)
+    if not os.path.exists(os.path.join(args.run_dir, METRICS_FILE)):
+        print(f"no {METRICS_FILE} in {args.run_dir}", file=sys.stderr)
+        return 1
+    data = load_run_data(args.run_dir)
+    print(render_report(data))
+    recorded = count_events(args.run_dir)
+    if recorded:
+        print(f"\n{recorded} events recorded in "
+              f"{os.path.join(args.run_dir, 'events.jsonl')}")
     return 0
 
 
@@ -114,6 +149,13 @@ def main(argv=None) -> int:
     run_p.add_argument("--budget", type=int, default=4_000_000,
                        help="virtual-cycle budget")
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--trace-dir", default=None,
+                       help="write events.jsonl/metrics.json/report.txt "
+                            "run artifacts into this directory")
+
+    report_p = sub.add_parser(
+        "report", help="render the report of a recorded run directory")
+    report_p.add_argument("run_dir")
 
     sub.add_parser("bugs", help="list the Table 2 bug catalog")
 
@@ -125,9 +167,15 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {"targets": _cmd_targets, "build": _cmd_build,
-                "run": _cmd_run, "bugs": _cmd_bugs, "repro": _cmd_repro,
-                "spec": _cmd_spec}
-    return handlers[args.command](args)
+                "run": _cmd_run, "report": _cmd_report, "bugs": _cmd_bugs,
+                "repro": _cmd_repro, "spec": _cmd_spec}
+    try:
+        return handlers[args.command](args)
+    except BrokenPipeError:
+        # Reader (e.g. `... | head`) went away; not an error worth a traceback.
+        devnull = os.open(os.devnull, os.O_WRONLY)
+        os.dup2(devnull, sys.stdout.fileno())
+        return 0
 
 
 if __name__ == "__main__":

@@ -14,12 +14,14 @@ from repro.errors import DebugLinkError
 from repro.hw.board import Board
 from repro.hw.boards import BOARD_CATALOG
 from repro.hw.debug_port import DebugPort
+from repro.obs import NULL_OBS
 
 
 class OpenOcd:
     """One OpenOCD server bound to one board."""
 
-    def __init__(self, board: Board, interface: Optional[str] = None):
+    def __init__(self, board: Board, interface: Optional[str] = None,
+                 obs=NULL_OBS):
         spec = BOARD_CATALOG.get(board.name)
         expected = spec.debug_interface if spec else "jtag"
         self.interface = interface or expected
@@ -29,6 +31,7 @@ class OpenOcd:
                 f"config says {self.interface}")
         self.board = board
         self.port = DebugPort(board)
+        self.obs = obs
         self._uart_cursor = 0
         self.flash_ops = 0
         self.reset_ops = 0
@@ -53,21 +56,36 @@ class OpenOcd:
     def flash_write(self, address: int, data: bytes, verify: bool = True) -> None:
         """``flash write_image``: erase, program, optionally verify."""
         self.flash_ops += 1
+        started_at = self.board.machine.cycles
         self.port.flash_erase(address, len(data))
         self.port.flash_program(address, data)
         if verify and self.port.flash_read(address, len(data)) != data:
             raise DebugLinkError(f"flash verify failed at 0x{address:08x}")
+        if self.obs.enabled:
+            spent = self.board.machine.cycles - started_at
+            self.obs.histogram("ddi.cmd.flash_write").record(spent)
+            self.obs.counter("ddi.bytes.flash_write").inc(len(data))
+            self.obs.emit("ddi.command", command="flash_write",
+                          cycles_spent=spent, bytes=len(data),
+                          address=address)
 
     # -- reset --------------------------------------------------------------------
 
     def reset_run(self) -> None:
         """``monitor reset run``: warm reset, let the target boot."""
         self.reset_ops += 1
+        started_at = self.board.machine.cycles
         self.port.reset()
+        if self.obs.enabled:
+            self.obs.emit("ddi.command", command="reset_run",
+                          cycles_spent=self.board.machine.cycles - started_at,
+                          bytes=0, booted=not self.board.boot_failed)
 
     # -- UART capture ----------------------------------------------------------------
 
     def drain_uart(self) -> List[str]:
         """New UART lines since the last drain (host-side log stream)."""
         lines, self._uart_cursor = self.port.uart_read(self._uart_cursor)
+        if lines and self.obs.enabled:
+            self.obs.counter("uart.lines").inc(len(lines))
         return lines

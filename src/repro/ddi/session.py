@@ -17,18 +17,24 @@ from repro.firmware.loader import install_firmware_loader
 from repro.hw.board import Board
 from repro.hw.boards import make_board
 from repro.hw.machine import HaltEvent
+from repro.obs import NULL_OBS
 
 
 class DebugSession:
     """A live host <-> target debug session."""
 
-    def __init__(self, board: Board, build: BuildInfo):
+    def __init__(self, board: Board, build: BuildInfo, obs=NULL_OBS):
         self.board = board
         self.build = build
-        self.openocd = OpenOcd(board)
+        self.obs = obs
+        if obs.enabled:
+            # Virtual-cycle timestamps come from this board's clock.
+            obs.bind_clock(lambda: board.machine.cycles)
+        self.openocd = OpenOcd(board, obs=obs)
         self.gdb = GdbClient(
             self.openocd,
-            symbols={name: sym.address for name, sym in build.symbols.items()})
+            symbols={name: sym.address for name, sym in build.symbols.items()},
+            obs=obs)
 
     # -- convenience pass-throughs -------------------------------------------
 
@@ -65,7 +71,8 @@ class DebugSession:
         self.openocd.close()
 
 
-def open_session(build: BuildInfo, board: Board = None) -> DebugSession:
+def open_session(build: BuildInfo, board: Board = None,
+                 obs=NULL_OBS) -> DebugSession:
     """Provision a board with a built image and attach the debug stack.
 
     This is the "factory bring-up" path: make the board, install the ROM
@@ -76,6 +83,6 @@ def open_session(build: BuildInfo, board: Board = None) -> DebugSession:
     install_firmware_loader(board)
     flash_build(board, build)
     board.power_on()
-    session = DebugSession(board, build)
+    session = DebugSession(board, build, obs=obs)
     session.openocd.connect()
     return session

@@ -29,6 +29,7 @@ from repro.fuzz.stats import FuzzStats
 from repro.fuzz.watchdog import LivenessWatchdog
 from repro.hw.machine import HaltEvent, HaltReason
 from repro.instrument.sancov import decode_coverage_buffer
+from repro.obs import NULL_OBS, Observability
 from repro.spec.model import SpecSet
 
 AGENT_STATUS_CRASHED = 4
@@ -80,10 +81,16 @@ class EofEngine:
     """The host fuzzer bound to one build + spec."""
 
     def __init__(self, build: BuildInfo, spec: SpecSet,
-                 options: Optional[EngineOptions] = None):
+                 options: Optional[EngineOptions] = None,
+                 obs: Optional[Observability] = None):
         self.build = build
         self.spec = spec
         self.options = options or EngineOptions()
+        self.obs = obs or NULL_OBS
+        if self.obs.enabled and not self.obs.run_id:
+            self.obs.set_run_id(
+                f"{self.options.name}-{build.config.os_name}"
+                f"-seed{self.options.seed}")
         self.rng = FuzzRng(self.options.seed)
         self.coverage = CoverageMap()
         self.corpus = Corpus()
@@ -99,16 +106,16 @@ class EofEngine:
         self._smash_queue: List[TestProgram] = []
         self._recent_new_edges: List[int] = []
         self.heap_probe = None
-        self.log_monitor = LogMonitor(build.config.os_name)
+        self.log_monitor = LogMonitor(build.config.os_name, obs=self.obs)
         self.exception_monitor: Optional[ExceptionMonitor] = None
         self._exception_symbol = ""
 
     # -- setup -------------------------------------------------------------------
 
     def _attach(self) -> None:
-        self.session = open_session(self.build)
-        self.watchdog = LivenessWatchdog(self.session)
-        self.restoration = StateRestoration(self.session)
+        self.session = open_session(self.build, obs=self.obs)
+        self.watchdog = LivenessWatchdog(self.session, obs=self.obs)
+        self.restoration = StateRestoration(self.session, obs=self.obs)
         board = self.session.board
         if board.boot_failed or board.runtime is None:
             raise RuntimeError("target never booted; image is broken")
@@ -121,7 +128,7 @@ class EofEngine:
         if self.options.use_exception_monitor:
             self.exception_monitor = ExceptionMonitor(
                 self.session, self.build.config.os_name,
-                [self._exception_symbol])
+                [self._exception_symbol], obs=self.obs)
             self.exception_monitor.arm()
         if self.options.heap_probe_every > 0:
             from repro.fuzz.health import HeapHealthProbe
@@ -148,6 +155,10 @@ class EofEngine:
         opts = self.options
         self._attach()
         board = self.session.board
+        if self.obs.enabled:
+            self.obs.emit("run.start", fuzzer=opts.name,
+                          os=self.build.config.os_name, seed=opts.seed,
+                          budget_cycles=opts.budget_cycles)
         iteration = 0
         while (board.machine.cycles < opts.budget_cycles
                and iteration < opts.max_iterations):
@@ -160,6 +171,12 @@ class EofEngine:
                                     self.coverage.edge_count)
         self.stats.record_point(board.machine.cycles,
                                 self.coverage.edge_count)
+        if self.obs.enabled:
+            self.obs.gauge("corpus.size").set(len(self.corpus))
+            self.obs.emit("run.end", edges=self.coverage.edge_count,
+                          programs=self.stats.programs_executed,
+                          unique_crashes=self.stats.unique_crashes,
+                          restorations=self.stats.restorations)
         return FuzzResult(name=opts.name,
                           os_name=self.build.config.os_name,
                           stats=self.stats, coverage=self.coverage,
@@ -188,13 +205,15 @@ class EofEngine:
                 self.rng.chance(opts.mutate_probability):
             entry = self.corpus.pick(self.rng)
             if entry is not None:
-                if len(self.corpus) > 1 and self.rng.chance(0.2):
-                    other = self.corpus.pick(self.rng)
-                    if other is not None and other is not entry:
-                        return self.mutator.splice(entry.program,
-                                                   other.program)
-                return self.mutator.mutate(entry.program)
-        return self.generator.generate(max_calls=opts.max_calls)
+                with self.obs.span("mutate"):
+                    if len(self.corpus) > 1 and self.rng.chance(0.2):
+                        other = self.corpus.pick(self.rng)
+                        if other is not None and other is not entry:
+                            return self.mutator.splice(entry.program,
+                                                       other.program)
+                    return self.mutator.mutate(entry.program)
+        with self.obs.span("generate"):
+            return self.generator.generate(max_calls=opts.max_calls)
 
     # -- one test case ---------------------------------------------------------------
 
@@ -210,11 +229,15 @@ class EofEngine:
             self.stats.rejected_programs += 1
             return
         try:
-            gdb.write_u32(layout.input_buf_addr, len(raw))
-            gdb.write_memory(layout.input_buf_addr + 4, raw)
+            with self.obs.span("flash-program"):
+                gdb.write_u32(layout.input_buf_addr, len(raw))
+                gdb.write_memory(layout.input_buf_addr + 4, raw)
             self._drive(program)
         except DebugLinkTimeout:
             self.stats.link_timeouts += 1
+            if self.obs.enabled:
+                self.obs.emit("liveness.trip", kind="link-timeout",
+                              trips=self.stats.link_timeouts)
             self._salvage()
 
     def _drive(self, program: TestProgram) -> None:
@@ -222,11 +245,13 @@ class EofEngine:
         new_edges = 0
         self._run_started_at = self.session.board.machine.cycles
         # read_prog halt.
-        event = gdb.exec_continue()
+        with self.obs.span("continue"):
+            event = gdb.exec_continue()
         if self._handle_abnormal(event, program, new_edges):
             return
         # execute_one halt (or straight back to executor_main on reject).
-        event = gdb.exec_continue()
+        with self.obs.span("continue"):
+            event = gdb.exec_continue()
         if event.symbol == "executor_main":
             self.stats.rejected_programs += 1
             self._post_run(program, new_edges, executed=False)
@@ -235,7 +260,8 @@ class EofEngine:
             return
         # Execution until completion, draining cov-full traps.
         while True:
-            event = gdb.exec_continue()
+            with self.obs.span("continue"):
+                event = gdb.exec_continue()
             if event.reason == HaltReason.COV_FULL:
                 self.stats.cov_full_traps += 1
                 new_edges += self._drain_coverage()
@@ -261,6 +287,19 @@ class EofEngine:
             return True
         return False
 
+    def _record_crash(self, report: CrashReport) -> bool:
+        """Count one crash observation; True if it is a new unique crash."""
+        self.stats.crashes_observed += 1
+        fresh = self.crash_db.add(report)
+        if fresh:
+            self.stats.unique_crashes += 1
+        if self.obs.enabled:
+            self.obs.counter("crash.observed").inc()
+            self.obs.emit("crash.report", kind=report.kind,
+                          monitor=report.monitor, cause=report.cause,
+                          unique=fresh)
+        return fresh
+
     def _post_run(self, program: TestProgram, new_edges: int,
                   executed: bool) -> None:
         new_edges += self._drain_coverage()
@@ -268,22 +307,28 @@ class EofEngine:
         if self.heap_probe is not None and executed:
             defect = self.heap_probe.maybe_probe()
             if defect is not None:
-                report = CrashReport(
+                self._record_crash(CrashReport(
                     os_name=self.build.config.os_name,
                     kind="silent-corruption", cause=defect,
-                    monitor="heap-probe", program=program)
-                self.stats.crashes_observed += 1
-                if self.crash_db.add(report):
-                    self.stats.unique_crashes += 1
+                    monitor="heap-probe", program=program))
         log_reports = self._scan_logs(program)
         crashed = bool(log_reports)
+        spent = self.session.board.machine.cycles \
+            - getattr(self, "_run_started_at", 0)
+        if self.obs.enabled:
+            self.obs.histogram("exec.cycles").record(spent)
+            self.obs.emit("exec.program", executed=executed,
+                          calls=len(program.calls), new_edges=new_edges,
+                          cycles_spent=spent, crashed=crashed)
         if self.options.feedback and (new_edges > 0 or crashed):
-            spent = self.session.board.machine.cycles \
-                - getattr(self, "_run_started_at", 0)
             self.corpus.add(program, new_edges, crashed=crashed,
                             exec_cycles=spent)
             self.coverage.credit_calls(
                 [call.api_id for call in program.calls], new_edges)
+            if self.obs.enabled:
+                self.obs.gauge("corpus.size").set(len(self.corpus))
+                self.obs.emit("corpus.add", new_edges=new_edges,
+                              crashed=crashed, size=len(self.corpus))
             if new_edges > 0 and self._exploiting():
                 self._smash(program)
 
@@ -296,30 +341,39 @@ class EofEngine:
     def _drain_coverage(self) -> int:
         layout = self.build.ram_layout
         gdb = self.session.gdb
-        try:
-            count = gdb.read_u32(layout.cov_buf_addr)
-            capacity = (layout.cov_buf_size - 4) // 4
-            count = min(count, capacity)
-            raw = gdb.read_memory(layout.cov_buf_addr, 4 + count * 4)
-        except DebugLinkTimeout:
-            return 0
-        edges = decode_coverage_buffer(raw)
-        gdb.write_u32(layout.cov_buf_addr, 0)
-        return self.coverage.add_edges(edges)
+        with self.obs.span("drain-coverage"):
+            try:
+                count = gdb.read_u32(layout.cov_buf_addr)
+                capacity = (layout.cov_buf_size - 4) // 4
+                count = min(count, capacity)
+                raw = gdb.read_memory(layout.cov_buf_addr, 4 + count * 4)
+            except DebugLinkTimeout:
+                return 0
+            edges = decode_coverage_buffer(raw)
+            gdb.write_u32(layout.cov_buf_addr, 0)
+            fresh = self.coverage.add_edges(edges)
+        if self.obs.enabled:
+            self.obs.counter("coverage.drain.bytes").inc(len(raw))
+            self.obs.histogram(
+                "coverage.drain.records",
+                buckets=(1, 4, 16, 64, 256, 1024)).record(len(edges))
+            if fresh:
+                self.obs.emit("coverage.growth", new_edges=fresh,
+                              total_edges=self.coverage.edge_count)
+        return fresh
 
     def _scan_logs(self, program: Optional[TestProgram]) -> List[CrashReport]:
         """Returns only the *new* (previously unseen) crash reports."""
         if not self.options.use_log_monitor:
             self.session.drain_uart()
             return []
-        lines = self.session.drain_uart()
-        fresh = []
-        for report in self.log_monitor.scan(lines):
-            report.program = program
-            self.stats.crashes_observed += 1
-            if self.crash_db.add(report):
-                self.stats.unique_crashes += 1
-                fresh.append(report)
+        with self.obs.span("triage"):
+            lines = self.session.drain_uart()
+            fresh = []
+            for report in self.log_monitor.scan(lines):
+                report.program = program
+                if self._record_crash(report):
+                    fresh.append(report)
         return fresh
 
     # -- failure paths ------------------------------------------------------------------
@@ -330,15 +384,13 @@ class EofEngine:
         new_crash = False
         if self.exception_monitor is not None and \
                 self.exception_monitor.matches(event):
-            report = self.exception_monitor.capture(event)
-            report.program = program
-            self.stats.crashes_observed += 1
-            if self.crash_db.add(report):
-                self.stats.unique_crashes += 1
-                new_crash = True
-            # The panic banner on the UART belongs to this same crash;
-            # don't let the log monitor double-report it.
-            self.session.drain_uart()
+            with self.obs.span("triage"):
+                report = self.exception_monitor.capture(event)
+                report.program = program
+                new_crash = self._record_crash(report)
+                # The panic banner on the UART belongs to this same crash;
+                # don't let the log monitor double-report it.
+                self.session.drain_uart()
         else:
             new_crash = bool(self._scan_logs(program))
         # Save the payload when it found something new — re-admitting
@@ -362,13 +414,11 @@ class EofEngine:
         if not crashed and self.options.record_hangs_as_crashes:
             # Timeout-only detection (the Tardis model): every hang is
             # recorded, without backtrace or cause attribution.
-            report = CrashReport(os_name=self.build.config.os_name,
-                                 kind=KIND_HANG, cause="target hang",
-                                 detail=event.detail, monitor="timeout",
-                                 program=program)
-            self.stats.crashes_observed += 1
-            if self.crash_db.add(report):
-                self.stats.unique_crashes += 1
+            self._record_crash(CrashReport(
+                os_name=self.build.config.os_name,
+                kind=KIND_HANG, cause="target hang",
+                detail=event.detail, monitor="timeout",
+                program=program))
             crashed = True
         if self.options.feedback and (new_edges > 0 or crashed):
             spent = self.session.board.machine.cycles \
@@ -385,32 +435,42 @@ class EofEngine:
     def _recover(self) -> None:
         """Post-crash recovery: reboot; reflash if the image is damaged."""
         board = self.session.board
-        self.session.reboot()
-        board.machine.tick(REBOOT_CYCLES)
-        self.stats.reboots += 1
-        if board.boot_failed:
-            self._salvage()
-            return
-        self._rearm_after_boot()
-        self.session.drain_uart()
+        with self.obs.span("restore"):
+            self.session.reboot()
+            board.machine.tick(REBOOT_CYCLES)
+            self.stats.reboots += 1
+            if self.obs.enabled:
+                self.obs.emit("restore.reboot", kind="reboot-only",
+                              booted=not board.boot_failed,
+                              cycles_spent=REBOOT_CYCLES)
+            if board.boot_failed:
+                self._salvage()
+                return
+            self._rearm_after_boot()
+            self.session.drain_uart()
 
     def _salvage(self) -> None:
         """Algorithm 1 StateRestoration: reflash everything and reboot."""
         board = self.session.board
-        if not self.options.restore_with_reflash:
-            # Naive recovery: power-cycle and hope the image is intact.
-            self.session.reboot()
-            board.machine.tick(REBOOT_CYCLES)
-            self.stats.reboots += 1
-            if board.boot_failed:
-                # Reboot cannot fix damaged flash; burn time until the
-                # budget ends (models a manual-intervention gap) but keep
-                # trying the reflash-free path.
-                board.machine.tick(REBOOT_CYCLES * 4)
-                self.restoration.restore()  # eventually a human reflashes
+        with self.obs.span("restore"):
+            if not self.options.restore_with_reflash:
+                # Naive recovery: power-cycle and hope the image is intact.
+                self.session.reboot()
+                board.machine.tick(REBOOT_CYCLES)
+                self.stats.reboots += 1
+                if self.obs.enabled:
+                    self.obs.emit("restore.reboot", kind="reboot-only",
+                                  booted=not board.boot_failed,
+                                  cycles_spent=REBOOT_CYCLES)
+                if board.boot_failed:
+                    # Reboot cannot fix damaged flash; burn time until the
+                    # budget ends (models a manual-intervention gap) but keep
+                    # trying the reflash-free path.
+                    board.machine.tick(REBOOT_CYCLES * 4)
+                    self.restoration.restore()  # eventually a human reflashes
+                    self.stats.restorations += 1
+            else:
+                self.restoration.restore()
                 self.stats.restorations += 1
-        else:
-            self.restoration.restore()
-            self.stats.restorations += 1
-        self._rearm_after_boot()
-        self.session.drain_uart()
+            self._rearm_after_boot()
+            self.session.drain_uart()

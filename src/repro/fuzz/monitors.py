@@ -23,6 +23,7 @@ from repro.fuzz.crash import (
     KIND_PANIC,
 )
 from repro.hw.machine import HaltEvent
+from repro.obs import NULL_OBS
 from repro.oses.common.context import (
     CAUSE_ASSERT,
     CAUSE_BUS_FAULT,
@@ -49,8 +50,10 @@ class LogMonitor:
     """Regex scanning over the UART stream."""
 
     def __init__(self, os_name: str,
-                 patterns: Sequence[str] = DEFAULT_LOG_PATTERNS):
+                 patterns: Sequence[str] = DEFAULT_LOG_PATTERNS,
+                 obs=NULL_OBS):
         self.os_name = os_name
+        self.obs = obs
         self.patterns = [re.compile(p) for p in patterns]
         self.matched_lines = 0
 
@@ -66,6 +69,9 @@ class LogMonitor:
                     reports.append(CrashReport(
                         os_name=self.os_name, kind=kind, cause=line.strip(),
                         monitor="log"))
+                    if self.obs.enabled:
+                        self.obs.emit("monitor.detect", monitor="log",
+                                      kind=kind, cause=line.strip())
                     break
         return reports
 
@@ -74,9 +80,10 @@ class ExceptionMonitor:
     """Breakpoints on the OS's fatal-error entry points."""
 
     def __init__(self, session: DebugSession, os_name: str,
-                 exception_symbols: Sequence[str]):
+                 exception_symbols: Sequence[str], obs=NULL_OBS):
         self.session = session
         self.os_name = os_name
+        self.obs = obs
         self.exception_symbols = list(exception_symbols)
         self._armed = False
 
@@ -102,6 +109,10 @@ class ExceptionMonitor:
             kind = KIND_ASSERT
         backtrace = [frame.symbol for frame in event.backtrace]
         uart_tail = self.session.board.uart.tail(6)
+        if self.obs.enabled:
+            self.obs.emit("monitor.detect", monitor="exception", kind=kind,
+                          cause=cause_text or event.detail,
+                          symbol=event.symbol, depth=len(backtrace))
         return CrashReport(
             os_name=self.os_name, kind=kind,
             cause=cause_text or event.detail, detail=event.detail,

@@ -14,6 +14,7 @@ from typing import Dict, Tuple
 
 from repro.ddi.session import DebugSession
 from repro.firmware.layout import parse_partition_table
+from repro.obs import NULL_OBS
 
 # Virtual-time cost of a full reflash + the post-reboot settle sleep
 # (Algorithm 1 line 19 sleeps 5 s; flashing a few hundred KB takes
@@ -26,8 +27,9 @@ SETTLE_CYCLES = 20_000
 class StateRestoration:
     """Reflash-based recovery bound to one session."""
 
-    def __init__(self, session: DebugSession):
+    def __init__(self, session: DebugSession, obs=NULL_OBS):
         self.session = session
+        self.obs = obs
         self.restorations = 0
         # Line 13: PartitionMap <- GetPartitionTable(KConfig)
         self.partition_specs = parse_partition_table(
@@ -41,15 +43,30 @@ class StateRestoration:
         """
         self.restorations += 1
         board = self.session.board
+        started_at = board.machine.cycles
+        flashed_bytes = 0
+        flashed_parts = 0
         for part in self.partition_specs:
             payload_offset = self._files.get(part.name)
             if payload_offset is None:
                 continue
             payload, offset = payload_offset
             self.session.flash(payload, offset)
+            flashed_bytes += len(payload)
+            flashed_parts += 1
             board.machine.tick(REFLASH_CYCLES // max(len(
                 self.partition_specs), 1))
         self.session.flash_header()
+        if self.obs.enabled:
+            self.obs.emit("restore.reflash", partitions=flashed_parts,
+                          bytes=flashed_bytes,
+                          cycles_spent=board.machine.cycles - started_at)
         self.session.reboot()
         board.machine.tick(SETTLE_CYCLES)  # sleep(5s)
-        return not board.boot_failed
+        booted = not board.boot_failed
+        if self.obs.enabled:
+            spent = board.machine.cycles - started_at
+            self.obs.histogram("restore.latency").record(spent)
+            self.obs.emit("restore.reboot", booted=booted,
+                          cycles_spent=spent, kind="reflash")
+        return booted

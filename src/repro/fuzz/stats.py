@@ -2,12 +2,29 @@
 
 Time is the target's cycle clock (deterministic virtual time); the
 series is what the Figure 7/8 coverage-growth plots are drawn from.
+Samples are recorded in nondecreasing cycle order (the engine's loop
+guarantees it), which is what lets :meth:`FuzzStats.edges_at` binary
+search instead of scanning Figure-7-length series.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Tuple
+from bisect import bisect_right
+from dataclasses import dataclass, field, fields
+from typing import Dict, List, Sequence, Tuple
+
+_INF_EDGES = float("inf")
+
+
+def series_edges_at(series: Sequence[Tuple[int, int]], cycles: int) -> int:
+    """Coverage at or before ``cycles`` in a (cycles, edges) series.
+
+    The series must be sorted by cycle timestamp (as recorded); lookup
+    is a binary search, so querying many timestamps against a long
+    series (curve bands, report percentiles) stays cheap.
+    """
+    index = bisect_right(series, (cycles, _INF_EDGES))
+    return series[index - 1][1] if index else 0
 
 
 @dataclass
@@ -27,7 +44,11 @@ class FuzzStats:
     series: List[Tuple[int, int]] = field(default_factory=list)  # (cycles, edges)
 
     def record_point(self, cycles: int, edges: int) -> None:
-        """Append a coverage sample (deduplicated per edge count)."""
+        """Append a coverage sample (deduplicated per edge count).
+
+        Flat stretches collapse to their first and latest sample, so the
+        first-occurrence timestamp of every edge count is preserved.
+        """
         if self.series and self.series[-1][1] == edges and \
                 len(self.series) > 1 and self.series[-2][1] == edges:
             # Collapse flat stretches: keep first and latest sample.
@@ -41,12 +62,25 @@ class FuzzStats:
 
     def edges_at(self, cycles: int) -> int:
         """Coverage at or before a given cycle timestamp."""
-        best = 0
-        for when, edges in self.series:
-            if when > cycles:
-                break
-            best = edges
-        return best
+        return series_edges_at(self.series, cycles)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump (counters + series as [cycles, edges] pairs)."""
+        data: Dict[str, object] = {
+            f.name: getattr(self, f.name)
+            for f in fields(self) if f.name != "series"}
+        data["series"] = [[cycles, edges] for cycles, edges in self.series]
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "FuzzStats":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        counter_names = {f.name for f in fields(cls)} - {"series"}
+        stats = cls(**{name: int(data.get(name, 0))
+                       for name in counter_names})
+        stats.series = [(int(cycles), int(edges))
+                        for cycles, edges in data.get("series", [])]
+        return stats
 
     def summary(self) -> str:
         """One-line human summary."""

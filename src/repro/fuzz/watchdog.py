@@ -14,6 +14,7 @@ from __future__ import annotations
 
 from repro.ddi.session import DebugSession
 from repro.errors import DebugLinkTimeout
+from repro.obs import NULL_OBS
 
 INT_MIN = -(2 ** 31)
 
@@ -21,8 +22,9 @@ INT_MIN = -(2 ** 31)
 class LivenessWatchdog:
     """Stateful watchdog bound to one debug session."""
 
-    def __init__(self, session: DebugSession):
+    def __init__(self, session: DebugSession, obs=NULL_OBS):
         self.session = session
+        self.obs = obs
         self.last_pc: int = INT_MIN
         self.timeout_trips = 0
         self.stall_trips = 0
@@ -42,12 +44,18 @@ class LivenessWatchdog:
             pc = self.session.read_pc()
         except DebugLinkTimeout:
             self.timeout_trips += 1
+            if self.obs.enabled:
+                self.obs.emit("liveness.trip", kind="link-timeout",
+                              trips=self.timeout_trips)
             return False
         if self.last_pc == INT_MIN:
             self.last_pc = pc
             return True
         if self.last_pc == pc:
             self.stall_trips += 1
+            if self.obs.enabled:
+                self.obs.emit("liveness.trip", kind="pc-stall", pc=pc,
+                              trips=self.stall_trips)
             return False
         self.last_pc = pc
         return True

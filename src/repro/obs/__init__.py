@@ -1,0 +1,127 @@
+"""``repro.obs``: structured tracing, metrics and run artifacts.
+
+One :class:`Observability` object travels with a fuzzing run and bundles
+the three instruments the stack emits into:
+
+* an :class:`~repro.obs.events.EventBus` of structured events
+  (virtual-cycle timestamp + wall clock + run id) with pluggable sinks,
+* a :class:`~repro.obs.metrics.MetricsRegistry` of counters / gauges /
+  fixed-bucket histograms (per-DDI-command latency, bytes moved, ...),
+* a :class:`~repro.obs.tracing.Tracer` attributing cycles and wall time
+  to loop phases (generate / flash-program / continue / drain-coverage /
+  triage / restore).
+
+Everything is off by default: the module-level :data:`NULL_OBS` is the
+shared disabled instance every component falls back to, its ``enabled``
+flag short-circuits all emit sites, and its spans are a shared no-op —
+so §5.5-style overhead measurements are not perturbed.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from repro.obs.events import (  # noqa: F401 (re-exported surface)
+    EVENT_SCHEMA_KEYS,
+    Event,
+    EventBus,
+    JsonlSink,
+    RingBufferSink,
+    Sink,
+)
+from repro.obs.metrics import (  # noqa: F401
+    DDI_LATENCY_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from repro.obs.tracing import NULL_SPAN, Tracer  # noqa: F401
+
+
+class Observability:
+    """Bus + metrics + tracer for one run.
+
+    Constructed disabled; attaching any sink enables the whole bundle.
+    The virtual clock is bound once a debug session exists (the board's
+    cycle counter); until then timestamps read 0.
+    """
+
+    def __init__(self, run_id: str = ""):
+        self._clock: Callable[[], int] = lambda: 0
+        self.bus = EventBus(run_id=run_id, clock=self._read_clock)
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=self._read_clock)
+        self.enabled = False
+
+    # -- wiring ---------------------------------------------------------------
+
+    def _read_clock(self) -> int:
+        return self._clock()
+
+    def bind_clock(self, clock: Callable[[], int]) -> None:
+        """Point virtual-time stamps at a cycle counter."""
+        self._clock = clock
+
+    def now(self) -> int:
+        """Current virtual-cycle timestamp."""
+        return self._clock()
+
+    @property
+    def run_id(self) -> str:
+        return self.bus.run_id
+
+    def set_run_id(self, run_id: str) -> None:
+        """Name the run (stamped into every subsequent event)."""
+        self.bus.run_id = run_id
+
+    def attach(self, sink: Sink) -> Sink:
+        """Add a sink and enable events, metrics and tracing."""
+        self.bus.attach(sink)
+        self.enabled = True
+        self.tracer.enabled = True
+        return sink
+
+    def close(self) -> None:
+        """Flush and close every sink."""
+        self.bus.close()
+
+    # -- emit surface (delegates; call sites guard on ``enabled``) -----------
+
+    def emit(self, name: str, **fields) -> None:
+        """Emit one structured event (no-op while disabled)."""
+        self.bus.emit(name, **fields)
+
+    def span(self, phase: str):
+        """Phase-attribution context manager (shared no-op if disabled)."""
+        return self.tracer.span(phase)
+
+    def counter(self, name: str) -> Counter:
+        return self.metrics.counter(name)
+
+    def gauge(self, name: str) -> Gauge:
+        return self.metrics.gauge(name)
+
+    def histogram(self, name: str,
+                  buckets=DDI_LATENCY_BUCKETS) -> Histogram:
+        return self.metrics.histogram(name, buckets)
+
+    # -- export ---------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Everything but the raw events, JSON-friendly."""
+        return {"run_id": self.run_id,
+                "events_emitted": self.bus.emitted,
+                "metrics": self.metrics.snapshot(),
+                "phases": self.tracer.snapshot()}
+
+
+#: Shared always-disabled instance; the default everywhere.
+NULL_OBS = Observability()
+
+
+def for_run(run_id: str, sink: Optional[Sink] = None) -> Observability:
+    """Fresh enabled observability bundle for one run."""
+    obs = Observability(run_id=run_id)
+    obs.attach(sink if sink is not None else RingBufferSink())
+    return obs

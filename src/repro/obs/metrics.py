@@ -1,0 +1,138 @@
+"""Metrics registry: counters, gauges, fixed-bucket histograms.
+
+Everything is plain Python with O(1) updates so instrumented hot paths
+(per-DDI-command latency, coverage-drain bytes, restore latency) stay
+cheap, and everything snapshots to JSON-friendly dicts for the run
+artifact (``metrics.json``).
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, Optional, Sequence, Tuple
+
+# Default latency buckets for debug-link commands, in virtual cycles.
+# Probe latency per round-trip is ~1200 cycles (board catalog), so the
+# buckets straddle one-command costs up to full reflash territory.
+DDI_LATENCY_BUCKETS: Tuple[int, ...] = (
+    500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000)
+
+
+class Counter:
+    """Monotone event count."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (corpus size, queue depth, ...)."""
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+
+class Histogram:
+    """Fixed-bucket histogram with count/sum/min/max.
+
+    ``buckets`` are upper bounds; a final implicit +inf bucket catches
+    overflows.  Recording is a bisect into a short tuple — cheap enough
+    for per-command instrumentation.
+    """
+
+    def __init__(self, name: str,
+                 buckets: Sequence[float] = DDI_LATENCY_BUCKETS):
+        self.name = name
+        self.buckets: Tuple[float, ...] = tuple(sorted(buckets))
+        self.counts = [0] * (len(self.buckets) + 1)
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def record(self, value: float) -> None:
+        self.counts[bisect.bisect_left(self.buckets, value)] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> float:
+        """Bucket-resolution percentile estimate (q in [0, 1])."""
+        if not self.count:
+            return 0.0
+        target = q * self.count
+        seen = 0
+        for index, bucket_count in enumerate(self.counts):
+            seen += bucket_count
+            if seen >= target:
+                if index < len(self.buckets):
+                    return float(self.buckets[index])
+                return float(self.max if self.max is not None else 0.0)
+        return float(self.max if self.max is not None else 0.0)
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"buckets": list(self.buckets), "counts": list(self.counts),
+                "count": self.count, "sum": self.total,
+                "min": self.min, "max": self.max, "mean": self.mean}
+
+    def summary(self) -> str:
+        """One-line human rendering for the run report."""
+        if not self.count:
+            return "n=0"
+        return (f"n={self.count} mean={self.mean:.0f} "
+                f"p50~{self.percentile(0.5):.0f} "
+                f"p90~{self.percentile(0.9):.0f} max={self.max:.0f}")
+
+
+class MetricsRegistry:
+    """Get-or-create registry; same name always returns the same object."""
+
+    def __init__(self):
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self.counters.get(name)
+        if counter is None:
+            counter = self.counters[name] = Counter(name)
+        return counter
+
+    def gauge(self, name: str) -> Gauge:
+        gauge = self.gauges.get(name)
+        if gauge is None:
+            gauge = self.gauges[name] = Gauge(name)
+        return gauge
+
+    def histogram(self, name: str,
+                  buckets: Sequence[float] = DDI_LATENCY_BUCKETS) -> Histogram:
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = Histogram(name, buckets)
+        return histogram
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-friendly dump of every metric."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self.gauges.items())},
+            "histograms": {name: h.snapshot()
+                           for name, h in sorted(self.histograms.items())},
+        }

@@ -1,0 +1,139 @@
+"""End-of-run reporting: assemble run artifacts and render them.
+
+A run directory (``runs/<id>/`` or whatever ``--trace-dir`` named) holds
+
+* ``events.jsonl`` — streamed live by the run's :class:`JsonlSink`,
+* ``metrics.json`` — metrics + phase aggregates + the ``FuzzStats``
+  series, written here at the end of the run,
+* ``report.txt`` — the human rendering: phase-time breakdown and
+  per-DDI-command latency histogram summaries.
+
+``repro report <run-dir>`` re-renders ``metrics.json`` at any later
+time, so artifacts are the interchange format, not the console text.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, Optional
+
+from repro.bench.report import render_table
+from repro.fuzz.stats import FuzzStats
+
+METRICS_FILE = "metrics.json"
+EVENTS_FILE = "events.jsonl"
+REPORT_FILE = "report.txt"
+
+# Loop phases in pipeline order (the report keeps this order).
+PHASE_ORDER = ("generate", "mutate", "flash-program", "continue",
+               "drain-coverage", "triage", "restore")
+
+
+def collect_run_data(obs, stats: Optional[FuzzStats] = None,
+                     meta: Optional[Dict[str, object]] = None) -> dict:
+    """Bundle one run's observability state into a JSON-friendly dict."""
+    data = obs.snapshot()
+    data["meta"] = dict(meta or {})
+    if stats is not None:
+        data["stats"] = stats.to_dict()
+    return data
+
+
+def write_run_artifacts(run_dir: str, data: dict) -> str:
+    """Write ``metrics.json`` + ``report.txt`` into ``run_dir``."""
+    os.makedirs(run_dir, exist_ok=True)
+    with open(os.path.join(run_dir, METRICS_FILE), "w",
+              encoding="utf-8") as fh:
+        json.dump(data, fh, indent=2, default=str)
+        fh.write("\n")
+    text = render_report(data)
+    with open(os.path.join(run_dir, REPORT_FILE), "w",
+              encoding="utf-8") as fh:
+        fh.write(text)
+        if not text.endswith("\n"):
+            fh.write("\n")
+    return run_dir
+
+
+def load_run_data(run_dir: str) -> dict:
+    """Read a run directory's ``metrics.json``."""
+    with open(os.path.join(run_dir, METRICS_FILE), encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def count_events(run_dir: str) -> int:
+    """Number of lines in the run's ``events.jsonl`` (0 if absent)."""
+    path = os.path.join(run_dir, EVENTS_FILE)
+    if not os.path.exists(path):
+        return 0
+    with open(path, encoding="utf-8") as fh:
+        return sum(1 for _ in fh)
+
+
+def _ordered_phases(phases: Dict[str, dict]):
+    known = [name for name in PHASE_ORDER if name in phases]
+    extra = sorted(name for name in phases if name not in PHASE_ORDER)
+    return known + extra
+
+
+def render_report(data: dict) -> str:
+    """Human rendering of one run's ``metrics.json`` payload."""
+    sections = []
+    meta = data.get("meta", {})
+    run_id = data.get("run_id", "") or "(unnamed run)"
+    header = [f"run       : {run_id}"]
+    for key in sorted(meta):
+        header.append(f"{key:10}: {meta[key]}")
+    header.append(f"events    : {data.get('events_emitted', 0)}")
+    sections.append("\n".join(header))
+
+    stats_data = data.get("stats")
+    if stats_data:
+        stats = FuzzStats.from_dict(stats_data)
+        sections.append("summary   : " + stats.summary())
+
+    phases = data.get("phases", {})
+    if phases:
+        total = sum(entry["cycles"] for entry in phases.values()) or 1
+        rows = []
+        for name in _ordered_phases(phases):
+            entry = phases[name]
+            rows.append([name, entry["count"], entry["cycles"],
+                         f"{100.0 * entry['cycles'] / total:.1f}%",
+                         f"{1000.0 * entry['wall_seconds']:.1f}"])
+        sections.append(render_table(
+            "Phase-time breakdown (virtual cycles)",
+            ["phase", "spans", "cycles", "share", "wall ms"], rows))
+
+    histograms = data.get("metrics", {}).get("histograms", {})
+    ddi = {name: snap for name, snap in histograms.items()
+           if name.startswith("ddi.cmd.")}
+    if ddi:
+        rows = []
+        for name in sorted(ddi):
+            snap = ddi[name]
+            count = snap.get("count", 0)
+            mean = snap.get("mean", 0.0)
+            peak = snap.get("max") or 0
+            rows.append([name[len("ddi.cmd."):], count,
+                         f"{mean:.0f}", int(peak)])
+        sections.append(render_table(
+            "DDI command latency (cycles per command)",
+            ["command", "count", "mean", "max"], rows))
+    other = {name: snap for name, snap in histograms.items()
+             if name not in ddi}
+    if other:
+        rows = [[name, snap.get("count", 0),
+                 f"{snap.get('mean', 0.0):.0f}",
+                 int(snap.get("max") or 0)]
+                for name, snap in sorted(other.items())]
+        sections.append(render_table(
+            "Other histograms", ["name", "count", "mean", "max"], rows))
+
+    counters = data.get("metrics", {}).get("counters", {})
+    if counters:
+        rows = [[name, value] for name, value in sorted(counters.items())]
+        sections.append(render_table("Counters", ["counter", "value"], rows))
+
+    return "\n\n".join(sections)

@@ -1,0 +1,103 @@
+"""Span-style phase tracing over the virtual cycle clock.
+
+``with tracer.span("restore"):`` attributes the enclosed virtual cycles
+and wall time to a named phase.  Aggregates (count / cycles / wall
+seconds / max cycles per phase) answer the paper's §5.5-style question
+"where did the campaign's time go": generate / mutate / flash-program /
+continue / drain-coverage / triage / restore.
+
+Re-entrant spans of the *same* phase are ignored (the inner span is a
+no-op) so nested recovery paths — ``_recover`` falling through to
+``_salvage`` — never double-count.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+
+class SpanAggregate:
+    """Accumulated totals for one phase."""
+
+    __slots__ = ("count", "cycles", "wall_seconds", "max_cycles")
+
+    def __init__(self):
+        self.count = 0
+        self.cycles = 0
+        self.wall_seconds = 0.0
+        self.max_cycles = 0
+
+    def add(self, cycles: int, wall_seconds: float) -> None:
+        self.count += 1
+        self.cycles += cycles
+        self.wall_seconds += wall_seconds
+        if cycles > self.max_cycles:
+            self.max_cycles = cycles
+
+    def to_dict(self) -> Dict[str, object]:
+        return {"count": self.count, "cycles": self.cycles,
+                "wall_seconds": self.wall_seconds,
+                "max_cycles": self.max_cycles}
+
+
+class _NullSpan:
+    """Shared no-op context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        return False
+
+
+NULL_SPAN = _NullSpan()
+
+
+class _Span:
+    """One live measurement; created only when the tracer is enabled."""
+
+    __slots__ = ("tracer", "phase", "_start_cycles", "_start_wall")
+
+    def __init__(self, tracer: "Tracer", phase: str):
+        self.tracer = tracer
+        self.phase = phase
+
+    def __enter__(self):
+        self._start_cycles = self.tracer.clock()
+        self._start_wall = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info):
+        tracer = self.tracer
+        tracer._active.discard(self.phase)
+        aggregate = tracer.aggregates.get(self.phase)
+        if aggregate is None:
+            aggregate = tracer.aggregates[self.phase] = SpanAggregate()
+        aggregate.add(tracer.clock() - self._start_cycles,
+                      time.perf_counter() - self._start_wall)
+        return False
+
+
+class Tracer:
+    """Phase attribution bound to one run's cycle clock."""
+
+    def __init__(self, clock: Optional[Callable[[], int]] = None):
+        self.clock: Callable[[], int] = clock or (lambda: 0)
+        self.enabled = False
+        self.aggregates: Dict[str, SpanAggregate] = {}
+        self._active = set()
+
+    def span(self, phase: str):
+        """Context manager attributing its duration to ``phase``."""
+        if not self.enabled or phase in self._active:
+            return NULL_SPAN
+        self._active.add(phase)
+        return _Span(self, phase)
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """JSON-friendly per-phase totals."""
+        return {phase: aggregate.to_dict()
+                for phase, aggregate in sorted(self.aggregates.items())}

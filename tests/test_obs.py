@@ -1,0 +1,281 @@
+"""Unit tests for ``repro.obs``: events, metrics, tracing, reporting,
+plus the hardened ``FuzzStats`` series (collapsing + bisect lookups)."""
+
+import json
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.fuzz.stats import FuzzStats, series_edges_at
+from repro.obs import (
+    EVENT_SCHEMA_KEYS,
+    NULL_OBS,
+    Observability,
+    for_run,
+    JsonlSink,
+    RingBufferSink,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.report import render_report
+from repro.obs.tracing import NULL_SPAN, Tracer
+
+
+class FakeClock:
+    def __init__(self):
+        self.cycles = 0
+
+    def __call__(self):
+        return self.cycles
+
+
+class TestEventBus:
+    def test_disabled_bus_emits_nothing(self):
+        obs = Observability()
+        obs.emit("anything", value=1)
+        assert not obs.enabled
+        assert obs.bus.emitted == 0
+
+    def test_attach_enables_and_stamps(self):
+        clock = FakeClock()
+        obs = Observability(run_id="r1")
+        obs.bind_clock(clock)
+        ring = obs.attach(RingBufferSink())
+        clock.cycles = 42
+        obs.emit("thing.happened", detail="x")
+        assert obs.enabled
+        [event] = ring.events
+        assert event.name == "thing.happened"
+        assert event.cycles == 42
+        assert event.run_id == "r1"
+        assert event.fields == {"detail": "x"}
+
+    def test_ring_buffer_caps_capacity(self):
+        ring = RingBufferSink(capacity=3)
+        obs = Observability()
+        obs.attach(ring)
+        for index in range(10):
+            obs.emit("e", index=index)
+        assert ring.total == 10
+        assert [e.fields["index"] for e in ring.events] == [7, 8, 9]
+
+    def test_jsonl_sink_writes_schema_stable_lines(self, tmp_path):
+        path = tmp_path / "events.jsonl"
+        obs = Observability(run_id="r2")
+        obs.attach(JsonlSink(path))
+        obs.emit("a", x=1)
+        obs.emit("b")
+        obs.close()
+        lines = path.read_text().splitlines()
+        assert len(lines) == 2
+        for line in lines:
+            record = json.loads(line)
+            assert tuple(record.keys()) == EVENT_SCHEMA_KEYS
+
+    def test_named_filter(self):
+        ring = RingBufferSink()
+        obs = for_run("r", sink=ring)
+        obs.emit("keep")
+        obs.emit("drop")
+        obs.emit("keep")
+        assert len(ring.named("keep")) == 2
+
+
+class TestMetrics:
+    def test_counter_and_gauge(self):
+        registry = MetricsRegistry()
+        registry.counter("c").inc()
+        registry.counter("c").inc(4)
+        registry.gauge("g").set(2.5)
+        snap = registry.snapshot()
+        assert snap["counters"]["c"] == 5
+        assert snap["gauges"]["g"] == 2.5
+
+    def test_same_name_same_object(self):
+        registry = MetricsRegistry()
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_histogram_buckets(self):
+        histogram = Histogram("h", buckets=(10, 100))
+        for value in (5, 10, 50, 1000):
+            histogram.record(value)
+        # <=10 | <=100 | overflow
+        assert histogram.counts == [2, 1, 1]
+        assert histogram.count == 4
+        assert histogram.min == 5 and histogram.max == 1000
+        assert histogram.mean == pytest.approx(1065 / 4)
+
+    def test_histogram_percentile_and_summary(self):
+        histogram = Histogram("h", buckets=(10, 100))
+        assert histogram.percentile(0.5) == 0.0
+        assert histogram.summary() == "n=0"
+        for _ in range(9):
+            histogram.record(1)
+        histogram.record(1000)
+        assert histogram.percentile(0.5) == 10.0
+        assert "n=10" in histogram.summary()
+
+
+class TestTracer:
+    def test_disabled_returns_shared_null_span(self):
+        tracer = Tracer()
+        assert tracer.span("x") is NULL_SPAN
+        with tracer.span("x"):
+            pass
+        assert tracer.aggregates == {}
+
+    def test_span_attributes_cycles(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.enabled = True
+        with tracer.span("phase"):
+            clock.cycles += 100
+        with tracer.span("phase"):
+            clock.cycles += 50
+        snap = tracer.snapshot()["phase"]
+        assert snap["count"] == 2
+        assert snap["cycles"] == 150
+        assert snap["max_cycles"] == 100
+
+    def test_reentrant_same_phase_not_double_counted(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.enabled = True
+        with tracer.span("restore"):
+            clock.cycles += 10
+            with tracer.span("restore"):   # inner no-op
+                clock.cycles += 5
+        snap = tracer.snapshot()["restore"]
+        assert snap["count"] == 1
+        assert snap["cycles"] == 15
+
+    def test_exception_still_closes_span(self):
+        clock = FakeClock()
+        tracer = Tracer(clock=clock)
+        tracer.enabled = True
+        with pytest.raises(ValueError):
+            with tracer.span("boom"):
+                clock.cycles += 7
+                raise ValueError()
+        assert tracer.snapshot()["boom"]["cycles"] == 7
+        assert not tracer._active
+
+
+class TestObservabilityFacade:
+    def test_null_obs_is_disabled(self):
+        assert NULL_OBS.enabled is False
+        assert NULL_OBS.span("x") is NULL_SPAN
+
+    def test_snapshot_shape(self):
+        obs = for_run("run-9")
+        obs.counter("c").inc()
+        with obs.span("p"):
+            pass
+        obs.emit("e")
+        snap = obs.snapshot()
+        assert snap["run_id"] == "run-9"
+        assert snap["events_emitted"] == 1
+        assert snap["metrics"]["counters"]["c"] == 1
+        assert "p" in snap["phases"]
+
+
+class TestRenderReport:
+    def test_renders_phases_and_ddi_histograms(self):
+        obs = for_run("render-run")
+        with obs.span("generate"):
+            pass
+        obs.histogram("ddi.cmd.exec_continue").record(1200)
+        obs.counter("ddi.bytes.read_memory").inc(64)
+        stats = FuzzStats(programs_executed=3)
+        stats.record_point(0, 0)
+        stats.record_point(100, 5)
+        from repro.obs.report import collect_run_data
+        data = collect_run_data(obs, stats=stats, meta={"target": "pokos"})
+        text = render_report(data)
+        assert "Phase-time breakdown" in text
+        assert "generate" in text
+        assert "exec_continue" in text
+        assert "execs=3" in text
+        assert "pokos" in text
+
+    def test_report_round_trips_through_json(self, tmp_path):
+        from repro.obs.report import (collect_run_data, load_run_data,
+                                      render_report, write_run_artifacts)
+        obs = for_run("rt")
+        obs.emit("e")
+        data = collect_run_data(obs, stats=FuzzStats())
+        run_dir = tmp_path / "run"
+        write_run_artifacts(str(run_dir), data)
+        assert (run_dir / "metrics.json").exists()
+        assert (run_dir / "report.txt").exists()
+        reloaded = load_run_data(str(run_dir))
+        assert render_report(reloaded) == render_report(data)
+
+
+# -- FuzzStats hardening (collapsing + bisect) ---------------------------------
+
+# Nondecreasing cycle timestamps with arbitrary edge counts, as the
+# engine records them (cycles only move forward; edges may repeat).
+_series = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=50),
+              st.integers(min_value=0, max_value=6)),
+    max_size=60).map(
+        lambda deltas: [(sum(d for d, _ in deltas[:i + 1]), edges)
+                        for i, (_, edges) in enumerate(deltas)])
+
+
+def _reference_edges_at(points, cycles):
+    best = 0
+    for when, edges in points:
+        if when > cycles:
+            break
+        best = edges
+    return best
+
+
+class TestFuzzStatsHardening:
+    @given(_series)
+    def test_collapsing_preserves_first_occurrence(self, points):
+        stats = FuzzStats()
+        for cycles, edges in points:
+            stats.record_point(cycles, edges)
+        # For every edge count, the first cycle at which it was recorded
+        # must survive the flat-stretch collapsing.
+        first_seen = {}
+        for cycles, edges in points:
+            first_seen.setdefault(edges, cycles)
+        collapsed_first = {}
+        for cycles, edges in stats.series:
+            collapsed_first.setdefault(edges, cycles)
+        for edges, cycles in collapsed_first.items():
+            assert first_seen[edges] == cycles
+
+    @given(_series, st.integers(min_value=-5, max_value=3500))
+    def test_edges_at_matches_uncollapsed_reference(self, points, probe):
+        stats = FuzzStats()
+        for cycles, edges in points:
+            stats.record_point(cycles, edges)
+        assert stats.edges_at(probe) == _reference_edges_at(points, probe)
+
+    @given(_series, st.integers(min_value=-5, max_value=3500))
+    def test_series_edges_at_matches_reference(self, points, probe):
+        # The module-level helper (used by bench curve bands) agrees with
+        # the linear-scan reference on raw, uncollapsed series too.
+        assert series_edges_at(points, probe) == \
+            _reference_edges_at(points, probe)
+
+    def test_edges_at_empty_series(self):
+        assert FuzzStats().edges_at(100) == 0
+
+    @given(_series)
+    def test_to_dict_round_trip(self, points):
+        stats = FuzzStats(programs_executed=7, unique_crashes=2, reboots=1)
+        for cycles, edges in points:
+            stats.record_point(cycles, edges)
+        clone = FuzzStats.from_dict(stats.to_dict())
+        assert clone == stats
+
+    def test_to_dict_is_json_serialisable(self):
+        stats = FuzzStats()
+        stats.record_point(10, 1)
+        payload = json.dumps(stats.to_dict())
+        assert FuzzStats.from_dict(json.loads(payload)) == stats

@@ -1,0 +1,200 @@
+"""Observability threaded through the stack: liveness/restore event
+streams, the zero-overhead disabled path, run artifacts and the CLI."""
+
+import json
+
+from repro.cli import main as cli_main
+from repro.ddi.session import open_session
+from repro.fuzz.engine import EngineOptions, EofEngine
+from repro.fuzz.restore import StateRestoration
+from repro.fuzz.watchdog import LivenessWatchdog
+from repro.obs import EVENT_SCHEMA_KEYS, JsonlSink, Observability, RingBufferSink
+from repro.spec.llmgen import generate_validated_specs
+
+from conftest import cached_build
+
+
+def observed_session(os_name="freertos"):
+    ring = RingBufferSink()
+    obs = Observability(run_id="test")
+    obs.attach(ring)
+    session = open_session(cached_build(os_name), obs=obs)
+    return session, obs, ring
+
+
+def run_observed_engine(obs=None, budget=300_000, seed=2):
+    build = cached_build("pokos", "qemu-virt")
+    spec = generate_validated_specs(build)
+    options = EngineOptions(seed=seed, budget_cycles=budget)
+    return EofEngine(build, spec, options, obs=obs).run()
+
+
+class TestLivenessAndRestoreEvents:
+    def test_link_timeout_then_restore_event_order(self):
+        session, obs, ring = observed_session()
+        watchdog = LivenessWatchdog(session, obs=obs)
+        restoration = StateRestoration(session, obs=obs)
+        # Fault injection: the probe loses core access (hard fault).
+        session.board.link_lost = True
+        assert not watchdog.check()
+        assert restoration.restore()
+        names = [event.name for event in ring.events]
+        trip = names.index("liveness.trip")
+        reflash = names.index("restore.reflash")
+        reboot = names.index("restore.reboot")
+        assert trip < reflash < reboot
+        assert ring.events[trip].fields["kind"] == "link-timeout"
+        ordered = [ring.events[i].cycles for i in (trip, reflash, reboot)]
+        assert ordered == sorted(ordered)  # monotone cycle timestamps
+
+    def test_pc_stall_trips_with_pc_field(self):
+        session, obs, ring = observed_session()
+        watchdog = LivenessWatchdog(session, obs=obs)
+        assert watchdog.check()              # seeds PC history
+        session.board.machine.wedge("poll loop")
+        assert not watchdog.check()          # PC parked
+        [trip] = ring.named("liveness.trip")
+        assert trip.fields["kind"] == "pc-stall"
+        assert trip.fields["pc"] == session.board.machine.pc
+
+    def test_restore_events_carry_payload_sizes(self):
+        session, obs, ring = observed_session()
+        restoration = StateRestoration(session, obs=obs)
+        assert restoration.restore()
+        [reflash] = ring.named("restore.reflash")
+        assert reflash.fields["partitions"] > 0
+        assert reflash.fields["bytes"] > 0
+        [reboot] = ring.named("restore.reboot")
+        assert reboot.fields["booted"] is True
+        assert obs.metrics.histograms["restore.latency"].count == 1
+
+
+class TestEngineInstrumentation:
+    def test_phases_and_ddi_metrics_recorded(self):
+        obs = Observability(run_id="engine-run")
+        ring = obs.attach(RingBufferSink(capacity=100_000))
+        result = run_observed_engine(obs=obs)
+        assert result.stats.programs_executed > 0
+        phases = obs.tracer.snapshot()
+        for phase in ("generate", "flash-program", "continue",
+                      "drain-coverage", "triage"):
+            assert phases[phase]["count"] > 0, phase
+        # Only `continue` advances the virtual clock in this substrate.
+        assert phases["continue"]["cycles"] > 0
+        assert obs.metrics.histograms["ddi.cmd.exec_continue"].count > 0
+        assert obs.metrics.counters["coverage.drain.bytes"].value > 0
+        names = {event.name for event in ring.events}
+        assert {"run.start", "run.end", "ddi.command",
+                "exec.program"} <= names
+
+    def test_event_cycles_are_monotone(self):
+        obs = Observability(run_id="mono")
+        ring = obs.attach(RingBufferSink(capacity=100_000))
+        run_observed_engine(obs=obs)
+        cycles = [event.cycles for event in ring.events]
+        assert cycles == sorted(cycles)
+
+    def test_run_id_defaults_from_options(self):
+        obs = Observability()
+        obs.attach(RingBufferSink())
+        build = cached_build("pokos", "qemu-virt")
+        spec = generate_validated_specs(build)
+        engine = EofEngine(build, spec,
+                           EngineOptions(seed=7, budget_cycles=100_000),
+                           obs=obs)
+        assert engine.obs.run_id == "eof-pokos-seed7"
+
+
+class TestDisabledPathSmoke:
+    """Satellite: observability off must mean literally zero events and
+    an unperturbed run (the §5.5 overhead story)."""
+
+    def test_disabled_run_emits_zero_events(self):
+        obs = Observability()          # no sinks attached -> disabled
+        result = run_observed_engine(obs=obs)
+        assert result.stats.programs_executed > 0
+        assert obs.bus.emitted == 0
+        assert obs.tracer.snapshot() == {}
+        assert obs.metrics.snapshot() == {
+            "counters": {}, "gauges": {}, "histograms": {}}
+
+    def test_default_engine_uses_shared_null_obs(self):
+        from repro.obs import NULL_OBS
+        build = cached_build("pokos", "qemu-virt")
+        spec = generate_validated_specs(build)
+        engine = EofEngine(build, spec,
+                           EngineOptions(seed=1, budget_cycles=50_000))
+        assert engine.obs is NULL_OBS
+        assert not NULL_OBS.enabled
+
+    def test_observed_run_matches_unobserved_run(self):
+        plain = run_observed_engine(obs=None)
+        obs = Observability(run_id="paired")
+        obs.attach(RingBufferSink(capacity=100_000))
+        observed = run_observed_engine(obs=obs)
+        assert observed.stats.programs_executed == \
+            plain.stats.programs_executed
+        assert observed.edges == plain.edges
+        assert observed.stats.series == plain.stats.series
+        assert obs.bus.emitted > 0
+
+    def test_jsonl_lines_parse_with_stable_schema(self, tmp_path):
+        obs = Observability(run_id="schema")
+        sink = obs.attach(JsonlSink(tmp_path / "events.jsonl"))
+        run_observed_engine(obs=obs, budget=100_000)
+        obs.close()
+        lines = (tmp_path / "events.jsonl").read_text().splitlines()
+        assert lines and len(lines) == sink.lines
+        for line in lines:
+            record = json.loads(line)
+            assert tuple(record.keys()) == EVENT_SCHEMA_KEYS
+            assert isinstance(record["cycles"], int)
+            assert record["run_id"] == "schema"
+
+
+class TestCliTraceAndReport:
+    def test_run_with_trace_dir_writes_artifacts(self, tmp_path, capsys):
+        run_dir = tmp_path / "runs" / "r1"
+        assert cli_main(["run", "--target", "pokos", "--fuzzer", "eof",
+                         "--budget", "300000", "--seed", "2",
+                         "--trace-dir", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "run artifacts written" in out
+        for artifact in ("events.jsonl", "metrics.json", "report.txt"):
+            assert (run_dir / artifact).exists(), artifact
+        report = (run_dir / "report.txt").read_text()
+        assert "Phase-time breakdown" in report
+        assert "exec_continue" in report
+
+    def test_report_subcommand_renders_run_dir(self, tmp_path, capsys):
+        run_dir = tmp_path / "r2"
+        cli_main(["run", "--target", "pokos", "--budget", "200000",
+                  "--trace-dir", str(run_dir)])
+        capsys.readouterr()
+        assert cli_main(["report", str(run_dir)]) == 0
+        out = capsys.readouterr().out
+        assert "Phase-time breakdown" in out
+        assert "DDI command latency" in out
+        assert "events recorded" in out
+
+    def test_report_on_empty_dir_fails(self, tmp_path, capsys):
+        assert cli_main(["report", str(tmp_path)]) == 1
+
+
+class TestBenchObserve:
+    def test_run_seeds_collects_snapshots(self):
+        from repro.bench.runner import run_seeds
+        from repro.fuzz.targets import get_target
+        summary = run_seeds("eof", get_target("pokos"), seeds=1,
+                            budget_cycles=200_000, observe=True)
+        assert len(summary.obs_snapshots) == 1
+        breakdown = summary.phase_breakdown()
+        assert breakdown.get("continue", 0) > 0
+
+    def test_observe_off_keeps_summary_clean(self):
+        from repro.bench.runner import run_seeds
+        from repro.fuzz.targets import get_target
+        summary = run_seeds("eof", get_target("pokos"), seeds=1,
+                            budget_cycles=100_000)
+        assert summary.obs_snapshots == []
+        assert summary.phase_breakdown() == {}
