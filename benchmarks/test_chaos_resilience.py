@@ -1,0 +1,74 @@
+"""Robustness bench: coverage under fault injection vs a clean link.
+
+The paper's on-hardware premise lives or dies on recovery: a probe that
+drops, a flash write that corrupts, a board that sometimes fails to
+boot.  This bench fuzzes the same target under every shipped chaos
+profile and reports edges found, successful recovery-ladder climbs and
+quarantined (RecoveryExhausted) seeds next to the clean baseline.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import render_table
+from repro.bench.runner import run_chaos_matrix, run_seeds
+from repro.fuzz.targets import get_target
+
+from common import save_result
+
+PROFILES = ("link-flaky", "flash-corrupting", "boot-flaky", "probe-drop")
+SEEDS = 2
+BUDGET = 400_000
+
+
+@pytest.fixture(scope="module")
+def chaos_rows():
+    target = get_target("pokos")
+    clean = run_seeds("eof", target, seeds=SEEDS, budget_cycles=BUDGET)
+    outcomes = run_chaos_matrix(target, PROFILES, seeds=SEEDS,
+                                budget_cycles=BUDGET)
+    return clean, outcomes
+
+
+class TestChaosResilience:
+    def test_clean_baseline_finds_coverage(self, chaos_rows):
+        clean, _ = chaos_rows
+        assert clean.mean_edges > 0
+
+    def test_every_profile_still_makes_progress(self, chaos_rows):
+        # Fault injection must degrade, not zero, the fuzzer: even the
+        # seeds that end quarantined contribute their partial coverage.
+        _, outcomes = chaos_rows
+        for outcome in outcomes:
+            assert outcome.mean_edges > 0, outcome.profile
+
+    def test_chaos_exercises_the_ladder(self, chaos_rows):
+        # At least one profile must actually trigger recoveries —
+        # otherwise the matrix is testing nothing.
+        _, outcomes = chaos_rows
+        assert any(sum(o.recoveries) > 0 for o in outcomes)
+
+    def test_no_silent_dead_board_runs(self, chaos_rows):
+        # A seed either finishes its budget or aborts loudly; aborts are
+        # counted, never swallowed.
+        _, outcomes = chaos_rows
+        for outcome in outcomes:
+            assert len(outcome.edges) == SEEDS, outcome.profile
+            assert 0 <= outcome.aborted <= SEEDS, outcome.profile
+
+
+def test_chaos_render(chaos_rows):
+    clean, outcomes = chaos_rows
+    rows = [["clean", f"{clean.mean_edges:.0f}", "0.0", "0"]]
+    for outcome in outcomes:
+        rows.append([outcome.profile, f"{outcome.mean_edges:.0f}",
+                     f"{outcome.mean_recoveries:.1f}",
+                     str(outcome.aborted)])
+    text = render_table(
+        f"Edges under fault injection ({SEEDS} seeds x {BUDGET} cycles)",
+        ["profile", "mean edges", "mean recoveries", "aborted seeds"],
+        rows)
+    print()
+    print(text)
+    save_result("chaos_resilience", text)

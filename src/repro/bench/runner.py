@@ -17,6 +17,7 @@ from repro.baselines import (
     TardisEngine,
     make_eof_nf_engine,
 )
+from repro.errors import RecoveryExhausted
 from repro.firmware.builder import BuildInfo, build_firmware
 from repro.fuzz.engine import EngineOptions, EofEngine, FuzzResult
 from repro.fuzz.stats import series_edges_at
@@ -90,15 +91,37 @@ def edges_in_module(result: FuzzResult, build: BuildInfo,
     return count
 
 
+def _apply_chaos(engine, chaos: str, chaos_seed: Optional[int]):
+    """Point an engine's options at a fault-injection profile.
+
+    Works on anything built around the EOF loop: bare :class:`EofEngine`
+    or wrappers that expose the core at ``.engine`` (Tardis).
+    """
+    core = engine.engine if hasattr(engine, "engine") else engine
+    options = getattr(core, "options", None)
+    if not isinstance(options, EngineOptions):
+        raise ValueError(
+            f"engine {type(engine).__name__} does not support fault "
+            f"injection (no EngineOptions)")
+    options.chaos_profile = chaos
+    options.chaos_seed = chaos_seed
+    return engine
+
+
 def make_engine(fuzzer: str, build: BuildInfo, seed: int,
                 budget_cycles: int, entry_api: Optional[str] = None,
                 restrict_modules: Optional[Sequence[str]] = None,
-                obs: Optional[Observability] = None):
+                obs: Optional[Observability] = None,
+                chaos: Optional[str] = None,
+                chaos_seed: Optional[int] = None):
     """Construct a named engine for a built target.
 
     ``obs`` attaches an observability bundle to the engines built on the
-    EOF loop (buffer-based baselines ignore it).
+    EOF loop (buffer-based baselines ignore it).  ``chaos`` names a
+    :data:`repro.chaos.PROFILES` fault-injection profile for engines
+    built on the EOF loop; the buffer-based baselines reject it.
     """
+    engine = None
     if fuzzer in ("eof", "eof-nf", "tardis"):
         spec = generate_validated_specs(build)
         if restrict_modules:
@@ -106,34 +129,42 @@ def make_engine(fuzzer: str, build: BuildInfo, seed: int,
                 [a.name for a in build.api_defs
                  if a.module in set(restrict_modules)])
         if fuzzer == "eof":
-            return EofEngine(build, spec, EngineOptions(
+            engine = EofEngine(build, spec, EngineOptions(
                 seed=seed, budget_cycles=budget_cycles), obs=obs)
-        if fuzzer == "eof-nf":
-            return make_eof_nf_engine(build, spec, seed=seed,
-                                      budget_cycles=budget_cycles, obs=obs)
-        return TardisEngine(build, spec, seed=seed,
-                            budget_cycles=budget_cycles, obs=obs)
-    if fuzzer == "gdbfuzz":
-        return GdbFuzzEngine(build, entry_api, seed=seed,
+        elif fuzzer == "eof-nf":
+            engine = make_eof_nf_engine(build, spec, seed=seed,
+                                        budget_cycles=budget_cycles, obs=obs)
+        else:
+            engine = TardisEngine(build, spec, seed=seed,
+                                  budget_cycles=budget_cycles, obs=obs)
+    elif fuzzer == "gdbfuzz":
+        engine = GdbFuzzEngine(build, entry_api, seed=seed,
+                               budget_cycles=budget_cycles)
+    elif fuzzer == "shift":
+        engine = ShiftEngine(build, entry_api, seed=seed,
                              budget_cycles=budget_cycles)
-    if fuzzer == "shift":
-        return ShiftEngine(build, entry_api, seed=seed,
-                           budget_cycles=budget_cycles)
-    if fuzzer == "gustave":
-        return GustaveEngine(build, seed=seed, budget_cycles=budget_cycles)
-    raise ValueError(f"unknown fuzzer {fuzzer!r}")
+    elif fuzzer == "gustave":
+        engine = GustaveEngine(build, seed=seed, budget_cycles=budget_cycles)
+    if engine is None:
+        raise ValueError(f"unknown fuzzer {fuzzer!r}")
+    if chaos is not None:
+        _apply_chaos(engine, chaos, chaos_seed)
+    return engine
 
 
 def run_engine(fuzzer: str, target: TargetConfig, seed: int,
                budget_cycles: int, entry_api: Optional[str] = None,
                restrict_modules: Optional[Sequence[str]] = None,
                module: Optional[str] = None,
-               obs: Optional[Observability] = None):
+               obs: Optional[Observability] = None,
+               chaos: Optional[str] = None,
+               chaos_seed: Optional[int] = None):
     """One seed of one fuzzer on one target; returns (result, build)."""
     build = build_firmware(target.build_config())
     engine = make_engine(fuzzer, build, seed, budget_cycles,
                          entry_api=entry_api,
-                         restrict_modules=restrict_modules, obs=obs)
+                         restrict_modules=restrict_modules, obs=obs,
+                         chaos=chaos, chaos_seed=chaos_seed)
     result = engine.run()
     return result, build
 
@@ -142,12 +173,16 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
               budget_cycles: int, entry_api: Optional[str] = None,
               restrict_modules: Optional[Sequence[str]] = None,
               module: Optional[str] = None,
-              observe: bool = False) -> SeedSummary:
+              observe: bool = False,
+              chaos: Optional[str] = None) -> SeedSummary:
     """The paper's repeated-runs protocol.
 
     ``observe=True`` attaches a fresh in-memory observability bundle to
     each seed and stores its snapshot, so bench tables can report where
     the budget's cycles went (see :meth:`SeedSummary.phase_breakdown`).
+    ``chaos`` runs every seed under that fault-injection profile (the
+    fault streams reseed per fuzzing seed, so repetitions stay
+    independent).
     """
     summary = SeedSummary(fuzzer=fuzzer, target=target.name)
     for seed in range(1, seeds + 1):
@@ -159,7 +194,7 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
         result, build = run_engine(fuzzer, target, seed, budget_cycles,
                                    entry_api=entry_api,
                                    restrict_modules=restrict_modules,
-                                   obs=obs)
+                                   obs=obs, chaos=chaos, chaos_seed=seed)
         summary.edges.append(result.edges)
         summary.bugs.append(len(result.crash_db))
         summary.execs.append(result.stats.programs_executed)
@@ -171,3 +206,54 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
             summary.module_edges.append(
                 edges_in_module(result, build, module))
     return summary
+
+
+@dataclass
+class ChaosOutcome:
+    """One chaos profile's survival record over several seeds."""
+
+    profile: str
+    edges: List[int] = field(default_factory=list)
+    recoveries: List[int] = field(default_factory=list)
+    aborted: int = 0  # seeds that ended in RecoveryExhausted
+
+    @property
+    def mean_edges(self) -> float:
+        """Mean coverage over the seeds that produced a result."""
+        return sum(self.edges) / max(len(self.edges), 1)
+
+    @property
+    def mean_recoveries(self) -> float:
+        """Mean successful ladder climbs per seed."""
+        return sum(self.recoveries) / max(len(self.recoveries), 1)
+
+
+def run_chaos_matrix(target: TargetConfig, profiles: Sequence[str],
+                     seeds: int, budget_cycles: int,
+                     fuzzer: str = "eof") -> List[ChaosOutcome]:
+    """Edges-under-chaos bench: one EOF run per (profile, seed).
+
+    A seed that exhausts the recovery ladder counts as ``aborted`` —
+    its partial stats still contribute edge/recovery numbers, because a
+    fuzzer that quarantines a dead board after real work is not the
+    same as one that produced nothing.
+    """
+    outcomes = []
+    for profile in profiles:
+        outcome = ChaosOutcome(profile=profile)
+        for seed in range(1, seeds + 1):
+            build = build_firmware(target.build_config())
+            engine = make_engine(fuzzer, build, seed, budget_cycles,
+                                 chaos=profile, chaos_seed=seed)
+            core = engine.engine if hasattr(engine, "engine") else engine
+            try:
+                result = engine.run()
+            except RecoveryExhausted:
+                outcome.aborted += 1
+                outcome.edges.append(core.coverage.edge_count)
+                outcome.recoveries.append(core.stats.recoveries)
+            else:
+                outcome.edges.append(result.edges)
+                outcome.recoveries.append(result.stats.recoveries)
+        outcomes.append(outcome)
+    return outcomes

@@ -1,0 +1,25 @@
+"""``repro.chaos``: deterministic fault injection for the debug stack.
+
+The paper's recovery machinery (§4.4, Algorithm 1) only earns its keep
+on *flaky* hardware — so this package makes the virtual hardware flaky,
+reproducibly.  A :class:`FaultProfile` names per-fault-class rates
+(transient link timeouts, bit-flipped reads, lossy UART capture, flash
+corruption, probe drops, boot failures); a :class:`FaultPlan` schedules
+them from independent seeded RNG streams; a :class:`ChaosLink` installs
+the hooks into one board + debug port.  Same seed + same profile ⇒ the
+identical fault sequence, which is what makes engine-under-chaos runs —
+and their ``recovery.*`` event streams — exactly comparable.
+"""
+
+from repro.chaos.link import (  # noqa: F401 (re-exported surface)
+    ChaosLink,
+    install_chaos,
+    uninstall_chaos,
+)
+from repro.chaos.plan import (  # noqa: F401
+    FAULT_CLASSES,
+    FaultPlan,
+    FaultProfile,
+    PROFILES,
+    get_profile,
+)

@@ -1,0 +1,191 @@
+"""Fault schedules: what goes wrong, how often, and *reproducibly*.
+
+A :class:`FaultProfile` names per-fault-class rates (the knobs a chaos
+campaign turns); a :class:`FaultPlan` binds a profile to a seed and draws
+every injection decision from a **per-fault-class** :class:`FuzzRng`
+stream.  Independent streams are the reproducibility contract: whether a
+UART line gets garbled depends only on how many UART lines came before
+it, never on how many link timeouts fired in between — so two runs with
+the same seed and profile inject the identical fault sequence, and the
+recovery ladder's event stream is byte-for-byte comparable across runs.
+"""
+
+from __future__ import annotations
+
+import zlib
+from dataclasses import dataclass, fields
+from typing import Dict
+
+from repro.fuzz.rng import FuzzRng
+from repro.obs import NULL_OBS
+
+#: Every fault class a plan can draw; one RNG stream each.
+FAULT_CLASSES = (
+    "link_timeout",    # transient DebugLinkTimeout on a core-level op
+    "read_bitflip",    # one flipped bit in a memory read's payload
+    "uart_drop",       # a captured UART line never reaches the host
+    "uart_garble",     # a captured UART line arrives damaged
+    "flash_corrupt",   # bytes flip between the flash loader and the die
+    "probe_drop",      # the probe loses core access until the next reset
+    "boot_fail",       # a reboot parks at the reset vector (brownout)
+)
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Per-fault-class injection rates (0.0 = class disabled).
+
+    Rates are per *opportunity*: per core-level debug op for link faults,
+    per captured line for UART faults, per programmed region for flash
+    faults, per boot attempt for boot faults.
+    """
+
+    name: str
+    link_timeout_rate: float = 0.0
+    read_bitflip_rate: float = 0.0
+    uart_drop_rate: float = 0.0
+    uart_garble_rate: float = 0.0
+    flash_corrupt_rate: float = 0.0
+    probe_drop_rate: float = 0.0
+    boot_fail_rate: float = 0.0
+    description: str = ""
+
+    def rate_of(self, fault: str) -> float:
+        """The configured rate for one fault class."""
+        return getattr(self, fault + "_rate")
+
+    def active_classes(self):
+        """Fault classes with a nonzero rate."""
+        return tuple(fault for fault in FAULT_CLASSES
+                     if self.rate_of(fault) > 0.0)
+
+
+#: The shipped chaos profiles (ISSUE 2 matrix + extremes).
+PROFILES: Dict[str, FaultProfile] = {
+    "none": FaultProfile(
+        name="none",
+        description="no injected faults (clean baseline)"),
+    "link-flaky": FaultProfile(
+        name="link-flaky",
+        link_timeout_rate=0.02, read_bitflip_rate=0.005,
+        uart_drop_rate=0.02, uart_garble_rate=0.02,
+        description="marginal SWD wiring: transient timeouts, bit-flipped "
+                    "reads, lossy UART capture"),
+    "flash-corrupting": FaultProfile(
+        name="flash-corrupting",
+        flash_corrupt_rate=0.15,
+        description="worn flash: programmed regions occasionally fail "
+                    "verify readback"),
+    "boot-flaky": FaultProfile(
+        name="boot-flaky",
+        boot_fail_rate=0.35,
+        description="brownout-prone supply: reboots sometimes park at the "
+                    "reset vector"),
+    "probe-drop": FaultProfile(
+        name="probe-drop",
+        probe_drop_rate=0.005,
+        description="probe loses core access mid-run (hard-fault induced "
+                    "AP lockup) until the next reset"),
+    "field": FaultProfile(
+        name="field",
+        link_timeout_rate=0.01, read_bitflip_rate=0.002,
+        uart_drop_rate=0.01, uart_garble_rate=0.01,
+        flash_corrupt_rate=0.05, probe_drop_rate=0.002,
+        boot_fail_rate=0.1,
+        description="everything at once, at field-deployment rates"),
+    "dead-board": FaultProfile(
+        name="dead-board",
+        boot_fail_rate=1.0,
+        description="every reboot fails: the ladder must exhaust and "
+                    "quarantine, never fuzz a dead board"),
+}
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a shipped profile by name."""
+    try:
+        return PROFILES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown chaos profile {name!r}; shipped profiles: "
+            f"{', '.join(sorted(PROFILES))}") from None
+
+
+def _stream_seed(seed: int, fault: str) -> int:
+    """Stable per-class sub-seed (independent of dict/iteration order)."""
+    return zlib.crc32(f"chaos:{seed}:{fault}".encode()) & 0x7FFF_FFFF
+
+
+class FaultPlan:
+    """One seeded, deterministic fault schedule.
+
+    Hook code asks :meth:`should` before each injection opportunity; the
+    answer comes from that fault class's own RNG stream.  Injected-fault
+    counts are kept per class and surfaced through ``repro.obs`` as
+    ``chaos.inject`` events and ``chaos.inject.<class>`` counters.
+    """
+
+    def __init__(self, profile: FaultProfile, seed: int = 0, obs=NULL_OBS):
+        self.profile = profile
+        self.seed = seed
+        self.obs = obs
+        self._rngs = {fault: FuzzRng(_stream_seed(seed, fault))
+                      for fault in FAULT_CLASSES}
+        self.injected = {fault: 0 for fault in FAULT_CLASSES}
+
+    def should(self, fault: str) -> bool:
+        """Draw one injection decision from the fault's own stream.
+
+        A zero rate returns False without consuming a draw, so disabled
+        classes cost nothing and never perturb other streams.
+        """
+        rate = self.profile.rate_of(fault)
+        if rate <= 0.0:
+            return False
+        if not self._rngs[fault].chance(rate):
+            return False
+        self.injected[fault] += 1
+        if self.obs.enabled:
+            self.obs.counter(f"chaos.inject.{fault}").inc()
+            self.obs.emit("chaos.inject", fault=fault,
+                          count=self.injected[fault])
+        return True
+
+    # -- deterministic damage helpers (draw from the class's stream) -------
+
+    def flip_bit(self, fault: str, data: bytes) -> bytes:
+        """Return ``data`` with exactly one bit flipped."""
+        if not data:
+            return data
+        rng = self._rngs[fault]
+        index = rng.int_in(0, len(data) - 1)
+        bit = rng.int_in(0, 7)
+        out = bytearray(data)
+        out[index] ^= 1 << bit
+        return bytes(out)
+
+    def flip_u32(self, fault: str, value: int) -> int:
+        """Return ``value`` with one of its 32 bits flipped."""
+        return value ^ (1 << self._rngs[fault].int_in(0, 31))
+
+    def garble_text(self, fault: str, line: str) -> str:
+        """Damage one character of a UART line (framing-error stand-in)."""
+        if not line:
+            return "�"
+        rng = self._rngs[fault]
+        index = rng.int_in(0, len(line) - 1)
+        return line[:index] + "�" + line[index + 1:]
+
+    def total_injected(self) -> int:
+        """Faults injected so far, all classes."""
+        return sum(self.injected.values())
+
+    def snapshot(self) -> Dict[str, int]:
+        """Per-class injected counts (JSON-friendly copy)."""
+        return dict(self.injected)
+
+
+# Keep the profile dataclass and the class tuple in lockstep.
+assert all(f.name == "name" or f.name == "description"
+           or f.name[:-len("_rate")] in FAULT_CLASSES
+           for f in fields(FaultProfile))

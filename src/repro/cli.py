@@ -6,6 +6,7 @@ Subcommands::
     eof-fuzz build   --target NAME     build an image and show its layout
     eof-fuzz run     --target NAME     fuzz a target
                      --trace-dir DIR   ... writing run artifacts to DIR
+                     --chaos PROFILE   ... under deterministic fault injection
     eof-fuzz report  RUN_DIR           render a recorded run's report
     eof-fuzz repro   --bug N           run a Table 2 bug reproducer
     eof-fuzz bugs                      list the Table 2 bug catalog
@@ -18,6 +19,8 @@ import os
 import sys
 
 from repro.bench.runner import make_engine
+from repro.chaos import PROFILES
+from repro.errors import RecoveryExhausted
 from repro.firmware.builder import build_firmware
 from repro.fuzz.oneshot import execute_once
 from repro.fuzz.targets import TARGETS, get_target
@@ -59,23 +62,39 @@ def _cmd_run(args) -> int:
             run_id=f"{args.fuzzer}-{args.target}-seed{args.seed}")
         obs.attach(JsonlSink(os.path.join(args.trace_dir, EVENTS_FILE)))
     engine = make_engine(args.fuzzer, build, args.seed, args.budget,
-                         obs=obs)
+                         obs=obs, chaos=args.chaos,
+                         chaos_seed=args.chaos_seed)
+    chaos_note = f", chaos {args.chaos}" if args.chaos else ""
     print(f"fuzzing {target.name} with {args.fuzzer} "
-          f"(budget {args.budget} cycles, seed {args.seed}) ...")
-    result = engine.run()
-    print(result.stats.summary())
-    for report in result.crash_db.unique_crashes():
+          f"(budget {args.budget} cycles, seed {args.seed}{chaos_note}) ...")
+    core = engine.engine if hasattr(engine, "engine") else engine
+    exit_code = 0
+    try:
+        result = engine.run()
+        stats, crash_db = result.stats, result.crash_db
+    except RecoveryExhausted as exc:
+        # Quarantined board: report what the run achieved, exit loudly.
+        stats, crash_db = core.stats, core.crash_db
+        print(f"run aborted: {exc}", file=sys.stderr)
+        exit_code = 2
+    print(stats.summary())
+    if stats.recoveries or stats.recovery_failures:
+        print(f"recoveries={stats.recoveries} "
+              f"reattaches={stats.reattaches} "
+              f"exhausted={stats.recovery_failures}")
+    for report in crash_db.unique_crashes():
         print()
         print(report.render())
     if obs is not None:
         from repro.obs.report import collect_run_data, write_run_artifacts
         obs.close()
-        data = collect_run_data(obs, stats=result.stats, meta={
+        data = collect_run_data(obs, stats=stats, meta={
             "target": args.target, "fuzzer": args.fuzzer,
-            "seed": args.seed, "budget_cycles": args.budget})
+            "seed": args.seed, "budget_cycles": args.budget,
+            "chaos": args.chaos or "none"})
         write_run_artifacts(args.trace_dir, data)
         print(f"run artifacts written to {args.trace_dir}")
-    return 0
+    return exit_code
 
 
 def _cmd_report(args) -> int:
@@ -149,6 +168,13 @@ def main(argv=None) -> int:
     run_p.add_argument("--budget", type=int, default=4_000_000,
                        help="virtual-cycle budget")
     run_p.add_argument("--seed", type=int, default=1)
+    run_p.add_argument("--chaos", default=None, metavar="PROFILE",
+                       choices=sorted(PROFILES),
+                       help="inject deterministic link/board faults: "
+                            + ", ".join(sorted(PROFILES)))
+    run_p.add_argument("--chaos-seed", type=int, default=None,
+                       help="separate seed for the fault streams "
+                            "(default: --seed)")
     run_p.add_argument("--trace-dir", default=None,
                        help="write events.jsonl/metrics.json/report.txt "
                             "run artifacts into this directory")

@@ -12,12 +12,17 @@ from typing import List
 
 from repro.ddi.gdb import GdbClient
 from repro.ddi.openocd import OpenOcd
+from repro.errors import DebugLinkTimeout
 from repro.firmware.builder import BuildInfo, flash_build
 from repro.firmware.loader import install_firmware_loader
 from repro.hw.board import Board
 from repro.hw.boards import make_board
 from repro.hw.machine import HaltEvent
 from repro.obs import NULL_OBS
+
+# Virtual-time cost of a full probe re-attach: power the board down,
+# let the rails drain, power up, re-enumerate the debug interface.
+POWER_CYCLE_CYCLES = 30_000
 
 
 class DebugSession:
@@ -65,6 +70,33 @@ class DebugSession:
     def reboot(self) -> None:
         """``DebugPipe.reboot()``."""
         self.openocd.reset_run()
+
+    def reattach(self) -> bool:
+        """Full session re-attach: detach the probe, power-cycle the
+        board, reconnect.
+
+        The heaviest recovery primitive short of human intervention —
+        the recovery ladder's last rung before quarantine.  A power
+        cycle clears latched probe loss; it does *not* repair damaged
+        flash, so callers typically reflash right after.  Returns True
+        when the probe reconnected and the target booted.
+        """
+        started_at = self.board.machine.cycles
+        self.openocd.close()
+        self.board.power_off()
+        self.board.machine.tick(POWER_CYCLE_CYCLES)
+        self.board.power_on()
+        try:
+            self.openocd.connect()
+        except DebugLinkTimeout:
+            ok = False
+        else:
+            ok = not self.board.boot_failed
+        if self.obs.enabled:
+            self.obs.emit("ddi.command", command="reattach",
+                          cycles_spent=self.board.machine.cycles - started_at,
+                          bytes=0, booted=ok)
+        return ok
 
     def close(self) -> None:
         """Detach the probe."""

@@ -70,6 +70,22 @@ class ProtocolError(ReproError):
     """A serialized test program violates the agent wire format."""
 
 
+class RecoveryExhausted(ReproError):
+    """Every rung of the recovery-escalation ladder failed.
+
+    Raised by :class:`repro.fuzz.restore.RecoveryLadder` after bounded
+    retries of retry → reboot → reflash+verify → full reattach all left
+    the board dead.  The board is quarantined: the engine must stop
+    loudly instead of executing programs on hardware that never came
+    back (the failure mode Algorithm 1 exists to prevent).
+    """
+
+    def __init__(self, message: str, rungs=()):
+        super().__init__(message)
+        #: Rung names in the order they were attempted.
+        self.rungs = tuple(rungs)
+
+
 class UnsupportedTargetError(ReproError):
     """A fuzzer was pointed at a target/board it cannot drive.
 

@@ -15,7 +15,7 @@ from typing import List, Optional
 
 from repro.agent.protocol import TestProgram, serialize_program
 from repro.ddi.session import DebugSession, open_session
-from repro.errors import DebugLinkTimeout
+from repro.errors import DebugLinkTimeout, RecoveryExhausted
 from repro.firmware.builder import BuildInfo
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.crash import CrashDb, CrashReport, KIND_HANG
@@ -23,7 +23,11 @@ from repro.fuzz.feedback import CoverageMap
 from repro.fuzz.generator import ProgramGenerator
 from repro.fuzz.monitors import ExceptionMonitor, LogMonitor
 from repro.fuzz.mutator import ProgramMutator
-from repro.fuzz.restore import StateRestoration
+from repro.fuzz.restore import (
+    REBOOT_CYCLES,
+    RecoveryLadder,
+    StateRestoration,
+)
 from repro.fuzz.rng import FuzzRng
 from repro.fuzz.stats import FuzzStats
 from repro.fuzz.watchdog import LivenessWatchdog
@@ -33,7 +37,9 @@ from repro.obs import NULL_OBS, Observability
 from repro.spec.model import SpecSet
 
 AGENT_STATUS_CRASHED = 4
-REBOOT_CYCLES = 20_000
+
+__all__ = ["AGENT_STATUS_CRASHED", "REBOOT_CYCLES", "EngineOptions",
+           "FuzzResult", "EofEngine"]
 
 
 @dataclass
@@ -57,6 +63,11 @@ class EngineOptions:
     # programs (0 = off).  Catches silent corruption the crash monitors
     # never see.
     heap_probe_every: int = 0
+    # Deterministic fault injection (repro.chaos): a profile name from
+    # repro.chaos.PROFILES, or None for a clean link.  chaos_seed defaults
+    # to the fuzzing seed so one seed fixes the whole run.
+    chaos_profile: Optional[str] = None
+    chaos_seed: Optional[int] = None
     name: str = "eof"
 
 
@@ -103,6 +114,8 @@ class EofEngine:
         self.session: Optional[DebugSession] = None
         self.watchdog: Optional[LivenessWatchdog] = None
         self.restoration: Optional[StateRestoration] = None
+        self.ladder: Optional[RecoveryLadder] = None
+        self.chaos = None
         self._smash_queue: List[TestProgram] = []
         self._recent_new_edges: List[int] = []
         self.heap_probe = None
@@ -116,6 +129,10 @@ class EofEngine:
         self.session = open_session(self.build, obs=self.obs)
         self.watchdog = LivenessWatchdog(self.session, obs=self.obs)
         self.restoration = StateRestoration(self.session, obs=self.obs)
+        self.ladder = RecoveryLadder(
+            self.session, self.restoration, watchdog=self.watchdog,
+            stats=self.stats, obs=self.obs, rearm=self._rearm_after_boot,
+            use_reflash=self.options.restore_with_reflash)
         board = self.session.board
         if board.boot_failed or board.runtime is None:
             raise RuntimeError("target never booted; image is broken")
@@ -135,6 +152,17 @@ class EofEngine:
             self.heap_probe = HeapHealthProbe(
                 self.session, every_n_programs=self.options.heap_probe_every)
         self.session.drain_uart()  # consume boot chatter
+        if self.options.chaos_profile:
+            # Install fault injection only after clean factory bring-up:
+            # chaos models a flaky *deployed* link, not a broken bench.
+            # (Imported here: repro.chaos sits above repro.fuzz.rng.)
+            from repro.chaos import FaultPlan, get_profile, install_chaos
+            seed = self.options.chaos_seed
+            if seed is None:
+                seed = self.options.seed
+            plan = FaultPlan(get_profile(self.options.chaos_profile),
+                             seed=seed, obs=self.obs)
+            self.chaos = install_chaos(self.session, plan, obs=self.obs)
 
     def _rearm_after_boot(self) -> None:
         """Re-install breakpoints lost to a power event (none are on our
@@ -160,15 +188,27 @@ class EofEngine:
                           os=self.build.config.os_name, seed=opts.seed,
                           budget_cycles=opts.budget_cycles)
         iteration = 0
-        while (board.machine.cycles < opts.budget_cycles
-               and iteration < opts.max_iterations):
-            iteration += 1
-            program = self._next_program()
-            self._execute_program(program)
-            if opts.feedback and iteration % 64 == 0:
-                self.coverage.decay_credit()
+        try:
+            while (board.machine.cycles < opts.budget_cycles
+                   and iteration < opts.max_iterations):
+                iteration += 1
+                program = self._next_program()
+                self._execute_program(program)
+                if opts.feedback and iteration % 64 == 0:
+                    self.coverage.decay_credit()
+                self.stats.record_point(board.machine.cycles,
+                                        self.coverage.edge_count)
+        except RecoveryExhausted:
+            # Quarantine: the board never came back.  Stop loudly rather
+            # than fuzz dead hardware, but leave the stats consistent so
+            # the caller can still report what the run achieved.
             self.stats.record_point(board.machine.cycles,
                                     self.coverage.edge_count)
+            if self.obs.enabled:
+                self.obs.emit("run.abort", reason="recovery-exhausted",
+                              edges=self.coverage.edge_count,
+                              programs=self.stats.programs_executed)
+            raise
         self.stats.record_point(board.machine.cycles,
                                 self.coverage.edge_count)
         if self.obs.enabled:
@@ -235,9 +275,8 @@ class EofEngine:
             self._drive(program)
         except DebugLinkTimeout:
             self.stats.link_timeouts += 1
-            if self.obs.enabled:
-                self.obs.emit("liveness.trip", kind="link-timeout",
-                              trips=self.stats.link_timeouts)
+            if self.watchdog is not None:
+                self.watchdog.note_timeout()
             self._salvage()
 
     def _drive(self, program: TestProgram) -> None:
@@ -433,44 +472,19 @@ class EofEngine:
         self._recover()
 
     def _recover(self) -> None:
-        """Post-crash recovery: reboot; reflash if the image is damaged."""
-        board = self.session.board
-        with self.obs.span("restore"):
-            self.session.reboot()
-            board.machine.tick(REBOOT_CYCLES)
-            self.stats.reboots += 1
-            if self.obs.enabled:
-                self.obs.emit("restore.reboot", kind="reboot-only",
-                              booted=not board.boot_failed,
-                              cycles_spent=REBOOT_CYCLES)
-            if board.boot_failed:
-                self._salvage()
-                return
-            self._rearm_after_boot()
-            self.session.drain_uart()
+        """Post-crash recovery: start at the reboot rung (the crash is
+        real; a bare retry would just re-probe a panicked kernel)."""
+        self._escalate(start="reboot", reason="crash")
 
     def _salvage(self) -> None:
-        """Algorithm 1 StateRestoration: reflash everything and reboot."""
-        board = self.session.board
+        """Link-loss recovery: climb the full ladder from the cheap end —
+        under fault injection most timeouts are transient and a backoff
+        retry saves the reflash."""
+        self._escalate(start="retry", reason="link-timeout")
+
+    def _escalate(self, start: str, reason: str) -> None:
+        """Run the recovery ladder; only ever returns with a verified
+        live board (breakpoints re-armed, watchdog reset, UART drained).
+        Raises :class:`RecoveryExhausted` when the board is dead."""
         with self.obs.span("restore"):
-            if not self.options.restore_with_reflash:
-                # Naive recovery: power-cycle and hope the image is intact.
-                self.session.reboot()
-                board.machine.tick(REBOOT_CYCLES)
-                self.stats.reboots += 1
-                if self.obs.enabled:
-                    self.obs.emit("restore.reboot", kind="reboot-only",
-                                  booted=not board.boot_failed,
-                                  cycles_spent=REBOOT_CYCLES)
-                if board.boot_failed:
-                    # Reboot cannot fix damaged flash; burn time until the
-                    # budget ends (models a manual-intervention gap) but keep
-                    # trying the reflash-free path.
-                    board.machine.tick(REBOOT_CYCLES * 4)
-                    self.restoration.restore()  # eventually a human reflashes
-                    self.stats.restorations += 1
-            else:
-                self.restoration.restore()
-                self.stats.restorations += 1
-            self._rearm_after_boot()
-            self.session.drain_uart()
+            self.ladder.recover(start=start, reason=reason)

@@ -39,6 +39,9 @@ class FuzzStats:
     link_timeouts: int = 0
     restorations: int = 0
     reboots: int = 0
+    recoveries: int = 0
+    reattaches: int = 0
+    recovery_failures: int = 0
     cov_full_traps: int = 0
     rejected_programs: int = 0
     series: List[Tuple[int, int]] = field(default_factory=list)  # (cycles, edges)

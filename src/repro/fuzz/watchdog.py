@@ -33,6 +33,16 @@ class LivenessWatchdog:
         """Forget PC history (after a restoration or reboot)."""
         self.last_pc = INT_MIN
 
+    def note_timeout(self) -> None:
+        """Record a :class:`DebugLinkTimeout` observed outside
+        :meth:`check` (e.g. the engine's execute path), so the watchdog
+        trip counter and the engine's ``link_timeouts`` stat cannot
+        drift apart."""
+        self.timeout_trips += 1
+        if self.obs.enabled:
+            self.obs.emit("liveness.trip", kind="link-timeout",
+                          trips=self.timeout_trips)
+
     def check(self) -> bool:
         """One watchdog evaluation; False = system needs salvaging.
 

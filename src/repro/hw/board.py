@@ -53,6 +53,9 @@ class Board:
         self.runtime: Optional[TargetRuntime] = None
         self.boot_failed = False
         self.link_lost = False  # hard-fault induced probe loss (fault injection)
+        # Optional fault-injection hooks (repro.chaos.ChaosLink); consulted
+        # at boot so "reboot sometimes fails" chaos lives with the hardware.
+        self.chaos = None
         self._loader: Optional[FirmwareLoader] = None
         self._boot_count = 0
 
@@ -70,10 +73,15 @@ class Board:
     # -- power / reset ----------------------------------------------------------
 
     def power_on(self) -> None:
-        """Apply power and run the ROM bootloader."""
+        """Apply power and run the ROM bootloader.
+
+        A full power cycle also clears a latched probe loss: the debug
+        access port comes back with the rails.
+        """
         self.machine.power_on()
         self.ram.power_cycle()
         self.uart.power_cycle()
+        self.link_lost = False
         self._boot()
 
     def power_off(self) -> None:
@@ -102,6 +110,12 @@ class Board:
         if runtime is None:
             self.boot_failed = True
             self.machine.wedge("boot failure: invalid image")
+            return
+        if self.chaos is not None and self.chaos.boot_should_fail():
+            # Injected brownout: the image is fine but this boot attempt
+            # parks at the reset vector anyway.
+            self.boot_failed = True
+            self.machine.wedge("chaos: injected boot failure")
             return
         self.runtime = runtime
         self._boot_count += 1

@@ -28,6 +28,9 @@ class DebugPort:
         self.board = board
         self._connected = False
         self.op_count = 0
+        # Optional fault-injection hooks (repro.chaos.ChaosLink); the
+        # clean path pays one ``is None`` check per operation.
+        self.chaos = None
 
     # -- session -----------------------------------------------------------
 
@@ -57,26 +60,41 @@ class DebugPort:
         if self.board.link_lost:
             raise DebugLinkTimeout(f"{self.board.name}: core access lost")
 
+    def _chaos_op(self, op: str) -> None:
+        """Give the installed fault plan one injection opportunity."""
+        if self.chaos is not None:
+            self.chaos.on_core_op(op)
+
     # -- memory access (works via the access port) ----------------------------
 
     def read_mem(self, address: int, length: int) -> bytes:
         """Read target memory."""
         self._require_core()
-        return self.board.memory.read(address, length)
+        self._chaos_op("read_mem")
+        data = self.board.memory.read(address, length)
+        if self.chaos is not None:
+            data = self.chaos.filter_read(address, data)
+        return data
 
     def write_mem(self, address: int, data: bytes) -> None:
         """Write target memory (RAM, or raw flash bytes)."""
         self._require_core()
+        self._chaos_op("write_mem")
         self.board.memory.write(address, data)
 
     def read_u32(self, address: int) -> int:
         """Read one little-endian word."""
         self._require_core()
-        return self.board.memory.read_u32(address)
+        self._chaos_op("read_u32")
+        value = self.board.memory.read_u32(address)
+        if self.chaos is not None:
+            value = self.chaos.filter_read_u32(address, value)
+        return value
 
     def write_u32(self, address: int, value: int) -> None:
         """Write one little-endian word."""
         self._require_core()
+        self._chaos_op("write_u32")
         self.board.memory.write_u32(address, value)
 
     # -- run control (needs a live core) ----------------------------------------
@@ -90,12 +108,14 @@ class DebugPort:
         on-hardware fuzzers live and die by their stop count.
         """
         self._require_session()
+        self._chaos_op("resume")
         self.board.machine.tick(self.probe_latency_cycles)
         return self.board.resume()
 
     def read_pc(self) -> int:
         """Sample the program counter."""
         self._require_session()
+        self._chaos_op("read_pc")
         return self.board.read_pc()
 
     def set_breakpoint(self, address: int, label: str = "") -> None:
@@ -128,6 +148,8 @@ class DebugPort:
     def flash_program(self, address: int, data: bytes) -> None:
         """Program bytes into (previously erased) flash."""
         self._require_session()
+        if self.chaos is not None:
+            data = self.chaos.filter_flash(address, data)
         self.board.flash.program(address, data)
 
     def flash_read(self, address: int, length: int) -> bytes:
@@ -145,4 +167,7 @@ class DebugPort:
     def uart_read(self, cursor: int) -> Tuple[List[str], int]:
         """Drain captured UART lines newer than ``cursor``."""
         self._require_session()
-        return self.board.uart_read(cursor)
+        lines, new_cursor = self.board.uart_read(cursor)
+        if self.chaos is not None:
+            lines = self.chaos.filter_uart(lines)
+        return lines, new_cursor

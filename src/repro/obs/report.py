@@ -92,6 +92,11 @@ def render_report(data: dict) -> str:
     if stats_data:
         stats = FuzzStats.from_dict(stats_data)
         sections.append("summary   : " + stats.summary())
+        if stats.recoveries or stats.recovery_failures:
+            sections.append(
+                f"recovery  : {stats.recoveries} ladder climbs, "
+                f"{stats.reattaches} reattaches, "
+                f"{stats.recovery_failures} exhausted")
 
     phases = data.get("phases", {})
     if phases:
@@ -132,8 +137,17 @@ def render_report(data: dict) -> str:
             "Other histograms", ["name", "count", "mean", "max"], rows))
 
     counters = data.get("metrics", {}).get("counters", {})
-    if counters:
-        rows = [[name, value] for name, value in sorted(counters.items())]
+    chaos = {name: value for name, value in counters.items()
+             if name.startswith(("recovery.", "chaos."))}
+    if chaos:
+        rows = [[name, value] for name, value in sorted(chaos.items())]
+        sections.append(render_table(
+            "Recovery ladder & fault injection",
+            ["counter", "value"], rows))
+    rest = {name: value for name, value in counters.items()
+            if name not in chaos}
+    if rest:
+        rows = [[name, value] for name, value in sorted(rest.items())]
         sections.append(render_table("Counters", ["counter", "value"], rows))
 
     return "\n\n".join(sections)

@@ -7,8 +7,8 @@ seconds / max cycles per phase) answer the paper's §5.5-style question
 continue / drain-coverage / triage / restore.
 
 Re-entrant spans of the *same* phase are ignored (the inner span is a
-no-op) so nested recovery paths — ``_recover`` falling through to
-``_salvage`` — never double-count.
+no-op) so nested recovery paths — the engine's ``restore`` span around
+a ladder climb whose reflash rung opens its own — never double-count.
 """
 
 from __future__ import annotations
