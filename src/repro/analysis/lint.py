@@ -1,0 +1,196 @@
+"""Pass 3 — repo determinism and hygiene linter (``EOF3xx``).
+
+AST-based rules over ``src/repro`` itself, turning reviewer vigilance
+into machine-checked invariants:
+
+* **EOF301** — calls into wall-clock / ambient-randomness APIs
+  (``random.*``, ``time.time()``, ``time.monotonic()``,
+  ``datetime.now()``/``utcnow()``, argless ``uuid`` helpers) anywhere
+  except the seeded RNG (``fuzz/rng.py``) and the observability layer
+  (``obs/``), whose wall timestamps are explicitly non-replayable.
+  Everything else must consume deterministic virtual time or a seeded
+  :class:`~repro.fuzz.rng.FuzzRng` stream, or replays break.
+* **EOF302** — bare ``except:`` clauses (they swallow
+  ``KeyboardInterrupt`` and hide target signals).
+* **EOF303** — an ``emit("name", ...)`` event whose literal name is not
+  declared in :data:`repro.obs.events.EVENT_REGISTRY`; undeclared names
+  silently fork the event vocabulary run artifacts are parsed by.
+* **EOF304** — a dataclass in ``spec/model.py`` that is not
+  ``frozen=True``; spec nodes are shared across generator, mutator and
+  analysis passes and must be immutable.
+
+Exposed as ``eof-fuzz lint`` and run in CI; the suite asserts the tree
+is clean, so any new violation fails the build with its stable code.
+"""
+
+from __future__ import annotations
+
+import ast
+import os
+from typing import Iterable, List, Optional, Sequence
+
+from repro.analysis.diagnostics import AnalysisReport, SEV_ERROR, diag
+
+#: Path fragments (relative, ``/``-separated) exempt from EOF301.
+NONDETERMINISM_ALLOWED = ("fuzz/rng.py", "obs/")
+
+#: module -> attributes whose *call* is nondeterministic.
+_BANNED_CALLS = {
+    "random": None,          # every random.* call
+    "time": ("time", "monotonic", "perf_counter", "time_ns",
+             "monotonic_ns", "perf_counter_ns"),
+    "datetime": ("now", "utcnow", "today"),
+    "uuid": ("uuid1", "uuid4"),
+}
+
+
+def _iter_python_files(paths: Sequence[str]) -> Iterable[str]:
+    for path in paths:
+        if os.path.isfile(path):
+            yield path
+            continue
+        for dirpath, dirnames, filenames in os.walk(path):
+            dirnames[:] = sorted(d for d in dirnames
+                                 if d != "__pycache__")
+            for filename in sorted(filenames):
+                if filename.endswith(".py"):
+                    yield os.path.join(dirpath, filename)
+
+
+def _rel(path: str, root: str) -> str:
+    return os.path.relpath(path, root).replace(os.sep, "/")
+
+
+def _nondet_allowed(rel_path: str) -> bool:
+    return any(fragment in rel_path for fragment in NONDETERMINISM_ALLOWED)
+
+
+def _banned_call(node: ast.Call) -> Optional[str]:
+    """Dotted name of a banned nondeterministic call, or None."""
+    func = node.func
+    if not isinstance(func, ast.Attribute):
+        return None
+    # Only flag <module>.<attr>(...) and datetime.datetime.now(...) style
+    # chains whose *base* is a bare module name — ``self.rng.random`` and
+    # other object attributes stay legal.
+    base = func.value
+    chain = [func.attr]
+    while isinstance(base, ast.Attribute):
+        chain.append(base.attr)
+        base = base.value
+    if not isinstance(base, ast.Name):
+        return None
+    chain.append(base.id)
+    chain.reverse()                      # e.g. ["datetime", "datetime", "now"]
+    # The chain must be rooted at the module name itself: ``random.x()``
+    # is banned, ``self.rng.random.shuffle()`` is a seeded stream.
+    banned = _BANNED_CALLS.get(chain[0], ())
+    if banned == ():
+        return None
+    if banned is None or chain[-1] in banned:
+        return ".".join(chain)
+    return None
+
+
+def _event_registry() -> frozenset:
+    from repro.obs.events import EVENT_REGISTRY
+    return EVENT_REGISTRY
+
+
+def _lint_tree(tree: ast.AST, rel_path: str,
+               registry: frozenset) -> List:
+    diagnostics = []
+    check_nondet = not _nondet_allowed(rel_path)
+    check_frozen = rel_path.endswith("spec/model.py")
+    for node in ast.walk(tree):
+        if check_nondet and isinstance(node, ast.Call):
+            banned = _banned_call(node)
+            if banned is not None:
+                diagnostics.append(diag(
+                    "EOF301",
+                    f"nondeterministic call {banned}() — route through "
+                    f"fuzz/rng.py or the virtual clock",
+                    where=f"{rel_path}:{node.lineno}",
+                    severity=SEV_ERROR, call=banned))
+        if isinstance(node, ast.ExceptHandler) and node.type is None:
+            diagnostics.append(diag(
+                "EOF302",
+                "bare except: swallows KeyboardInterrupt and target "
+                "signals; catch a concrete exception class",
+                where=f"{rel_path}:{node.lineno}", severity=SEV_ERROR))
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr == "emit" and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and \
+                    isinstance(first.value, str) and \
+                    first.value not in registry:
+                diagnostics.append(diag(
+                    "EOF303",
+                    f"event {first.value!r} is not declared in "
+                    f"repro.obs.events.EVENT_REGISTRY",
+                    where=f"{rel_path}:{node.lineno}",
+                    severity=SEV_ERROR, event=first.value))
+        if check_frozen and isinstance(node, ast.ClassDef):
+            for decorator in node.decorator_list:
+                if isinstance(decorator, ast.Name) and \
+                        decorator.id == "dataclass":
+                    frozen = False
+                elif isinstance(decorator, ast.Call) and \
+                        isinstance(decorator.func, ast.Name) and \
+                        decorator.func.id == "dataclass":
+                    frozen = any(kw.arg == "frozen"
+                                 and isinstance(kw.value, ast.Constant)
+                                 and kw.value.value is True
+                                 for kw in decorator.keywords)
+                else:
+                    continue
+                if not frozen:
+                    diagnostics.append(diag(
+                        "EOF304",
+                        f"dataclass {node.name} in the spec model must "
+                        f"be frozen=True (spec nodes are shared and "
+                        f"must be immutable)",
+                        where=f"{rel_path}:{node.lineno}",
+                        severity=SEV_ERROR, cls=node.name))
+    return diagnostics
+
+
+def default_lint_root() -> str:
+    """The ``src/repro`` package directory this module ships in."""
+    import repro
+    return os.path.dirname(os.path.abspath(repro.__file__))
+
+
+def lint_sources(paths: Optional[Sequence[str]] = None) -> AnalysisReport:
+    """Run every EOF3xx rule over the given files/directories.
+
+    Defaults to the installed ``repro`` package tree, which is what
+    ``eof-fuzz lint`` and the CI gate check.
+    """
+    if not paths:
+        paths = [default_lint_root()]
+    root = os.path.commonpath([os.path.abspath(p) for p in paths]) \
+        if len(paths) > 1 else os.path.abspath(paths[0])
+    if os.path.isfile(root):
+        root = os.path.dirname(root)
+    registry = _event_registry()
+    report = AnalysisReport(target="lint")
+    files = 0
+    for path in _iter_python_files([os.path.abspath(p) for p in paths]):
+        files += 1
+        with open(path, encoding="utf-8") as fh:
+            source = fh.read()
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as exc:
+            report.add(diag("EOF305",
+                            f"file does not parse: {exc.msg}",
+                            where=f"{_rel(path, root)}:{exc.lineno or 0}",
+                            severity=SEV_ERROR))
+            continue
+        report.extend(_lint_tree(tree, _rel(path, root), registry))
+    report.summary = {"lint.files": files,
+                      "lint.rules": 4,
+                      "lint.diagnostics": len(report.diagnostics)}
+    return report

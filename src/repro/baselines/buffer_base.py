@@ -210,7 +210,8 @@ class BufferFuzzerBase:
             gdb.write_u32(layout.cov_buf_addr, 0)
         except DebugLinkTimeout:
             return 0
-        return self.coverage.add_edges(decode_coverage_buffer(raw))
+        return self.coverage.add_edges(
+            decode_coverage_buffer(raw, obs=getattr(self, "obs", None)))
 
     def _recover(self) -> None:
         self.session.reboot()

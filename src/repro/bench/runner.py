@@ -51,6 +51,15 @@ class SeedSummary:
         """Mean module-confined coverage over seeds (Table 4 cells)."""
         return sum(self.module_edges) / max(len(self.module_edges), 1)
 
+    @property
+    def mean_saturation(self) -> float:
+        """Mean coverage saturation (edges seen / statically-reachable
+        edge universe) over seeds whose engine computed a universe; 0.0
+        when none did (buffer-based baselines skip the analysis)."""
+        values = [r.stats.coverage_saturation() for r in self.results
+                  if r.stats.reachable_edges > 0]
+        return sum(values) / max(len(values), 1)
+
     def curve_band(self, timestamps: Sequence[int]):
         """(mean, min, max) coverage at each timestamp across seeds."""
         band = []

@@ -8,6 +8,9 @@ Subcommands::
                      --trace-dir DIR   ... writing run artifacts to DIR
                      --chaos PROFILE   ... under deterministic fault injection
     eof-fuzz report  RUN_DIR           render a recorded run's report
+    eof-fuzz analyze TARGET            static analysis of one target
+                     --out DIR         ... writing analysis.json to DIR
+    eof-fuzz lint    [PATH ...]        determinism-lint python sources
     eof-fuzz repro   --bug N           run a Table 2 bug reproducer
     eof-fuzz bugs                      list the Table 2 bug catalog
 """
@@ -86,6 +89,7 @@ def _cmd_run(args) -> int:
         print()
         print(report.render())
     if obs is not None:
+        from repro.analysis import analyze_target, write_analysis_artifact
         from repro.obs.report import collect_run_data, write_run_artifacts
         obs.close()
         data = collect_run_data(obs, stats=stats, meta={
@@ -93,8 +97,30 @@ def _cmd_run(args) -> int:
             "seed": args.seed, "budget_cycles": args.budget,
             "chaos": args.chaos or "none"})
         write_run_artifacts(args.trace_dir, data)
+        # Static-analysis snapshot rides along with the run artifacts so
+        # a recorded run carries its own edge-universe provenance.
+        write_analysis_artifact(
+            args.trace_dir, analyze_target(args.target, include_lint=False))
         print(f"run artifacts written to {args.trace_dir}")
     return exit_code
+
+
+def _cmd_analyze(args) -> int:
+    from repro.analysis import analyze_target, write_analysis_artifact
+    report = analyze_target(args.target, include_lint=not args.no_lint)
+    print(report.render())
+    if args.out:
+        os.makedirs(args.out, exist_ok=True)
+        path = write_analysis_artifact(args.out, report)
+        print(f"\nanalysis written to {path}")
+    return 0 if report.clean else 1
+
+
+def _cmd_lint(args) -> int:
+    from repro.analysis import lint_sources
+    report = lint_sources(args.paths or None)
+    print(report.render())
+    return 0 if report.clean else 1
 
 
 def _cmd_report(args) -> int:
@@ -183,6 +209,21 @@ def main(argv=None) -> int:
         "report", help="render the report of a recorded run directory")
     report_p.add_argument("run_dir")
 
+    analyze_p = sub.add_parser(
+        "analyze", help="static analysis: spec lint + reachability")
+    analyze_p.add_argument("target")
+    analyze_p.add_argument("--out", default=None, metavar="DIR",
+                           help="also write analysis.json into DIR")
+    analyze_p.add_argument("--no-lint", action="store_true",
+                           help="skip the determinism lint of the host "
+                                "sources")
+
+    lint_p = sub.add_parser(
+        "lint", help="determinism lint of the host python sources")
+    lint_p.add_argument("paths", nargs="*",
+                        help="files/directories to lint (default: the "
+                             "installed repro package)")
+
     sub.add_parser("bugs", help="list the Table 2 bug catalog")
 
     spec_p = sub.add_parser("spec", help="dump the synthesised Syzlang")
@@ -194,7 +235,8 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     handlers = {"targets": _cmd_targets, "build": _cmd_build,
                 "run": _cmd_run, "report": _cmd_report, "bugs": _cmd_bugs,
-                "repro": _cmd_repro, "spec": _cmd_spec}
+                "repro": _cmd_repro, "spec": _cmd_spec,
+                "analyze": _cmd_analyze, "lint": _cmd_lint}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

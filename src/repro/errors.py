@@ -63,7 +63,17 @@ class SpecParseError(SpecError):
 
 
 class SpecTypeError(SpecError):
-    """A parsed specification failed post-validation type checking."""
+    """A parsed specification failed post-validation type checking.
+
+    Carries the *complete* mismatch list as ``diagnostics`` (stable
+    ``EOF11x`` codes, one entry per defect), so a spec author sees every
+    problem in one round trip instead of fixing them one raise at a time.
+    """
+
+    def __init__(self, message: str, diagnostics=()):
+        super().__init__(message)
+        #: Tuple of :class:`repro.analysis.diagnostics.Diagnostic`.
+        self.diagnostics = tuple(diagnostics)
 
 
 class ProtocolError(ReproError):

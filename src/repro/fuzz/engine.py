@@ -33,6 +33,7 @@ from repro.fuzz.stats import FuzzStats
 from repro.fuzz.watchdog import LivenessWatchdog
 from repro.hw.machine import HaltEvent, HaltReason
 from repro.instrument.sancov import decode_coverage_buffer
+from repro.instrument.sites import CLAMPS
 from repro.obs import NULL_OBS, Observability
 from repro.spec.model import SpecSet
 
@@ -111,6 +112,14 @@ class EofEngine:
             spec, self.rng,
             coverage=self.coverage if self.options.feedback else None)
         self.mutator = ProgramMutator(spec, self.rng, self.generator)
+        # Statically-reachable edge universe for this build: the
+        # denominator of the coverage-saturation metric.  Analysis is
+        # best-effort — an unanalyzable build just reports saturation 0.
+        try:
+            from repro.analysis.reach import reachable_edge_universe
+            self.stats.reachable_edges = reachable_edge_universe(build)
+        except Exception:
+            self.stats.reachable_edges = 0
         self.session: Optional[DebugSession] = None
         self.watchdog: Optional[LivenessWatchdog] = None
         self.restoration: Optional[StateRestoration] = None
@@ -183,6 +192,7 @@ class EofEngine:
         opts = self.options
         self._attach()
         board = self.session.board
+        clamps_at_start = CLAMPS.count
         if self.obs.enabled:
             self.obs.emit("run.start", fuzzer=opts.name,
                           os=self.build.config.os_name, seed=opts.seed,
@@ -212,6 +222,12 @@ class EofEngine:
         self.stats.record_point(board.machine.cycles,
                                 self.coverage.edge_count)
         if self.obs.enabled:
+            # Sub-site ids that fell outside a function's declared block
+            # during this run: each is an out-of-range ``ctx.cov(n)`` the
+            # modulo clamp silently folded (see EOF202/EOF203).
+            clamped = CLAMPS.count - clamps_at_start
+            if clamped > 0:
+                self.obs.counter("sites.clamped").inc(clamped)
             self.obs.gauge("corpus.size").set(len(self.corpus))
             self.obs.emit("run.end", edges=self.coverage.edge_count,
                           programs=self.stats.programs_executed,
@@ -388,7 +404,7 @@ class EofEngine:
                 raw = gdb.read_memory(layout.cov_buf_addr, 4 + count * 4)
             except DebugLinkTimeout:
                 return 0
-            edges = decode_coverage_buffer(raw)
+            edges = decode_coverage_buffer(raw, obs=self.obs)
             gdb.write_u32(layout.cov_buf_addr, 0)
             fresh = self.coverage.add_edges(edges)
         if self.obs.enabled:

@@ -21,6 +21,7 @@ from repro.agent.protocol import (
     Call,
     TestProgram,
 )
+from repro.analysis.speclint import lint_spec
 from repro.fuzz.feedback import CoverageMap
 from repro.fuzz.rng import FuzzRng
 from repro.spec.model import (
@@ -47,6 +48,15 @@ class ProgramGenerator:
         self.rng = rng
         self.coverage = coverage
         self.enabled = spec.enabled_indices()
+        # Static pruning: the spec linter proves some calls can never
+        # have their resource inputs satisfied (EOF102) — emitting them
+        # wastes on-hardware executions on guaranteed early-EINVAL paths,
+        # so they are dropped from the candidate pool up front.
+        lint = lint_spec(spec)
+        self.pruned = frozenset(i for i in lint.dead_call_ids
+                                if i in set(self.enabled))
+        if self.pruned:
+            self.enabled = [i for i in self.enabled if i not in self.pruned]
         self._producers: Dict[str, List[int]] = {}
         for api_id in self.enabled:
             call = spec.calls[api_id]

@@ -44,6 +44,9 @@ class FuzzStats:
     recovery_failures: int = 0
     cov_full_traps: int = 0
     rejected_programs: int = 0
+    # Statically-reachable edge universe for the run's build (from
+    # repro.analysis.reach); 0 when analysis was unavailable.
+    reachable_edges: int = 0
     series: List[Tuple[int, int]] = field(default_factory=list)  # (cycles, edges)
 
     def record_point(self, cycles: int, edges: int) -> None:
@@ -85,8 +88,22 @@ class FuzzStats:
                         for cycles, edges in data.get("series", [])]
         return stats
 
+    def coverage_saturation(self) -> float:
+        """Fraction of the statically-reachable edge universe seen so far.
+
+        0.0 when no universe was computed.  The universe is a structural
+        estimate, so long runs can exceed 1.0 slightly; values are not
+        clamped — an overshoot is a signal the estimate needs recalibration.
+        """
+        if self.reachable_edges <= 0:
+            return 0.0
+        return self.final_edges() / self.reachable_edges
+
     def summary(self) -> str:
         """One-line human summary."""
-        return (f"execs={self.programs_executed} edges={self.final_edges()} "
+        line = (f"execs={self.programs_executed} edges={self.final_edges()} "
                 f"crashes={self.unique_crashes}/{self.crashes_observed} "
                 f"restores={self.restorations}")
+        if self.reachable_edges > 0:
+            line += f" saturation={self.coverage_saturation():.1%}"
+        return line

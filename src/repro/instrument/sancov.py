@@ -31,13 +31,25 @@ def edge_id(prev_site: int, cur_site: int) -> int:
     return ((prev_site & 0xFFFF) << 16) | (cur_site & 0xFFFF)
 
 
-def decode_coverage_buffer(raw: bytes) -> List[int]:
-    """Host-side: decode a drained coverage buffer into edge ids."""
+def decode_coverage_buffer(raw: bytes, obs=None) -> List[int]:
+    """Host-side: decode a drained coverage buffer into edge ids.
+
+    A header ``count`` larger than the drained bytes can hold means the
+    drain lost records (short read, desynced link).  The decode still
+    clamps — partial coverage beats none — but the loss is never silent:
+    with an enabled ``obs`` it increments the ``cov.truncated`` counter
+    and emits a ``cov.truncated`` event carrying how much went missing.
+    """
     if len(raw) < COV_HEADER_BYTES:
         return []
     count = int.from_bytes(raw[:4], "little")
     max_records = (len(raw) - COV_HEADER_BYTES) // COV_RECORD_BYTES
-    count = min(count, max_records)
+    if count > max_records:
+        if obs is not None and obs.enabled:
+            obs.counter("cov.truncated").inc(count - max_records)
+            obs.emit("cov.truncated", lost_records=count - max_records,
+                     header_count=count, capacity=max_records)
+        count = max_records
     edges = []
     for i in range(count):
         off = COV_HEADER_BYTES + i * COV_RECORD_BYTES

@@ -14,6 +14,32 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional
 
 
+class ClampCounter:
+    """Process-wide tally of out-of-range sub-site clamps.
+
+    A clamp aliases two distinct branches onto one site id, so silent
+    clamping quietly corrupts coverage attribution.  The tally feeds the
+    ``sites.clamped`` metric and the static analyzer's ``EOF203``
+    diagnostic, making every occurrence visible.
+    """
+
+    def __init__(self) -> None:
+        self.count = 0
+        self.by_symbol: Dict[str, int] = {}
+
+    def record(self, symbol: str) -> None:
+        self.count += 1
+        self.by_symbol[symbol] = self.by_symbol.get(symbol, 0) + 1
+
+    def reset(self) -> None:
+        self.count = 0
+        self.by_symbol.clear()
+
+
+#: Shared tally; :meth:`SiteInfo.site` records into it on every clamp.
+CLAMPS = ClampCounter()
+
+
 @dataclass(frozen=True)
 class SiteInfo:
     """One instrumented function's block of coverage sites."""
@@ -27,7 +53,10 @@ class SiteInfo:
         """Absolute site id of sub-site ``sub`` (0 = function entry)."""
         if not 0 <= sub < self.count:
             # Clamp rather than fault: an out-of-range sub-site is a
-            # build-model mismatch, not a target bug.
+            # build-model mismatch, not a target bug — but never a
+            # silent one: the clamp is tallied for the ``sites.clamped``
+            # metric and surfaces as an EOF203 diagnostic.
+            CLAMPS.record(self.symbol)
             sub = sub % self.count
         return self.base + sub
 

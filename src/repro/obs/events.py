@@ -41,6 +41,26 @@ class Event:
 # The exact top-level key set every serialized event carries, in order.
 EVENT_SCHEMA_KEYS = ("name", "cycles", "wall_time", "run_id", "fields")
 
+#: Every event name the stack may emit.  Run-artifact consumers parse by
+#: name, so the vocabulary is closed: a new emit site declares its name
+#: here first, and the determinism linter (``EOF303``) rejects literal
+#: ``emit("...")`` calls whose name is missing from this registry.
+EVENT_REGISTRY = frozenset({
+    # -- engine / run lifecycle --------------------------------------------
+    "run.start", "run.end", "run.abort",
+    "exec.program", "corpus.add",
+    # -- coverage -----------------------------------------------------------
+    "coverage.growth", "cov.truncated",
+    # -- crash triage -------------------------------------------------------
+    "crash.report", "monitor.detect",
+    # -- debug link / liveness / recovery -----------------------------------
+    "ddi.command", "liveness.trip",
+    "restore.reboot", "restore.reflash",
+    "recovery.escalate", "recovery.complete", "recovery.exhausted",
+    # -- fault injection ----------------------------------------------------
+    "chaos.inject",
+})
+
 
 class Sink:
     """Where events go.  Subclasses override :meth:`emit`."""

@@ -92,6 +92,11 @@ def render_report(data: dict) -> str:
     if stats_data:
         stats = FuzzStats.from_dict(stats_data)
         sections.append("summary   : " + stats.summary())
+        if stats.reachable_edges > 0:
+            sections.append(
+                f"saturation: {stats.final_edges()} of "
+                f"{stats.reachable_edges} statically-reachable edges "
+                f"({stats.coverage_saturation():.1%})")
         if stats.recoveries or stats.recovery_failures:
             sections.append(
                 f"recovery  : {stats.recoveries} ladder climbs, "

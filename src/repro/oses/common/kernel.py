@@ -24,6 +24,10 @@ class KernelComponent:
     """
 
     NAME = "component"
+    #: Extra dispatch-entry method names for the static reachability
+    #: analysis (repro.analysis.reach) — functions invoked through
+    #: registered callbacks or tables the AST walk cannot see.
+    ANALYSIS_ROOTS: Tuple[str, ...] = ()
 
     def __init__(self, kernel: "EmbeddedKernel"):
         self.kernel = kernel
@@ -62,6 +66,9 @@ class EmbeddedKernel:
     EXCEPTION_SYMBOL = "panic_handler"
     ASSERT_LOG_FORMAT = "ASSERT failed: {expr} at {loc}"
     PANIC_LOG_FORMAT = "KERNEL PANIC: {cause} ({detail})"
+    #: Extra dispatch-entry method names for the static reachability
+    #: analysis (repro.analysis.reach) — see KernelComponent.
+    ANALYSIS_ROOTS: Tuple[str, ...] = ()
 
     def __init__(self, ctx: KernelContext, config: Optional[dict] = None):
         self.ctx = ctx

@@ -106,18 +106,26 @@ class CallDef:
                 if isinstance(p.type, ResourceRef)]
 
 
-@dataclass
+@dataclass(frozen=True)
 class SpecSet:
     """A full specification: resources, flags, and ordered call defs.
 
     Call order is significant — it must match the target kernel's API
     dispatch table so ``api_id`` values line up on the wire.
+
+    The dataclass is frozen (spec nodes are shared across generator,
+    mutator and analysis passes); the parser still *fills* the container
+    fields in place, and the ``without_pseudo``/``restricted_to`` views
+    return fresh copies instead of rebinding attributes.
     """
 
     os_name: str = ""
     resources: Dict[str, ResourceDef] = field(default_factory=dict)
     flags: Dict[str, FlagsDef] = field(default_factory=dict)
     calls: List[CallDef] = field(default_factory=list)
+    # Indices the generator must not emit (see without_pseudo /
+    # restricted_to).
+    disabled: frozenset = frozenset()
 
     def call_index(self, name: str) -> int:
         """api_id of a call."""
@@ -139,13 +147,11 @@ class SpecSet:
         skips.  Used to model baseline fuzzers whose specs lack the
         pseudo-function layer (e.g. Tardis, §5.1).
         """
-        clone = SpecSet(os_name=self.os_name, resources=dict(self.resources),
-                        flags=dict(self.flags), calls=list(self.calls))
-        clone.disabled = {i for i, c in enumerate(self.calls) if c.pseudo}
-        return clone
-
-    # Indices the generator must not emit (populated by without_pseudo).
-    disabled: set = field(default_factory=set)
+        return SpecSet(
+            os_name=self.os_name, resources=dict(self.resources),
+            flags=dict(self.flags), calls=list(self.calls),
+            disabled=frozenset(i for i, c in enumerate(self.calls)
+                               if c.pseudo))
 
     def enabled_indices(self) -> List[int]:
         """api_ids the generator may emit."""
@@ -158,8 +164,9 @@ class SpecSet:
         HTTP server and JSON API".  api_ids stay aligned.
         """
         allowed = set(names)
-        clone = SpecSet(os_name=self.os_name, resources=dict(self.resources),
-                        flags=dict(self.flags), calls=list(self.calls))
-        clone.disabled = {i for i, c in enumerate(self.calls)
-                          if c.name not in allowed} | set(self.disabled)
-        return clone
+        return SpecSet(
+            os_name=self.os_name, resources=dict(self.resources),
+            flags=dict(self.flags), calls=list(self.calls),
+            disabled=frozenset(i for i, c in enumerate(self.calls)
+                               if c.name not in allowed)
+            | frozenset(self.disabled))

@@ -4,12 +4,18 @@ The second half of the paper's post-validation gate: a parsed SpecSet is
 only admitted if every call lines up with the target's actual dispatch
 table — same order (api_ids ride the wire), same arity, and argument
 types compatible with what the kernel implementation declares.
+
+Every mismatch is collected as a :class:`~repro.analysis.diagnostics
+.Diagnostic` (stable ``EOF11x`` codes) and raised as *one*
+:class:`SpecTypeError` carrying the full list, so a defective spec is
+reported completely instead of one defect per round trip.
 """
 
 from __future__ import annotations
 
 from typing import List, Sequence
 
+from repro.analysis.diagnostics import Diagnostic, SEV_ERROR, diag
 from repro.errors import SpecTypeError
 from repro.oses.common.api import ApiDef
 from repro.spec.model import (
@@ -32,49 +38,75 @@ _KIND_TO_NODE = {
 }
 
 
-def validate_against_api(spec: SpecSet, api_defs: Sequence[ApiDef]) -> None:
-    """Raise :class:`SpecTypeError` on the first mismatch."""
+def collect_api_mismatches(spec: SpecSet,
+                           api_defs: Sequence[ApiDef]) -> List[Diagnostic]:
+    """Every way ``spec`` disagrees with the target's dispatch table."""
+    diagnostics: List[Diagnostic] = []
+
+    def mismatch(code: str, where: str, message: str, **data) -> None:
+        diagnostics.append(diag(code, f"{where}: {message}", where=where,
+                                severity=SEV_ERROR, **data))
+
     if len(spec.calls) != len(api_defs):
-        raise SpecTypeError(
-            f"spec has {len(spec.calls)} calls, target exposes "
-            f"{len(api_defs)}")
+        mismatch("EOF110", "spec",
+                 f"spec has {len(spec.calls)} calls, target exposes "
+                 f"{len(api_defs)}",
+                 spec_calls=len(spec.calls), api_calls=len(api_defs))
     for index, (call, api) in enumerate(zip(spec.calls, api_defs)):
         where = f"call #{index} ({call.name})"
         if call.name != api.name:
-            raise SpecTypeError(
-                f"{where}: order mismatch, target has {api.name!r} here")
+            mismatch("EOF111", where,
+                     f"order mismatch, target has {api.name!r} here")
+            # Everything downstream would be noise from the misalignment.
+            continue
         if len(call.params) != len(api.args):
-            raise SpecTypeError(
-                f"{where}: arity {len(call.params)} != {len(api.args)}")
+            mismatch("EOF112", where,
+                     f"arity {len(call.params)} != {len(api.args)}")
         if call.pseudo != api.pseudo:
-            raise SpecTypeError(f"{where}: pseudo attribute mismatch")
+            mismatch("EOF113", where, "pseudo attribute mismatch")
         if call.ret != api.ret:
-            raise SpecTypeError(
-                f"{where}: return resource {call.ret!r} != {api.ret!r}")
+            mismatch("EOF114", where,
+                     f"return resource {call.ret!r} != {api.ret!r}")
         for param, arg in zip(call.params, api.args):
             expected = _KIND_TO_NODE[arg.kind]
             if not isinstance(param.type, expected):
-                raise SpecTypeError(
-                    f"{where}: param {param.name!r} is "
-                    f"{type(param.type).__name__}, target wants {arg.kind}")
-            if isinstance(param.type, IntType):
-                if param.type.lo > param.type.hi:
-                    raise SpecTypeError(
-                        f"{where}: param {param.name!r} has an empty range")
+                mismatch("EOF115", where,
+                         f"param {param.name!r} is "
+                         f"{type(param.type).__name__}, target wants "
+                         f"{arg.kind}", param=param.name)
+                continue
+            if isinstance(param.type, IntType) and \
+                    param.type.lo > param.type.hi:
+                mismatch("EOF115", where,
+                         f"param {param.name!r} has an empty range",
+                         param=param.name)
             if isinstance(param.type, ResourceRef) and \
                     param.type.name != arg.res:
-                raise SpecTypeError(
-                    f"{where}: param {param.name!r} consumes "
-                    f"{param.type.name!r}, target wants {arg.res!r}")
+                mismatch("EOF115", where,
+                         f"param {param.name!r} consumes "
+                         f"{param.type.name!r}, target wants {arg.res!r}",
+                         param=param.name)
             if isinstance(param.type, BufferType):
                 if param.type.maxlen > 1024:
-                    raise SpecTypeError(
-                        f"{where}: buffer {param.name!r} exceeds the "
-                        f"wire limit")
+                    mismatch("EOF115", where,
+                             f"buffer {param.name!r} exceeds the wire "
+                             f"limit", param=param.name)
                 if param.type.fmt != arg.fmt:
-                    raise SpecTypeError(
-                        f"{where}: buffer {param.name!r} format "
-                        f"{param.type.fmt!r} != {arg.fmt!r}")
+                    mismatch("EOF115", where,
+                             f"buffer {param.name!r} format "
+                             f"{param.type.fmt!r} != {arg.fmt!r}",
+                             param=param.name)
+    return diagnostics
+
+
+def validate_against_api(spec: SpecSet, api_defs: Sequence[ApiDef]) -> None:
+    """Raise one :class:`SpecTypeError` carrying *all* mismatches."""
+    diagnostics = collect_api_mismatches(spec, api_defs)
+    if diagnostics:
+        head = diagnostics[0].message
+        suffix = (f" (+{len(diagnostics) - 1} more)"
+                  if len(diagnostics) > 1 else "")
+        raise SpecTypeError(f"{head}{suffix}", diagnostics=diagnostics)
 
 
 def check_resource_reachability(spec: SpecSet) -> List[str]:
