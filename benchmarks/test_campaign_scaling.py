@@ -1,0 +1,95 @@
+"""Campaign scaling (§5's parallel setup): merged coverage of 1/2/4
+synced worker boards at a **fixed total cycle budget**, against the
+same budget spent on independent boards.
+
+The headline gate: a 4-worker campaign with shared-corpus sync must
+reach at least the merged frontier of 4 independent single-board runs
+on the same derived seeds (``sync_interval=0`` runs the identical
+workers without the sync barrier, so the comparison isolates sharing
+itself).  Everything is virtual-time deterministic, so the numbers in
+``bench_results/campaign_scaling.txt`` reproduce exactly.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.budget import BenchBudget
+from repro.bench.runner import run_campaign
+from repro.fuzz.targets import get_target
+
+from common import save_result
+
+WORKER_COUNTS = (1, 2, 4)
+TARGET_OS = "freertos"
+
+
+@pytest.fixture(scope="module")
+def results():
+    budget = BenchBudget.default()
+    target = get_target(TARGET_OS)
+    seeds = tuple(range(1, budget.seeds + 1))
+    synced = {
+        (workers, seed): run_campaign(
+            target, workers, budget.campaign_cycles, campaign_seed=seed)
+        for workers in WORKER_COUNTS for seed in seeds}
+    independent = {
+        seed: run_campaign(target, max(WORKER_COUNTS),
+                           budget.campaign_cycles, campaign_seed=seed,
+                           sync_interval=0)
+        for seed in seeds}
+    return seeds, synced, independent
+
+
+def test_sharing_beats_independent_boards(results):
+    """The acceptance gate: 4 synced workers >= 4 independent ones, at
+    the same total budget, for every campaign seed."""
+    seeds, synced, independent = results
+    workers = max(WORKER_COUNTS)
+    for seed in seeds:
+        ours = synced[(workers, seed)].merged_edges
+        theirs = independent[seed].merged_edges
+        assert ours >= theirs, (
+            f"seed {seed}: synced {workers}-worker campaign merged "
+            f"{ours} edges < {theirs} from independent boards")
+
+
+def test_merged_frontier_dominates_every_worker(results):
+    seeds, synced, independent = results
+    for result in list(synced.values()) + list(independent.values()):
+        assert result.merged_edges >= result.stats.max_worker_edges()
+
+
+def test_campaign_scaling_render_and_benchmark(results, benchmark):
+    from repro.bench.report import render_table
+
+    seeds, synced, independent = results
+    budget = BenchBudget.default()
+    rows = []
+    for workers in WORKER_COUNTS:
+        merged = [synced[(workers, seed)].merged_edges for seed in seeds]
+        execs = [synced[(workers, seed)].stats.total_programs()
+                 for seed in seeds]
+        rows.append([f"{workers} synced",
+                     f"{sum(merged) / len(merged):.1f}",
+                     " ".join(str(m) for m in merged),
+                     f"{sum(execs) / len(execs):.0f}"])
+    merged = [independent[seed].merged_edges for seed in seeds]
+    execs = [independent[seed].stats.total_programs() for seed in seeds]
+    rows.append([f"{max(WORKER_COUNTS)} independent",
+                 f"{sum(merged) / len(merged):.1f}",
+                 " ".join(str(m) for m in merged),
+                 f"{sum(execs) / len(execs):.0f}"])
+    text = render_table(
+        f"Campaign scaling: merged edges on {TARGET_OS}, total budget "
+        f"{budget.campaign_cycles} cycles split across workers "
+        f"(campaign seeds {', '.join(str(s) for s in seeds)})",
+        ["Boards", "Mean merged", "Per-seed merged", "Mean execs"],
+        rows)
+    print()
+    print(text)
+    save_result("campaign_scaling", text)
+
+    sample = synced[(max(WORKER_COUNTS), seeds[0])]
+    benchmark(lambda: (sample.stats.to_dict(),
+                       sample.stats.max_worker_edges()))

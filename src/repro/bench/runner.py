@@ -8,7 +8,7 @@ independent repetitions, as in the paper's 5-run protocol.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from repro.baselines import (
     GdbFuzzEngine,
@@ -215,6 +215,47 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
             summary.module_edges.append(
                 edges_in_module(result, build, module))
     return summary
+
+
+def run_campaign(target: TargetConfig, workers: int,
+                 total_budget_cycles: int, campaign_seed: int = 1,
+                 sync_interval: int = 400_000, import_cap: int = 2,
+                 import_min_novelty: int = 2,
+                 replay_imports: bool = True,
+                 share_frontier: bool = False,
+                 obs: Optional[Observability] = None,
+                 worker_obs: Optional[Callable[[int],
+                                               Observability]] = None):
+    """One parallel multi-board campaign of EOF on one target.
+
+    Spins up ``workers`` engines (fresh board + image + derived RNG
+    stream each) under a shared corpus/coverage/crash-triage state and
+    returns the :class:`repro.farm.CampaignResult`.  ``sync_interval``
+    is in virtual cycles per worker; 0 disables syncing, which makes
+    the campaign exactly N independent single-board runs whose stats
+    are merged at the end — the scaling baseline the benchmark
+    compares against.  ``worker_obs`` (worker index -> bundle) attaches
+    per-worker observability, e.g. one trace subdirectory per board.
+    """
+    from repro.farm import CampaignOptions, CampaignOrchestrator
+
+    def factory(index: int, seed: int, budget_cycles: int) -> EofEngine:
+        build = build_firmware(target.build_config())
+        spec = generate_validated_specs(build)
+        bundle = worker_obs(index) if worker_obs is not None else None
+        return EofEngine(build, spec, EngineOptions(
+            seed=seed, budget_cycles=budget_cycles,
+            name=f"eof-w{index}"), obs=bundle)
+
+    orchestrator = CampaignOrchestrator(factory, CampaignOptions(
+        campaign_seed=campaign_seed, workers=workers,
+        sync_interval=sync_interval,
+        total_budget_cycles=total_budget_cycles,
+        import_cap=import_cap,
+        import_min_novelty=import_min_novelty,
+        replay_imports=replay_imports,
+        share_frontier=share_frontier), obs=obs)
+    return orchestrator.run()
 
 
 @dataclass

@@ -7,6 +7,9 @@ Subcommands::
     eof-fuzz run     --target NAME     fuzz a target
                      --trace-dir DIR   ... writing run artifacts to DIR
                      --chaos PROFILE   ... under deterministic fault injection
+    eof-fuzz campaign TARGET           parallel multi-board campaign
+                     --workers N       ... N worker boards
+                     --sync-interval C ... shared-corpus sync every C cycles
     eof-fuzz report  RUN_DIR           render a recorded run's report
     eof-fuzz analyze TARGET            static analysis of one target
                      --out DIR         ... writing analysis.json to DIR
@@ -103,6 +106,68 @@ def _cmd_run(args) -> int:
             args.trace_dir, analyze_target(args.target, include_lint=False))
         print(f"run artifacts written to {args.trace_dir}")
     return exit_code
+
+
+def _cmd_campaign(args) -> int:
+    from repro.bench.runner import run_campaign
+    target = get_target(args.target)
+    obs = None
+    worker_obs = None
+    worker_bundles = []
+    if args.trace_dir:
+        from repro.obs import JsonlSink, Observability
+        from repro.obs.report import EVENTS_FILE
+        os.makedirs(args.trace_dir, exist_ok=True)
+        obs = Observability(
+            run_id=f"campaign-{args.target}-seed{args.seed}")
+        obs.attach(JsonlSink(os.path.join(args.trace_dir, EVENTS_FILE)))
+
+        def worker_obs(index: int):
+            # One trace subdirectory per board: worker-<i>/events.jsonl.
+            subdir = os.path.join(args.trace_dir, f"worker-{index}")
+            os.makedirs(subdir, exist_ok=True)
+            bundle = Observability(
+                run_id=f"campaign-{args.target}-seed{args.seed}"
+                       f"-w{index}")
+            bundle.attach(JsonlSink(os.path.join(subdir, EVENTS_FILE)))
+            worker_bundles.append(bundle)
+            return bundle
+
+    print(f"campaign on {target.name}: {args.workers} workers, "
+          f"total budget {args.budget} cycles, sync every "
+          f"{args.sync_interval} cycles, seed {args.seed} ...")
+    result = run_campaign(
+        target, workers=args.workers,
+        total_budget_cycles=args.budget,
+        campaign_seed=args.seed, sync_interval=args.sync_interval,
+        import_cap=args.import_cap, obs=obs, worker_obs=worker_obs)
+    stats = result.stats
+    print(stats.summary())
+    for index, worker in enumerate(result.worker_results):
+        print(f"  worker-{index}: {worker.stats.summary()}")
+    for triaged in result.crashes.values():
+        print()
+        boards = ",".join(str(w) for w in sorted(triaged.workers))
+        print(f"seen {triaged.count}x on board(s) {boards}, first in "
+              f"epoch {triaged.first_epoch}:")
+        print(triaged.report.render())
+    if obs is not None:
+        from repro.obs.report import (collect_campaign_data,
+                                      write_run_artifacts)
+        for bundle in worker_bundles:
+            bundle.close()
+        obs.close()
+        data = collect_campaign_data(obs, stats, meta={
+            "target": args.target, "workers": args.workers,
+            "sync_interval": args.sync_interval,
+            "campaign_seed": args.seed,
+            "total_budget_cycles": args.budget})
+        write_run_artifacts(args.trace_dir, data)
+        print(f"campaign artifacts written to {args.trace_dir}")
+    if stats.aborted_workers == args.workers:
+        print("all workers quarantined", file=sys.stderr)
+        return 2
+    return 0
 
 
 def _cmd_analyze(args) -> int:
@@ -205,6 +270,30 @@ def main(argv=None) -> int:
                        help="write events.jsonl/metrics.json/report.txt "
                             "run artifacts into this directory")
 
+    campaign_p = sub.add_parser(
+        "campaign", help="parallel multi-board campaign with "
+                         "shared-corpus sync")
+    campaign_p.add_argument("target")
+    campaign_p.add_argument("--workers", type=int, default=2,
+                            help="worker boards fuzzing in parallel")
+    campaign_p.add_argument("--sync-interval", type=int,
+                            default=400_000, metavar="CYCLES",
+                            help="virtual cycles between shared-corpus "
+                                 "sync epochs (0 = independent runs)")
+    campaign_p.add_argument("--budget", type=int, default=4_000_000,
+                            help="total virtual-cycle budget across "
+                                 "all workers")
+    campaign_p.add_argument("--seed", type=int, default=1,
+                            help="campaign seed (worker streams are "
+                                 "derived from it)")
+    campaign_p.add_argument("--import-cap", type=int, default=2,
+                            help="max cross-worker seeds imported per "
+                                 "worker per sync epoch")
+    campaign_p.add_argument("--trace-dir", default=None,
+                            help="write campaign artifacts plus "
+                                 "worker-<i>/ trace subdirectories "
+                                 "into this directory")
+
     report_p = sub.add_parser(
         "report", help="render the report of a recorded run directory")
     report_p.add_argument("run_dir")
@@ -234,7 +323,8 @@ def main(argv=None) -> int:
 
     args = parser.parse_args(argv)
     handlers = {"targets": _cmd_targets, "build": _cmd_build,
-                "run": _cmd_run, "report": _cmd_report, "bugs": _cmd_bugs,
+                "run": _cmd_run, "campaign": _cmd_campaign,
+                "report": _cmd_report, "bugs": _cmd_bugs,
                 "repro": _cmd_repro, "spec": _cmd_spec,
                 "analyze": _cmd_analyze, "lint": _cmd_lint}
     try:

@@ -1,0 +1,31 @@
+"""``repro.farm``: parallel multi-board fuzzing campaigns.
+
+The paper runs each 24-hour configuration on several physical boards at
+once; this package reproduces that as N worker engines (one virtual
+board each) pooling a deduplicated shared corpus, a merged coverage
+frontier and a cross-worker crash triage table, with cycle-based sync
+epochs keeping the whole campaign deterministic given
+``(campaign_seed, workers, sync_interval)``.
+"""
+
+from repro.farm.orchestrator import (  # noqa: F401 (re-exported surface)
+    CampaignOptions,
+    CampaignOrchestrator,
+    CampaignResult,
+    derive_worker_seed,
+)
+from repro.farm.state import (  # noqa: F401
+    CampaignState,
+    SeedProvenance,
+    TriagedCrash,
+)
+
+__all__ = [
+    "CampaignOptions",
+    "CampaignOrchestrator",
+    "CampaignResult",
+    "CampaignState",
+    "SeedProvenance",
+    "TriagedCrash",
+    "derive_worker_seed",
+]

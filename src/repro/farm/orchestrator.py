@@ -1,0 +1,320 @@
+"""Multi-board campaign orchestration (the paper's §5 parallel setup).
+
+The orchestrator steps N worker engines — one virtual board each —
+through cycle-based **sync epochs**: every worker fuzzes independently
+until its own cycle clock crosses the epoch boundary, then a barrier
+merges worker state into the shared :class:`CampaignState` and delivers
+cross-worker seed imports, and the next epoch begins.
+
+Determinism argument
+--------------------
+A campaign is a pure function of ``(campaign_seed, workers,
+sync_interval)``:
+
+* each worker's RNG stream is derived from the campaign seed by a
+  splitmix64 mix of its index — streams never touch each other;
+* within an epoch a worker mutates only its own engine, whose behaviour
+  is already deterministic in virtual time;
+* the epoch barrier is a full join — shared-state merging happens on
+  the coordinator thread in worker-index order, never concurrently with
+  execution — so thread scheduling cannot reorder any observable
+  merge;
+* sync points are **cycle-based** (epoch ``k`` ends at ``k *
+  sync_interval`` virtual cycles per worker), never wall-clock-based.
+
+Workers run in a :class:`~concurrent.futures.ThreadPoolExecutor`
+(per-worker ``EngineOptions`` as usual); the barrier design means the
+pool is an execution convenience, not a correctness ingredient.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.errors import RecoveryExhausted
+from repro.farm.state import CampaignState, TriagedCrash
+from repro.fuzz.corpus import MAX_CORPUS
+from repro.fuzz.engine import EofEngine, FuzzResult
+from repro.fuzz.stats import CampaignStats
+from repro.obs import NULL_OBS, Observability
+
+#: Worker liveness states across epochs.
+_LIVE, _DONE, _ABORTED = "live", "done", "aborted"
+
+
+def derive_worker_seed(campaign_seed: int, index: int) -> int:
+    """Per-worker RNG stream seed (splitmix64 of seed and index).
+
+    Streams for different indices are statistically independent, and
+    the derivation is pure arithmetic, so replaying a campaign replays
+    every worker bit-for-bit.
+    """
+    mask = (1 << 64) - 1
+    z = (campaign_seed * 0x9E3779B97F4A7C15 + (index + 1)) & mask
+    z ^= z >> 30
+    z = (z * 0xBF58476D1CE4E5B9) & mask
+    z ^= z >> 27
+    z = (z * 0x94D049BB133111EB) & mask
+    z ^= z >> 31
+    # Keep seeds readable in logs while staying collision-free in
+    # practice for realistic worker counts.
+    return z & 0x7FFFFFFF
+
+
+@dataclass
+class CampaignOptions:
+    """Knobs of one multi-board campaign."""
+
+    campaign_seed: int = 1
+    workers: int = 2
+    #: Virtual cycles each worker runs between sync barriers; 0 turns
+    #: syncing off entirely (= N independent single-board runs whose
+    #: stats are merged at the end — the scaling baseline).  The
+    #: default is deliberately coarse: syncing too often floods workers
+    #: with each other's still-warm seeds before local exploration has
+    #: paid off.
+    sync_interval: int = 400_000
+    #: Total cycle budget across the whole campaign; each worker gets
+    #: ``total_budget_cycles // workers``.
+    total_budget_cycles: int = 2_000_000
+    #: Max cross-worker seeds delivered to one worker per sync epoch.
+    #: The pull is novelty-ranked, so a tight cap spends the import
+    #: budget on the few most frontier-advancing foreign seeds instead
+    #: of flooding the local pool.
+    import_cap: int = 2
+    #: Minimum new-to-local edges a seed must carry to be worth
+    #: importing onto this worker's board.
+    import_min_novelty: int = 2
+    #: Replay imported seeds on the receiving board (the default):
+    #: re-execution realises the foreign path locally, admits the seed
+    #: with *local* coverage credit, and hands the mutation scheduler
+    #: real material.  Off, imports merge straight into the local
+    #: corpus without spending cycles — cheaper, but the scheduler then
+    #: weights them on second-hand numbers.
+    replay_imports: bool = True
+    #: Fold the global frontier into each worker's notion of "already
+    #: seen" at sync, so local reward skips edges other boards covered.
+    #: Off by default: suppressing the local discovery-rate signal this
+    #: way measurably slows the merged frontier (workers de-prioritise
+    #: regions that are productive *for them*).
+    share_frontier: bool = False
+    shared_corpus_max: int = MAX_CORPUS
+    name: str = "eof-farm"
+
+
+@dataclass
+class CampaignResult:
+    """Everything a campaign produced."""
+
+    options: CampaignOptions
+    stats: CampaignStats
+    worker_results: List[FuzzResult]
+    edges: Set[int] = field(default_factory=set)
+    crashes: Dict[str, TriagedCrash] = field(default_factory=dict)
+    corpus_digests: List[str] = field(default_factory=list)
+
+    @property
+    def merged_edges(self) -> int:
+        """The campaign's merged-frontier size (the headline metric)."""
+        return len(self.edges)
+
+    def crash_signatures(self) -> List[str]:
+        """Campaign-unique crash signatures, first-seen order."""
+        return list(self.crashes)
+
+
+#: Builds one worker engine: (worker_index, worker_seed, budget_cycles).
+EngineFactory = Callable[[int, int, int], EofEngine]
+
+
+class CampaignOrchestrator:
+    """Run one campaign: N workers, shared corpus, sync epochs."""
+
+    def __init__(self, factory: EngineFactory,
+                 options: Optional[CampaignOptions] = None,
+                 obs: Optional[Observability] = None):
+        self.options = options or CampaignOptions()
+        if self.options.workers < 1:
+            raise ValueError("a campaign needs at least one worker")
+        self.obs = obs or NULL_OBS
+        self.state = CampaignState(
+            max_corpus=self.options.shared_corpus_max)
+        self.engines: List[EofEngine] = []
+        per_worker = max(
+            self.options.total_budget_cycles // self.options.workers, 1)
+        self.worker_budget = per_worker
+        for index in range(self.options.workers):
+            seed = derive_worker_seed(self.options.campaign_seed, index)
+            self.engines.append(factory(index, seed, per_worker))
+        # Per-worker digests already offered to / delivered from the
+        # shared pool, so sync never re-ships a seed.
+        self._offered: List[Set[str]] = [set() for _ in self.engines]
+        self._delivered: List[Set[str]] = [set() for _ in self.engines]
+        self._crash_offsets = [0 for _ in self.engines]
+        self._status = [_LIVE for _ in self.engines]
+        self._epochs_run = 0
+
+    # -- the campaign -------------------------------------------------------
+
+    def run(self) -> CampaignResult:
+        """Run every epoch to completion and return the merged result."""
+        opts = self.options
+        # Boot sequentially: bring-up mutates per-board state only, but
+        # keeping it on one thread makes boot-order effects (shared
+        # build caches, clamp tallies) reproducible.
+        for engine in self.engines:
+            engine.start()
+        if self.obs.enabled:
+            self.obs.bind_clock(self._campaign_clock)
+            self.obs.emit("farm.campaign.start", workers=opts.workers,
+                          sync_interval=opts.sync_interval,
+                          total_budget=opts.total_budget_cycles,
+                          campaign_seed=opts.campaign_seed)
+        with ThreadPoolExecutor(max_workers=opts.workers) as pool:
+            while any(status == _LIVE for status in self._status):
+                self._epochs_run += 1
+                target = self._epoch_target(self._epochs_run)
+                futures = {
+                    index: pool.submit(self._run_worker_epoch, index,
+                                       target)
+                    for index in range(opts.workers)
+                    if self._status[index] == _LIVE}
+                for index in sorted(futures):
+                    self._status[index] = futures[index].result()
+                self._sync(self._epochs_run)
+        return self._collect()
+
+    def _campaign_clock(self) -> int:
+        """Campaign virtual time: the furthest worker clock."""
+        cycles = 0
+        for engine in self.engines:
+            if engine.session is not None:
+                cycles = max(cycles,
+                             engine.session.board.machine.cycles)
+        return cycles
+
+    def _epoch_target(self, epoch: int) -> int:
+        if self.options.sync_interval <= 0:
+            return self.worker_budget
+        return min(epoch * self.options.sync_interval,
+                   self.worker_budget)
+
+    def _run_worker_epoch(self, index: int, target_cycles: int) -> str:
+        engine = self.engines[index]
+        try:
+            if engine.run_until(target_cycles):
+                # Budget remains; done with this epoch only.
+                cycles = engine.session.board.machine.cycles
+                return _LIVE if cycles < self.worker_budget else _DONE
+            return _DONE
+        except RecoveryExhausted:
+            # Quarantined board: the worker is dead, its findings are
+            # not — the next sync still merges them.
+            return _ABORTED
+
+    # -- the barrier --------------------------------------------------------
+
+    def _sync(self, epoch: int) -> None:
+        """Merge worker state into the campaign, in worker order, then
+        deliver imports.  Runs on the coordinator thread only."""
+        for index, engine in enumerate(self.engines):
+            self._push_worker(index, epoch, engine)
+        imported_total = 0
+        for index, engine in enumerate(self.engines):
+            if self._status[index] != _LIVE:
+                continue
+            imported_total += self._pull_worker(index, engine)
+            if self.options.share_frontier:
+                engine.absorb_frontier(self.state.edges)
+        if self.obs.enabled:
+            self.obs.counter("farm.sync.epochs").inc()
+            self.obs.gauge("farm.merged.edges").set(
+                len(self.state.edges))
+            self.obs.gauge("farm.shared.corpus").set(
+                len(self.state.corpus))
+            self.obs.emit("farm.epoch", epoch=epoch,
+                          merged_edges=len(self.state.edges),
+                          shared_seeds=len(self.state.corpus),
+                          imported=imported_total,
+                          live_workers=sum(
+                              1 for status in self._status
+                              if status == _LIVE))
+
+    def _push_worker(self, index: int, epoch: int,
+                     engine: EofEngine) -> None:
+        offered = self._offered[index]
+        delta = [entry for entry in engine.corpus.entries
+                 if entry.digest not in offered]
+        # Push before merging the full frontier: admission tests each
+        # seed's footprint against *other* workers' edges; merging this
+        # worker's coverage first would reject its own discoveries.
+        admitted = self.state.push(index, epoch, delta)
+        offered.update(entry.digest for entry in delta)
+        self.state.merge_edges(engine.coverage.edges)
+        fresh_crashes = 0
+        unique = engine.crash_db.unique_crashes()
+        for report in unique[self._crash_offsets[index]:]:
+            if self.state.record_crash(index, epoch, report):
+                fresh_crashes += 1
+                if self.obs.enabled:
+                    self.obs.emit("farm.crash.new", worker=index,
+                                  epoch=epoch, kind=report.kind,
+                                  signature=report.signature())
+        self._crash_offsets[index] = len(unique)
+        if self.obs.enabled and admitted:
+            self.obs.counter("farm.seeds.shared").inc(admitted)
+
+    def _pull_worker(self, index: int, engine: EofEngine) -> int:
+        known = (self._offered[index] | self._delivered[index]
+                 | set(engine.corpus.digests()))
+        entries = self.state.pull(
+            index, known_digests=known,
+            local_edges=engine.coverage.edges,
+            limit=self.options.import_cap,
+            min_novelty=self.options.import_min_novelty)
+        if not entries:
+            return 0
+        self._delivered[index].update(entry.digest for entry in entries)
+        if self.options.replay_imports:
+            engine.inject_programs([entry.program for entry in entries])
+        else:
+            engine.import_entries(entries)
+        if self.obs.enabled:
+            self.obs.counter("farm.seeds.imported").inc(len(entries))
+        return len(entries)
+
+    # -- wrap-up ------------------------------------------------------------
+
+    def _collect(self) -> CampaignResult:
+        results = []
+        for index, engine in enumerate(self.engines):
+            result = engine.finish()
+            results.append(result)
+            if self.obs.enabled:
+                self.obs.emit("farm.worker.done", worker=index,
+                              edges=result.edges,
+                              programs=result.stats.programs_executed,
+                              aborted=self._status[index] == _ABORTED)
+        stats = CampaignStats(
+            workers=[result.stats for result in results],
+            merged_edges=len(self.state.edges),
+            merged_unique_crashes=len(self.state.crashes),
+            shared_corpus_size=len(self.state.corpus),
+            sync_epochs=self._epochs_run,
+            seeds_shared=self.state.seeds_shared,
+            seeds_imported=self.state.seeds_imported,
+            aborted_workers=sum(1 for status in self._status
+                                if status == _ABORTED))
+        if self.obs.enabled:
+            self.obs.emit("farm.campaign.end",
+                          merged_edges=stats.merged_edges,
+                          unique_crashes=stats.merged_unique_crashes,
+                          epochs=stats.sync_epochs,
+                          shared=stats.seeds_shared,
+                          imported=stats.seeds_imported)
+        return CampaignResult(
+            options=self.options, stats=stats, worker_results=results,
+            edges=set(self.state.edges), crashes=dict(self.state.crashes),
+            corpus_digests=self.state.snapshot_digests())

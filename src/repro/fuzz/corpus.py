@@ -3,18 +3,39 @@
 An input is admitted when it triggered new coverage or revealed a fault
 (§4.5); crash-revealing payloads get a weight bonus so they are mutated
 more — the paper credits exactly this for reaching deeper paths (§5.4.2).
+
+Entries are deduplicated by content hash (the wire encoding of the
+program), which is also the identity shared-corpus sync uses to merge
+corpora across campaign workers (``repro.farm``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import List, Optional
+import hashlib
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional
 
-from repro.agent.protocol import TestProgram
+from repro.agent.protocol import TestProgram, serialize_program
 from repro.fuzz.rng import FuzzRng
 
 CRASH_BONUS = 1.5
 MAX_CORPUS = 4096
+
+
+def program_hash(program: TestProgram) -> str:
+    """Stable content identity of a test program.
+
+    Hashes the wire encoding, so two programs that serialize to the same
+    agent input are the same seed — the dedup key for both the local
+    corpus and the campaign-wide shared corpus.  Programs the protocol
+    cannot encode (over-long calls built by hostile tests) fall back to
+    a structural repr, keeping the hash total.
+    """
+    try:
+        raw = serialize_program(program)
+    except Exception:
+        raw = repr(program.calls).encode("utf-8", "replace")
+    return hashlib.sha256(raw).hexdigest()
 
 
 @dataclass
@@ -26,6 +47,12 @@ class CorpusEntry:
     crashed: bool = False
     picks: int = 0
     exec_cycles: int = 0
+    #: Content hash (assigned by :meth:`Corpus.add`).
+    digest: str = ""
+    #: The edges this seed newly contributed when it was admitted —
+    #: what shared-corpus sync uses to decide "new to the global
+    #: frontier" without re-executing the program.
+    edge_footprint: FrozenSet[int] = field(default_factory=frozenset)
 
     def weight(self) -> float:
         """Scheduling weight (productive, fast, fresh seeds win)."""
@@ -40,28 +67,80 @@ class CorpusEntry:
 
 
 class Corpus:
-    """The seed pool."""
+    """The seed pool (content-hash deduplicated)."""
 
-    def __init__(self) -> None:
+    def __init__(self, max_entries: int = MAX_CORPUS) -> None:
         self.entries: List[CorpusEntry] = []
+        self.max_entries = max_entries
         self.total_added = 0
+        self._by_digest: Dict[str, CorpusEntry] = {}
 
     def __len__(self) -> int:
         return len(self.entries)
 
+    def __contains__(self, digest: str) -> bool:
+        return digest in self._by_digest
+
+    def digests(self) -> List[str]:
+        """Content hashes of the current entries, insertion order."""
+        return [entry.digest for entry in self.entries]
+
+    def get(self, digest: str) -> Optional[CorpusEntry]:
+        """Entry with the given content hash, if still resident."""
+        return self._by_digest.get(digest)
+
     def add(self, program: TestProgram, new_edges: int,
-            crashed: bool = False, exec_cycles: int = 0) -> CorpusEntry:
-        """Admit an interesting input."""
-        entry = CorpusEntry(program=program, new_edges=new_edges,
-                            crashed=crashed, exec_cycles=exec_cycles)
-        self.entries.append(entry)
+            crashed: bool = False, exec_cycles: int = 0,
+            edges: Iterable[int] = ()) -> CorpusEntry:
+        """Admit an interesting input (idempotent per content hash).
+
+        Re-adding a program already in the pool merges into the resident
+        entry (best observed ``new_edges``, sticky ``crashed`` flag,
+        union footprint) instead of growing the pool; ``total_added``
+        counts admissions either way, so it stays monotone.
+        """
+        digest = program_hash(program)
         self.total_added += 1
-        if len(self.entries) > MAX_CORPUS:
-            # Drop the stalest low-value seed.
-            victim = min(range(len(self.entries)),
-                         key=lambda i: self.entries[i].weight())
-            self.entries.pop(victim)
+        existing = self._by_digest.get(digest)
+        if existing is not None:
+            existing.new_edges = max(existing.new_edges, new_edges)
+            existing.crashed = existing.crashed or crashed
+            existing.edge_footprint = existing.edge_footprint | \
+                frozenset(edges)
+            return existing
+        entry = CorpusEntry(program=program, new_edges=new_edges,
+                            crashed=crashed, exec_cycles=exec_cycles,
+                            digest=digest,
+                            edge_footprint=frozenset(edges))
+        self.entries.append(entry)
+        self._by_digest[digest] = entry
+        if len(self.entries) > self.max_entries:
+            self._evict()
         return entry
+
+    def _evict(self) -> None:
+        """Eviction policy (pinned by regression test): drop the entry
+        with the lowest current scheduling weight; among equal weights
+        the earliest-admitted (stalest) entry loses.  The best-weighted
+        entry can never be the victim."""
+        victim = min(range(len(self.entries)),
+                     key=lambda i: self.entries[i].weight())
+        removed = self.entries.pop(victim)
+        del self._by_digest[removed.digest]
+
+    def import_entry(self, entry: CorpusEntry) -> Optional[CorpusEntry]:
+        """Merge a foreign (shared-corpus) entry into this pool.
+
+        Returns the resident entry, or None when it was already present
+        — the caller uses that to count genuine imports.
+        """
+        if entry.digest and entry.digest in self._by_digest:
+            return None
+        resident = self.add(entry.program, entry.new_edges,
+                            crashed=entry.crashed,
+                            exec_cycles=entry.exec_cycles,
+                            edges=entry.edge_footprint)
+        return resident
 
     def pick(self, rng: FuzzRng) -> Optional[CorpusEntry]:
         """Weighted seed selection for mutation."""

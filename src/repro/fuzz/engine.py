@@ -126,7 +126,17 @@ class EofEngine:
         self.ladder: Optional[RecoveryLadder] = None
         self.chaos = None
         self._smash_queue: List[TestProgram] = []
+        self._inject_queue: List[TestProgram] = []
         self._recent_new_edges: List[int] = []
+        self._fresh_edges: List[int] = []
+        self._iteration = 0
+        self._clamps_at_start = 0
+        # Campaign mode: edges other boards already covered (the global
+        # bitmap, refreshed at sync epochs).  Locally-fresh edges that
+        # are foreign-known earn no interestingness reward, so workers
+        # steer away from each other's territory instead of
+        # rediscovering it.
+        self.foreign_edges: set = set()
         self.heap_probe = None
         self.log_monitor = LogMonitor(build.config.os_name, obs=self.obs)
         self.exception_monitor: Optional[ExceptionMonitor] = None
@@ -189,22 +199,41 @@ class EofEngine:
 
     def run(self) -> FuzzResult:
         """Fuzz until the cycle budget or iteration cap is exhausted."""
-        opts = self.options
+        self.start()
+        self.run_until(self.options.budget_cycles)
+        return self.finish()
+
+    def start(self) -> None:
+        """Attach to the target and open the run (idempotent)."""
+        if self.session is not None:
+            return
         self._attach()
-        board = self.session.board
-        clamps_at_start = CLAMPS.count
+        self._clamps_at_start = CLAMPS.count
         if self.obs.enabled:
-            self.obs.emit("run.start", fuzzer=opts.name,
-                          os=self.build.config.os_name, seed=opts.seed,
-                          budget_cycles=opts.budget_cycles)
-        iteration = 0
+            self.obs.emit("run.start", fuzzer=self.options.name,
+                          os=self.build.config.os_name,
+                          seed=self.options.seed,
+                          budget_cycles=self.options.budget_cycles)
+
+    def run_until(self, cycle_limit: int) -> bool:
+        """Fuzz until the board's cycle clock reaches ``cycle_limit``
+        (clamped to the budget) or the iteration cap is hit.
+
+        This is the campaign sync point: ``repro.farm`` steps each
+        worker engine one epoch at a time and merges state at the
+        cycle-based boundaries, so the whole campaign stays
+        deterministic.  Returns True while budget remains.
+        """
+        opts = self.options
+        board = self.session.board
+        limit = min(cycle_limit, opts.budget_cycles)
         try:
-            while (board.machine.cycles < opts.budget_cycles
-                   and iteration < opts.max_iterations):
-                iteration += 1
+            while (board.machine.cycles < limit
+                   and self._iteration < opts.max_iterations):
+                self._iteration += 1
                 program = self._next_program()
                 self._execute_program(program)
-                if opts.feedback and iteration % 64 == 0:
+                if opts.feedback and self._iteration % 64 == 0:
                     self.coverage.decay_credit()
                 self.stats.record_point(board.machine.cycles,
                                         self.coverage.edge_count)
@@ -219,13 +248,19 @@ class EofEngine:
                               edges=self.coverage.edge_count,
                               programs=self.stats.programs_executed)
             raise
+        return (board.machine.cycles < opts.budget_cycles
+                and self._iteration < opts.max_iterations)
+
+    def finish(self) -> FuzzResult:
+        """Close the run and return its result bundle."""
+        board = self.session.board
         self.stats.record_point(board.machine.cycles,
                                 self.coverage.edge_count)
         if self.obs.enabled:
             # Sub-site ids that fell outside a function's declared block
             # during this run: each is an out-of-range ``ctx.cov(n)`` the
             # modulo clamp silently folded (see EOF202/EOF203).
-            clamped = CLAMPS.count - clamps_at_start
+            clamped = CLAMPS.count - self._clamps_at_start
             if clamped > 0:
                 self.obs.counter("sites.clamped").inc(clamped)
             self.obs.gauge("corpus.size").set(len(self.corpus))
@@ -233,11 +268,42 @@ class EofEngine:
                           programs=self.stats.programs_executed,
                           unique_crashes=self.stats.unique_crashes,
                           restorations=self.stats.restorations)
-        return FuzzResult(name=opts.name,
+        return FuzzResult(name=self.options.name,
                           os_name=self.build.config.os_name,
                           stats=self.stats, coverage=self.coverage,
                           crash_db=self.crash_db,
                           corpus_size=len(self.corpus))
+
+    def inject_programs(self, programs: List[TestProgram]) -> None:
+        """Queue cross-worker seeds for replay (the campaign import
+        path).  Injected programs run before local generation; the ones
+        that reproduce their coverage here are admitted to the local
+        corpus through the ordinary interestingness test."""
+        self._inject_queue.extend(programs)
+        self.stats.imported_seeds += len(programs)
+
+    def import_entries(self, entries) -> int:
+        """Merge foreign corpus entries directly into the local pool
+        (the zero-cost campaign import path).
+
+        Unlike :meth:`inject_programs` this spends no target cycles:
+        the seed arrives with its recorded footprint and weight inputs,
+        and becomes mutation/splice material immediately.  Returns how
+        many entries were actually new here.
+        """
+        imported = 0
+        for entry in entries:
+            if self.corpus.import_entry(entry) is not None:
+                imported += 1
+        self.stats.imported_seeds += imported
+        return imported
+
+    def absorb_frontier(self, edges) -> None:
+        """Refresh the foreign-edge view of the global coverage bitmap
+        (campaign sync hook; edges this board saw itself are kept out
+        of the foreign set so local reporting stays local)."""
+        self.foreign_edges.update(
+            edge for edge in edges if edge not in self.coverage.edges)
 
     def _discovery_rate(self) -> float:
         """New edges per program over the recent window."""
@@ -254,6 +320,8 @@ class EofEngine:
 
     def _next_program(self) -> TestProgram:
         opts = self.options
+        if self._inject_queue:
+            return self._inject_queue.pop(0)
         if self._smash_queue:
             return self._smash_queue.pop()
         if opts.feedback and len(self.corpus) > 0 and \
@@ -274,6 +342,7 @@ class EofEngine:
     # -- one test case ---------------------------------------------------------------
 
     def _execute_program(self, program: TestProgram) -> None:
+        self._fresh_edges = []
         try:
             raw = serialize_program(program)
         except Exception:
@@ -377,7 +446,7 @@ class EofEngine:
                           cycles_spent=spent, crashed=crashed)
         if self.options.feedback and (new_edges > 0 or crashed):
             self.corpus.add(program, new_edges, crashed=crashed,
-                            exec_cycles=spent)
+                            exec_cycles=spent, edges=self._fresh_edges)
             self.coverage.credit_calls(
                 [call.api_id for call in program.calls], new_edges)
             if self.obs.enabled:
@@ -406,7 +475,16 @@ class EofEngine:
                 return 0
             edges = decode_coverage_buffer(raw, obs=self.obs)
             gdb.write_u32(layout.cov_buf_addr, 0)
-            fresh = self.coverage.add_edges(edges)
+            fresh_edges = self.coverage.add_new(edges)
+            if self.foreign_edges:
+                # Campaign dedup: an edge some other board already
+                # covered still enters the local map (it *was* seen
+                # here) but earns no reward — rediscovering the global
+                # frontier is not progress.
+                fresh_edges = [edge for edge in fresh_edges
+                               if edge not in self.foreign_edges]
+            self._fresh_edges.extend(fresh_edges)
+            fresh = len(fresh_edges)
         if self.obs.enabled:
             self.obs.counter("coverage.drain.bytes").inc(len(raw))
             self.obs.histogram(
@@ -454,7 +532,7 @@ class EofEngine:
             spent = self.session.board.machine.cycles \
                 - getattr(self, "_run_started_at", 0)
             self.corpus.add(program, new_edges, crashed=new_crash,
-                            exec_cycles=spent)
+                            exec_cycles=spent, edges=self._fresh_edges)
             self.coverage.credit_calls(
                 [call.api_id for call in program.calls], new_edges)
         self._recover()
@@ -479,7 +557,7 @@ class EofEngine:
             spent = self.session.board.machine.cycles \
                 - getattr(self, "_run_started_at", 0)
             self.corpus.add(program, new_edges, crashed=crashed,
-                            exec_cycles=spent)
+                            exec_cycles=spent, edges=self._fresh_edges)
         # Algorithm 1: confirm via the watchdog, then salvage.  A parked
         # PC with intact flash only needs a reboot; the reflash hammer is
         # for images that no longer boot.

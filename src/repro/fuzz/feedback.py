@@ -8,7 +8,7 @@ recently produced new coverage (§4.5's adjacency/recency scoring).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Set
+from typing import Dict, Iterable, List, Set
 
 DECAY = 0.95
 
@@ -35,11 +35,20 @@ class CoverageMap:
 
     def add_edges(self, edges: Iterable[int]) -> int:
         """Merge a drained buffer; returns how many edges were new."""
-        new = 0
+        return len(self.add_new(edges))
+
+    def add_new(self, edges: Iterable[int]) -> List[int]:
+        """Merge a drained buffer; returns the edges that were new.
+
+        The list (in drain order) is what the engine records as a
+        seed's edge footprint, so campaign sync can reason about which
+        frontier a seed actually advanced.
+        """
+        new = []
         for edge in edges:
             if edge not in self.edges:
                 self.edges.add(edge)
-                new += 1
+                new.append(edge)
         return new
 
     def credit_calls(self, api_ids: Iterable[int], new_edges: int) -> None:

@@ -44,6 +44,9 @@ class FuzzStats:
     recovery_failures: int = 0
     cov_full_traps: int = 0
     rejected_programs: int = 0
+    # Cross-worker seeds injected into this engine by campaign sync
+    # (repro.farm); 0 for single-board runs.
+    imported_seeds: int = 0
     # Statically-reachable edge universe for the run's build (from
     # repro.analysis.reach); 0 when analysis was unavailable.
     reachable_edges: int = 0
@@ -107,3 +110,75 @@ class FuzzStats:
         if self.reachable_edges > 0:
             line += f" saturation={self.coverage_saturation():.1%}"
         return line
+
+
+@dataclass
+class CampaignStats:
+    """Per-worker + merged statistics of one multi-board campaign.
+
+    ``merged_edges`` counts the union frontier across workers, so the
+    basic consistency invariant is ``merged_edges >= max(per-worker
+    edges)`` — replay-determinism tests assert it for every worker
+    count.
+    """
+
+    workers: List[FuzzStats] = field(default_factory=list)
+    merged_edges: int = 0
+    merged_unique_crashes: int = 0
+    shared_corpus_size: int = 0
+    sync_epochs: int = 0
+    seeds_shared: int = 0     # pushes admitted to the shared corpus
+    seeds_imported: int = 0   # pulls delivered to some worker
+    aborted_workers: int = 0  # RecoveryExhausted quarantines
+
+    @property
+    def worker_count(self) -> int:
+        return len(self.workers)
+
+    def total_programs(self) -> int:
+        """Programs executed across all boards."""
+        return sum(stats.programs_executed for stats in self.workers)
+
+    def max_worker_edges(self) -> int:
+        """Best single-board frontier (merged_edges is >= this)."""
+        return max((stats.final_edges() for stats in self.workers),
+                   default=0)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly dump (per-worker stats nested)."""
+        return {
+            "merged_edges": self.merged_edges,
+            "merged_unique_crashes": self.merged_unique_crashes,
+            "shared_corpus_size": self.shared_corpus_size,
+            "sync_epochs": self.sync_epochs,
+            "seeds_shared": self.seeds_shared,
+            "seeds_imported": self.seeds_imported,
+            "aborted_workers": self.aborted_workers,
+            "workers": [stats.to_dict() for stats in self.workers],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CampaignStats":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        stats = cls(
+            merged_edges=int(data.get("merged_edges", 0)),
+            merged_unique_crashes=int(
+                data.get("merged_unique_crashes", 0)),
+            shared_corpus_size=int(data.get("shared_corpus_size", 0)),
+            sync_epochs=int(data.get("sync_epochs", 0)),
+            seeds_shared=int(data.get("seeds_shared", 0)),
+            seeds_imported=int(data.get("seeds_imported", 0)),
+            aborted_workers=int(data.get("aborted_workers", 0)))
+        stats.workers = [FuzzStats.from_dict(worker)
+                         for worker in data.get("workers", [])]
+        return stats
+
+    def summary(self) -> str:
+        """One-line human summary of the whole campaign."""
+        return (f"workers={self.worker_count} "
+                f"merged_edges={self.merged_edges} "
+                f"execs={self.total_programs()} "
+                f"crashes={self.merged_unique_crashes} "
+                f"shared={self.seeds_shared} "
+                f"imported={self.seeds_imported} "
+                f"epochs={self.sync_epochs}")

@@ -59,6 +59,9 @@ EVENT_REGISTRY = frozenset({
     "recovery.escalate", "recovery.complete", "recovery.exhausted",
     # -- fault injection ----------------------------------------------------
     "chaos.inject",
+    # -- multi-board campaigns (repro.farm) ---------------------------------
+    "farm.campaign.start", "farm.campaign.end", "farm.epoch",
+    "farm.crash.new", "farm.worker.done",
 })
 
 

@@ -40,6 +40,21 @@ def collect_run_data(obs, stats: Optional[FuzzStats] = None,
     return data
 
 
+def collect_campaign_data(obs, campaign_stats,
+                          meta: Optional[Dict[str, object]] = None) -> dict:
+    """Bundle a multi-board campaign into a JSON-friendly dict.
+
+    ``campaign_stats`` is a :class:`repro.fuzz.stats.CampaignStats`;
+    its per-worker stats nest under ``campaign.workers`` so
+    ``render_report`` can draw the per-board table next to the merged
+    headline numbers.
+    """
+    data = obs.snapshot()
+    data["meta"] = dict(meta or {})
+    data["campaign"] = campaign_stats.to_dict()
+    return data
+
+
 def write_run_artifacts(run_dir: str, data: dict) -> str:
     """Write ``metrics.json`` + ``report.txt`` into ``run_dir``."""
     os.makedirs(run_dir, exist_ok=True)
@@ -102,6 +117,25 @@ def render_report(data: dict) -> str:
                 f"recovery  : {stats.recoveries} ladder climbs, "
                 f"{stats.reattaches} reattaches, "
                 f"{stats.recovery_failures} exhausted")
+
+    campaign_data = data.get("campaign")
+    if campaign_data:
+        from repro.fuzz.stats import CampaignStats
+        campaign = CampaignStats.from_dict(campaign_data)
+        sections.append("campaign  : " + campaign.summary())
+        rows = []
+        for index, worker in enumerate(campaign.workers):
+            rows.append([f"worker-{index}", worker.programs_executed,
+                         worker.final_edges(), worker.unique_crashes,
+                         worker.imported_seeds, worker.restorations])
+        rows.append(["merged", campaign.total_programs(),
+                     campaign.merged_edges,
+                     campaign.merged_unique_crashes,
+                     campaign.seeds_imported, "-"])
+        sections.append(render_table(
+            "Campaign workers (merged frontier across boards)",
+            ["board", "execs", "edges", "crashes", "imports",
+             "restores"], rows))
 
     phases = data.get("phases", {})
     if phases:

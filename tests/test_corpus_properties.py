@@ -1,0 +1,119 @@
+"""Property-based hardening of Corpus invariants (hypothesis).
+
+These are the contracts the campaign layer leans on: weights feed the
+scheduler (must stay positive), eviction must never throw away the best
+seed, ``total_added`` is the admission odometer (monotone), and content
+hashing makes re-admission idempotent.  Runs under the ``property``
+marker; generation is derandomized so CI results are reproducible.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.agent.protocol import ArgData, ArgImm, ArgRef, Call, TestProgram
+from repro.fuzz.corpus import Corpus, program_hash
+from repro.fuzz.rng import FuzzRng
+
+pytestmark = pytest.mark.property
+
+SETTINGS = settings(max_examples=60, deadline=None, derandomize=True)
+
+arguments = st.one_of(
+    st.integers(min_value=-2**63, max_value=2**63 - 1).map(ArgImm),
+    st.integers(min_value=0, max_value=63).map(ArgRef),
+    st.binary(max_size=12).map(ArgData),
+)
+calls = st.builds(
+    Call,
+    api_id=st.integers(min_value=0, max_value=400),
+    args=st.lists(arguments, max_size=4).map(tuple),
+)
+programs = st.builds(
+    TestProgram, calls=st.lists(calls, min_size=0, max_size=6))
+
+#: One admission the way the engine performs it.
+admissions = st.tuples(
+    programs,
+    st.integers(min_value=0, max_value=40),          # new_edges
+    st.booleans(),                                   # crashed
+    st.integers(min_value=0, max_value=150_000),     # exec_cycles
+    st.sets(st.integers(0, 500), max_size=6),        # edge footprint
+)
+
+
+def replay(corpus, sequence):
+    for program, new_edges, crashed, cycles, edges in sequence:
+        corpus.add(program, new_edges, crashed=crashed,
+                   exec_cycles=cycles, edges=edges)
+
+
+@SETTINGS
+@given(st.lists(admissions, max_size=25), st.integers(0, 2**32 - 1))
+def test_weights_stay_strictly_positive(sequence, pick_seed):
+    """Every resident entry always schedules with weight > 0, even
+    after the pick counter has aged it."""
+    corpus = Corpus(max_entries=8)
+    replay(corpus, sequence)
+    rng = FuzzRng(pick_seed)
+    for _ in range(10):
+        corpus.pick(rng)
+    assert all(entry.weight() > 0.0 for entry in corpus.entries)
+
+
+@SETTINGS
+@given(st.lists(admissions, max_size=30))
+def test_eviction_never_drops_the_best_weighted_entry(sequence):
+    corpus = Corpus(max_entries=4)
+    for program, new_edges, crashed, cycles, edges in sequence:
+        residents = list(corpus.entries)
+        entry = corpus.add(program, new_edges, crashed=crashed,
+                           exec_cycles=cycles, edges=edges)
+        candidates = residents + ([entry] if entry not in residents
+                                  else [])
+        best = max(candidates, key=lambda e: e.weight())
+        assert best in corpus.entries
+        assert len(corpus) <= corpus.max_entries
+
+
+@SETTINGS
+@given(st.lists(admissions, max_size=30))
+def test_total_added_is_monotone_and_counts_every_admission(sequence):
+    corpus = Corpus(max_entries=4)
+    seen = 0
+    for step, (program, new_edges, crashed, cycles, edges) in \
+            enumerate(sequence, start=1):
+        corpus.add(program, new_edges, crashed=crashed,
+                   exec_cycles=cycles, edges=edges)
+        assert corpus.total_added == step > seen
+        seen = corpus.total_added
+
+
+@SETTINGS
+@given(admissions, st.integers(min_value=0, max_value=40),
+       st.sets(st.integers(0, 500), max_size=6))
+def test_dedup_is_idempotent_under_readd(admission, more_edges, extra):
+    program, new_edges, crashed, cycles, edges = admission
+    corpus = Corpus()
+    first = corpus.add(program, new_edges, crashed=crashed,
+                       exec_cycles=cycles, edges=edges)
+    again = corpus.add(TestProgram(calls=list(program.calls)),
+                       more_edges, edges=extra)
+    assert again is first
+    assert len(corpus) == 1
+    assert first.new_edges == max(new_edges, more_edges)
+    assert first.crashed == crashed          # sticky, never cleared
+    assert first.edge_footprint == frozenset(edges) | frozenset(extra)
+    assert corpus.digests() == [program_hash(program)]
+
+
+@SETTINGS
+@given(st.lists(admissions, min_size=1, max_size=25))
+def test_digest_index_mirrors_entries_exactly(sequence):
+    """The digest index and the entry list never diverge, including
+    across evictions."""
+    corpus = Corpus(max_entries=5)
+    replay(corpus, sequence)
+    assert len(set(corpus.digests())) == len(corpus.entries)
+    for entry in corpus.entries:
+        assert entry.digest in corpus
+        assert corpus.get(entry.digest) is entry

@@ -143,19 +143,66 @@ class TestCorpusAndFeedback:
         assert coverage.credit_of(5) < before
 
     def test_corpus_weights_prefer_productive_fast_seeds(self):
+        from repro.agent.protocol import ArgImm, Call
         corpus = Corpus()
-        slow = corpus.add(TestProgram(calls=[]), new_edges=5,
-                          exec_cycles=100_000)
-        fast = corpus.add(TestProgram(calls=[]), new_edges=5,
-                          exec_cycles=1_000)
+        slow = corpus.add(TestProgram(calls=[Call(1, (ArgImm(0),))]),
+                          new_edges=5, exec_cycles=100_000)
+        fast = corpus.add(TestProgram(calls=[Call(2, (ArgImm(0),))]),
+                          new_edges=5, exec_cycles=1_000)
         assert fast.weight() > slow.weight()
 
     def test_corpus_eviction_keeps_size_bounded(self):
+        from repro.agent.protocol import ArgImm, Call
         from repro.fuzz import corpus as corpus_mod
         corpus = Corpus()
         for i in range(corpus_mod.MAX_CORPUS + 10):
-            corpus.add(TestProgram(calls=[]), new_edges=1)
+            corpus.add(TestProgram(calls=[Call(1, (ArgImm(i),))]),
+                       new_edges=1)
         assert len(corpus) == corpus_mod.MAX_CORPUS
+
+    def test_corpus_dedups_by_content_hash(self):
+        from repro.agent.protocol import ArgImm, Call
+        corpus = Corpus()
+        program = TestProgram(calls=[Call(1, (ArgImm(7),))])
+        first = corpus.add(program, new_edges=2)
+        again = corpus.add(TestProgram(calls=[Call(1, (ArgImm(7),))]),
+                           new_edges=5, crashed=True)
+        assert again is first
+        assert len(corpus) == 1
+        assert corpus.total_added == 2
+        assert first.new_edges == 5 and first.crashed
+
+    def test_eviction_policy_drops_lowest_weight_earliest_on_ties(self):
+        """Pins the documented policy: the victim is the entry with the
+        lowest current scheduling weight; among equal weights the
+        earliest-admitted entry loses, and the best-weighted entry is
+        never the victim."""
+        from repro.agent.protocol import ArgImm, Call
+
+        def prog(i):
+            return TestProgram(calls=[Call(1, (ArgImm(i),))])
+
+        corpus = Corpus(max_entries=3)
+        weak_old = corpus.add(prog(0), new_edges=1)
+        weak_new = corpus.add(prog(1), new_edges=1)
+        strong = corpus.add(prog(2), new_edges=9)
+        trigger = corpus.add(prog(3), new_edges=5)
+        # weak_old and weak_new tie on weight; the stalest one goes.
+        assert weak_old not in corpus.entries
+        assert weak_old.digest not in corpus
+        assert corpus.entries == [weak_new, strong, trigger]
+
+    def test_eviction_victim_can_be_the_newcomer(self):
+        """A weak new arrival is evicted immediately rather than
+        displacing a better resident."""
+        from repro.agent.protocol import ArgImm, Call
+        corpus = Corpus(max_entries=2)
+        corpus.add(TestProgram(calls=[Call(1, (ArgImm(0),))]), new_edges=9)
+        corpus.add(TestProgram(calls=[Call(1, (ArgImm(1),))]), new_edges=9)
+        weakling = corpus.add(TestProgram(calls=[Call(1, (ArgImm(2),))]),
+                              new_edges=0, exec_cycles=500_000)
+        assert weakling not in corpus.entries
+        assert len(corpus) == 2
 
     def test_pick_from_empty_returns_none(self):
         assert Corpus().pick(FuzzRng(0)) is None
