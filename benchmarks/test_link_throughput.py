@@ -1,0 +1,87 @@
+"""Link-throughput bench: batched + delta drain vs the historical path.
+
+The refactor's acceptance gate, measured on the 5-OS full-system
+matrix: the batched transport must cut debug-link transactions per
+executed program by >= 40% while leaving every fuzzing outcome
+byte-identical (same seeds -> same ``FuzzStats.semantic_dict()``).
+Writes ``bench_results/link_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import render_table
+from repro.bench.runner import run_seeds
+from repro.fuzz.targets import get_target
+
+from common import FULL_SYSTEM_OSES, save_result
+
+SEEDS = 2
+BUDGET = 400_000
+
+
+def _per_program(summary):
+    return summary.mean_transactions_per_program
+
+
+@pytest.fixture(scope="module")
+def link_rows():
+    rows = {}
+    for os_name in FULL_SYSTEM_OSES:
+        target = get_target(os_name)
+        batched = run_seeds("eof", target, seeds=SEEDS,
+                            budget_cycles=BUDGET, link_batching=True)
+        unbatched = run_seeds("eof", target, seeds=SEEDS,
+                              budget_cycles=BUDGET, link_batching=False)
+        rows[os_name] = (batched, unbatched)
+    return rows
+
+
+class TestLinkThroughput:
+    def test_results_byte_identical_across_modes(self, link_rows):
+        for os_name, (batched, unbatched) in link_rows.items():
+            for fast, slow in zip(batched.results, unbatched.results):
+                assert fast.stats.semantic_dict() == \
+                    slow.stats.semantic_dict(), os_name
+                assert fast.coverage.edges == slow.coverage.edges, os_name
+
+    def test_batching_cuts_transactions_at_least_40pct(self, link_rows):
+        for os_name, (batched, unbatched) in link_rows.items():
+            assert _per_program(batched) <= 0.6 * _per_program(unbatched), (
+                f"{os_name}: {_per_program(unbatched):.2f} -> "
+                f"{_per_program(batched):.2f} transactions/program")
+
+    def test_batching_also_moves_fewer_bytes(self, link_rows):
+        # Delta drains skip unchanged buffers, so frame bytes drop too
+        # (batching alone only amortizes per-transaction overhead).
+        for os_name, (batched, unbatched) in link_rows.items():
+            assert batched.mean_link_bytes < unbatched.mean_link_bytes, \
+                os_name
+
+
+def test_link_throughput_render(link_rows):
+    rows = []
+    for os_name, (batched, unbatched) in link_rows.items():
+        before = _per_program(unbatched)
+        after = _per_program(batched)
+        rows.append([
+            os_name,
+            f"{unbatched.mean_link_transactions:.0f}",
+            f"{batched.mean_link_transactions:.0f}",
+            f"{before:.2f}",
+            f"{after:.2f}",
+            f"{(1 - after / before):.1%}",
+            f"{batched.mean_link_bytes / 1024:.0f}",
+            f"{unbatched.mean_link_bytes / 1024:.0f}",
+        ])
+    text = render_table(
+        f"Debug-link cost, batched vs unbatched "
+        f"({SEEDS} seeds x {BUDGET} cycles; identical coverage/crashes)",
+        ["target", "txns (unbatched)", "txns (batched)",
+         "txns/prog before", "txns/prog after", "cut",
+         "KiB (batched)", "KiB (unbatched)"],
+        rows)
+    print()
+    print(text)
+    save_result("link_throughput", text)

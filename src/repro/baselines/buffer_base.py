@@ -102,7 +102,7 @@ class BufferFuzzerBase:
         self.watchdog = LivenessWatchdog(self.session)
         self.restoration = StateRestoration(self.session)
         self.arm_feedback()
-        self.session.drain_uart()
+        self.session.consume_boot_chatter()
         iteration = 0
         while (board.machine.cycles < self.budget_cycles
                and iteration < self.max_iterations):
@@ -113,6 +113,8 @@ class BufferFuzzerBase:
                                     self.coverage.edge_count)
         self.stats.record_point(board.machine.cycles,
                                 self.coverage.edge_count)
+        self.stats.link_transactions = self.session.link.transactions
+        self.stats.link_bytes = self.session.link.bytes_moved
         return FuzzResult(name=self.NAME, os_name=self.build.config.os_name,
                           stats=self.stats, coverage=self.coverage,
                           crash_db=self.crash_db,

@@ -73,12 +73,12 @@ class GdbFuzzEngine(BufferFuzzerBase):
         """Aim the hardware comparators at unseen basic blocks."""
         gdb = self.session.gdb
         for address in self._armed:
-            gdb.port.clear_breakpoint(address)
+            gdb.link.clear_breakpoint(address)
         self._armed = []
         uncovered = [a for a in self.targets if a not in self.covered]
         self.rng.random.shuffle(uncovered)
         for address in uncovered[:self.bp_budget]:
-            gdb.port.set_breakpoint(address, "gdbfuzz-cov")
+            gdb.link.set_breakpoint(address, "gdbfuzz-cov")
             self._armed.append(address)
 
     def feedback_interesting(self, event_bp_hits: List[int],

@@ -38,6 +38,9 @@ class SeedSummary:
     execs: List[int] = field(default_factory=list)
     curves: List[List[tuple]] = field(default_factory=list)
     results: List[FuzzResult] = field(default_factory=list)
+    # Per-seed debug-link accounting (repro.link).
+    link_transactions: List[int] = field(default_factory=list)
+    link_bytes: List[int] = field(default_factory=list)
     # Per-seed observability snapshots (run_seeds(observe=True) only).
     obs_snapshots: List[dict] = field(default_factory=list)
 
@@ -45,6 +48,23 @@ class SeedSummary:
     def mean_edges(self) -> float:
         """Mean branch coverage over seeds."""
         return sum(self.edges) / max(len(self.edges), 1)
+
+    @property
+    def mean_link_transactions(self) -> float:
+        """Mean debug-link transactions per seed."""
+        return sum(self.link_transactions) / max(len(self.link_transactions), 1)
+
+    @property
+    def mean_link_bytes(self) -> float:
+        """Mean debug-link frame bytes per seed."""
+        return sum(self.link_bytes) / max(len(self.link_bytes), 1)
+
+    @property
+    def mean_transactions_per_program(self) -> float:
+        """Link transactions per attempted program (the §4.5 lever)."""
+        programs = sum(r.stats.programs_executed + r.stats.rejected_programs
+                       for r in self.results)
+        return sum(self.link_transactions) / max(programs, 1)
 
     @property
     def mean_module_edges(self) -> float:
@@ -122,13 +142,17 @@ def make_engine(fuzzer: str, build: BuildInfo, seed: int,
                 restrict_modules: Optional[Sequence[str]] = None,
                 obs: Optional[Observability] = None,
                 chaos: Optional[str] = None,
-                chaos_seed: Optional[int] = None):
+                chaos_seed: Optional[int] = None,
+                link_batching: bool = True):
     """Construct a named engine for a built target.
 
     ``obs`` attaches an observability bundle to the engines built on the
     EOF loop (buffer-based baselines ignore it).  ``chaos`` names a
     :data:`repro.chaos.PROFILES` fault-injection profile for engines
     built on the EOF loop; the buffer-based baselines reject it.
+    ``link_batching=False`` pins the plain EOF engine to the historical
+    one-command-per-round-trip link path (the throughput bench's
+    before/after comparison).
     """
     engine = None
     if fuzzer in ("eof", "eof-nf", "tardis"):
@@ -139,7 +163,8 @@ def make_engine(fuzzer: str, build: BuildInfo, seed: int,
                  if a.module in set(restrict_modules)])
         if fuzzer == "eof":
             engine = EofEngine(build, spec, EngineOptions(
-                seed=seed, budget_cycles=budget_cycles), obs=obs)
+                seed=seed, budget_cycles=budget_cycles,
+                link_batching=link_batching), obs=obs)
         elif fuzzer == "eof-nf":
             engine = make_eof_nf_engine(build, spec, seed=seed,
                                         budget_cycles=budget_cycles, obs=obs)
@@ -167,13 +192,15 @@ def run_engine(fuzzer: str, target: TargetConfig, seed: int,
                module: Optional[str] = None,
                obs: Optional[Observability] = None,
                chaos: Optional[str] = None,
-               chaos_seed: Optional[int] = None):
+               chaos_seed: Optional[int] = None,
+               link_batching: bool = True):
     """One seed of one fuzzer on one target; returns (result, build)."""
     build = build_firmware(target.build_config())
     engine = make_engine(fuzzer, build, seed, budget_cycles,
                          entry_api=entry_api,
                          restrict_modules=restrict_modules, obs=obs,
-                         chaos=chaos, chaos_seed=chaos_seed)
+                         chaos=chaos, chaos_seed=chaos_seed,
+                         link_batching=link_batching)
     result = engine.run()
     return result, build
 
@@ -183,7 +210,8 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
               restrict_modules: Optional[Sequence[str]] = None,
               module: Optional[str] = None,
               observe: bool = False,
-              chaos: Optional[str] = None) -> SeedSummary:
+              chaos: Optional[str] = None,
+              link_batching: bool = True) -> SeedSummary:
     """The paper's repeated-runs protocol.
 
     ``observe=True`` attaches a fresh in-memory observability bundle to
@@ -203,12 +231,15 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
         result, build = run_engine(fuzzer, target, seed, budget_cycles,
                                    entry_api=entry_api,
                                    restrict_modules=restrict_modules,
-                                   obs=obs, chaos=chaos, chaos_seed=seed)
+                                   obs=obs, chaos=chaos, chaos_seed=seed,
+                                   link_batching=link_batching)
         summary.edges.append(result.edges)
         summary.bugs.append(len(result.crash_db))
         summary.execs.append(result.stats.programs_executed)
         summary.curves.append(list(result.stats.series))
         summary.results.append(result)
+        summary.link_transactions.append(result.stats.link_transactions)
+        summary.link_bytes.append(result.stats.link_bytes)
         if obs is not None:
             summary.obs_snapshots.append(obs.snapshot())
         if module is not None:

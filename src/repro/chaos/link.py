@@ -1,11 +1,14 @@
 """The chaos hooks: wire a :class:`FaultPlan` into one debug stack.
 
-A :class:`ChaosLink` sits between the virtual probe and the board and is
-consulted by :class:`repro.hw.debug_port.DebugPort` (core-op timeouts,
-read bit-flips, flash corruption, UART loss) and by
-:class:`repro.hw.board.Board` (boot failure after reboot).  Install and
-uninstall are attribute flips — the clean path stays a single
-``is None`` check per operation, so chaos-off runs are unperturbed.
+A :class:`ChaosLink` sits at the transport boundary and is consulted by
+:class:`repro.link.DebugPortTransport` (core-op timeouts, read
+bit-flips, flash corruption, UART loss) and by
+:class:`repro.hw.board.Board` (boot failure after reboot).  Because the
+hooks live on the transport — the one choke point every backend shares —
+batched and composite commands get the same per-primitive fault
+opportunities their unbatched equivalents had.  Install and uninstall
+are attribute flips — the clean path stays a single ``is None`` check
+per operation, so chaos-off runs are unperturbed.
 
 Faults are injected *below* the DDI layer on purpose: the GDB client,
 the watchdogs, the restoration path and the engine all see exactly the
@@ -94,14 +97,14 @@ class ChaosLink:
 
 
 def install_chaos(session, plan: FaultPlan, obs=NULL_OBS) -> ChaosLink:
-    """Attach a fault plan to a live debug session's board and port."""
+    """Attach a fault plan to a live session's transport and board."""
     link = ChaosLink(plan, session.board, obs=obs)
-    session.openocd.port.chaos = link
+    session.link.transport.chaos = link
     session.board.chaos = link
     return link
 
 
 def uninstall_chaos(session) -> None:
     """Detach any installed chaos hooks (the clean path returns)."""
-    session.openocd.port.chaos = None
+    session.link.transport.chaos = None
     session.board.chaos = None

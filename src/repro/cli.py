@@ -69,7 +69,8 @@ def _cmd_run(args) -> int:
         obs.attach(JsonlSink(os.path.join(args.trace_dir, EVENTS_FILE)))
     engine = make_engine(args.fuzzer, build, args.seed, args.budget,
                          obs=obs, chaos=args.chaos,
-                         chaos_seed=args.chaos_seed)
+                         chaos_seed=args.chaos_seed,
+                         link_batching=not args.no_link_batch)
     chaos_note = f", chaos {args.chaos}" if args.chaos else ""
     print(f"fuzzing {target.name} with {args.fuzzer} "
           f"(budget {args.budget} cycles, seed {args.seed}{chaos_note}) ...")
@@ -84,6 +85,12 @@ def _cmd_run(args) -> int:
         print(f"run aborted: {exc}", file=sys.stderr)
         exit_code = 2
     print(stats.summary())
+    if stats.link_transactions:
+        attempts = max(stats.programs_executed + stats.rejected_programs, 1)
+        print(f"link: {stats.link_transactions} transactions "
+              f"({stats.link_transactions / attempts:.1f}/program), "
+              f"{stats.link_bytes} bytes"
+              + (" [unbatched]" if args.no_link_batch else ""))
     if stats.recoveries or stats.recovery_failures:
         print(f"recoveries={stats.recoveries} "
               f"reattaches={stats.reattaches} "
@@ -266,6 +273,10 @@ def main(argv=None) -> int:
     run_p.add_argument("--chaos-seed", type=int, default=None,
                        help="separate seed for the fault streams "
                             "(default: --seed)")
+    run_p.add_argument("--no-link-batch", action="store_true",
+                       help="disable debug-link command batching and "
+                            "delta coverage drain (same results, more "
+                            "link transactions)")
     run_p.add_argument("--trace-dir", default=None,
                        help="write events.jsonl/metrics.json/report.txt "
                             "run artifacts into this directory")

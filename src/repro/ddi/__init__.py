@@ -6,10 +6,19 @@ when the core is dead (flash programming, reset, UART capture);
 top, in GDB/MI vocabulary (``-exec-continue`` etc.).  ``DebugSession``
 bundles both with the build artifacts — it is the "DebugPipe" that
 Algorithm 1's watchdogs and restoration operate on.
+
+All three speak through :mod:`repro.link`, which owns batching, the
+read-through memory cache, and the obs/chaos choke point.  The
+word-size/endianness helpers historically copied around this package
+now live in :mod:`repro.link.codec`; they stay importable from here.
 """
 
 from repro.ddi.openocd import OpenOcd
 from repro.ddi.gdb import GdbClient
 from repro.ddi.session import DebugSession, open_session
+from repro.link.codec import decode_u16, decode_u32, encode_u16, encode_u32
 
-__all__ = ["OpenOcd", "GdbClient", "DebugSession", "open_session"]
+__all__ = [
+    "OpenOcd", "GdbClient", "DebugSession", "open_session",
+    "encode_u16", "decode_u16", "encode_u32", "decode_u32",
+]

@@ -6,10 +6,11 @@ stall watchdog, and memory transfer for test cases / coverage / crash
 context.  Symbols resolve through the host's copy of the build artifacts
 (the ELF symbol table, morally).
 
-When an :class:`~repro.obs.Observability` bundle is attached, every
-command records its virtual-cycle latency into a per-command histogram
-and emits a ``ddi.command`` event (command, cycles spent, bytes moved).
-The disabled path is a single attribute check.
+Every operation is one :class:`~repro.link.codec.Command` submitted to
+the session's :class:`~repro.link.DebugLink`, which is where batching,
+the read-through cache, and all obs/chaos instrumentation live.  Inside
+a ``session.batch()`` scope, reads return
+:class:`~repro.link.PendingReply` handles instead of values.
 """
 
 from __future__ import annotations
@@ -29,20 +30,11 @@ class GdbClient:
                  obs=NULL_OBS):
         self.openocd = openocd
         self.port = openocd.port
+        self.link = openocd.link
         self.obs = obs
         self.symbols = dict(symbols or {})
         self._addr_to_symbol = {addr: name for name, addr in self.symbols.items()}
         self.continues = 0
-
-    def _record(self, command: str, started_at: int, nbytes: int = 0,
-                **fields) -> None:
-        """Account one finished command (caller checked ``obs.enabled``)."""
-        spent = self.openocd.board.machine.cycles - started_at
-        self.obs.histogram(f"ddi.cmd.{command}").record(spent)
-        if nbytes:
-            self.obs.counter(f"ddi.bytes.{command}").inc(nbytes)
-        self.obs.emit("ddi.command", command=command, cycles_spent=spent,
-                      bytes=nbytes, **fields)
 
     # -- symbols -------------------------------------------------------------
 
@@ -63,82 +55,46 @@ class GdbClient:
     def break_insert(self, location, label: str = "") -> int:
         """``-break-insert``: arm a hardware breakpoint; returns the addr."""
         address = self.resolve(location)
-        if not self.obs.enabled:
-            self.port.set_breakpoint(address, label or str(location))
-            return address
-        started_at = self.openocd.board.machine.cycles
-        self.port.set_breakpoint(address, label or str(location))
-        self._record("break_insert", started_at, location=str(location))
+        self.link.set_breakpoint(address, label or str(location))
         return address
 
     def break_delete(self, location) -> None:
         """``-break-delete``."""
-        self.port.clear_breakpoint(self.resolve(location))
+        self.link.clear_breakpoint(self.resolve(location))
 
     def break_delete_all(self) -> None:
         """Remove every breakpoint."""
-        self.port.clear_all_breakpoints()
+        self.link.clear_all_breakpoints()
 
     # -- run control ---------------------------------------------------------------
 
     def exec_continue(self) -> HaltEvent:
         """``-exec-continue``: run to the next stop and report it."""
         self.continues += 1
-        if not self.obs.enabled:
-            return self.port.resume()
-        started_at = self.openocd.board.machine.cycles
-        event = self.port.resume()
-        self._record("exec_continue", started_at,
-                     halt=event.reason.value, symbol=event.symbol)
-        return event
+        return self.link.resume()
 
     def read_pc(self) -> int:
         """Sample the program counter (``-data-list-register-values pc``)."""
-        if not self.obs.enabled:
-            return self.port.read_pc()
-        started_at = self.openocd.board.machine.cycles
-        pc = self.port.read_pc()
-        self._record("read_pc", started_at)
-        return pc
+        return self.link.read_pc()
 
     def backtrace(self) -> List[StackFrame]:
         """``-stack-list-frames``: unwind the target stack."""
-        return self.port.backtrace()
+        return self.link.backtrace()
 
     # -- memory transfer ---------------------------------------------------------------
 
     def read_memory(self, address: int, length: int) -> bytes:
         """``-data-read-memory-bytes``."""
-        if not self.obs.enabled:
-            return self.port.read_mem(address, length)
-        started_at = self.openocd.board.machine.cycles
-        data = self.port.read_mem(address, length)
-        self._record("read_memory", started_at, nbytes=length)
-        return data
+        return self.link.read_mem(address, length)
 
     def write_memory(self, address: int, data: bytes) -> None:
         """``-data-write-memory-bytes``."""
-        if not self.obs.enabled:
-            self.port.write_mem(address, data)
-            return
-        started_at = self.openocd.board.machine.cycles
-        self.port.write_mem(address, data)
-        self._record("write_memory", started_at, nbytes=len(data))
+        return self.link.write_mem(address, data)
 
     def read_u32(self, address: int) -> int:
         """Read one little-endian word of target memory."""
-        if not self.obs.enabled:
-            return self.port.read_u32(address)
-        started_at = self.openocd.board.machine.cycles
-        value = self.port.read_u32(address)
-        self._record("read_u32", started_at, nbytes=4)
-        return value
+        return self.link.read_u32(address)
 
     def write_u32(self, address: int, value: int) -> None:
         """Write one little-endian word of target memory."""
-        if not self.obs.enabled:
-            self.port.write_u32(address, value)
-            return
-        started_at = self.openocd.board.machine.cycles
-        self.port.write_u32(address, value)
-        self._record("write_u32", started_at, nbytes=4)
+        return self.link.write_u32(address, value)

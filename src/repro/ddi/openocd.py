@@ -4,6 +4,12 @@ Mirrors the command set EOF actually uses over OpenOCD: connect to the
 board's debug interface (JTAG/SWD), program flash (erase + program +
 verify), ``monitor reset``, and capture the target's UART into a host
 stream (the paper redirects UART to stdout for the log monitor).
+
+This shim owns the link stack for its board: a raw
+:class:`~repro.hw.debug_port.DebugPort`, the
+:class:`~repro.link.DebugPortTransport` that frames and instruments
+every exchange, and the :class:`~repro.link.DebugLink` client everything
+above here talks to.
 """
 
 from __future__ import annotations
@@ -14,6 +20,7 @@ from repro.errors import DebugLinkError
 from repro.hw.board import Board
 from repro.hw.boards import BOARD_CATALOG
 from repro.hw.debug_port import DebugPort
+from repro.link import DebugLink, DebugPortTransport
 from repro.obs import NULL_OBS
 
 
@@ -31,6 +38,8 @@ class OpenOcd:
                 f"config says {self.interface}")
         self.board = board
         self.port = DebugPort(board)
+        self.transport = DebugPortTransport(self.port, obs=obs)
+        self.link = DebugLink(self.transport, obs=obs)
         self.obs = obs
         self._uart_cursor = 0
         self.flash_ops = 0
@@ -56,36 +65,18 @@ class OpenOcd:
     def flash_write(self, address: int, data: bytes, verify: bool = True) -> None:
         """``flash write_image``: erase, program, optionally verify."""
         self.flash_ops += 1
-        started_at = self.board.machine.cycles
-        self.port.flash_erase(address, len(data))
-        self.port.flash_program(address, data)
-        if verify and self.port.flash_read(address, len(data)) != data:
-            raise DebugLinkError(f"flash verify failed at 0x{address:08x}")
-        if self.obs.enabled:
-            spent = self.board.machine.cycles - started_at
-            self.obs.histogram("ddi.cmd.flash_write").record(spent)
-            self.obs.counter("ddi.bytes.flash_write").inc(len(data))
-            self.obs.emit("ddi.command", command="flash_write",
-                          cycles_spent=spent, bytes=len(data),
-                          address=address)
+        self.link.flash_write(address, data, verify=verify)
 
     # -- reset --------------------------------------------------------------------
 
     def reset_run(self) -> None:
         """``monitor reset run``: warm reset, let the target boot."""
         self.reset_ops += 1
-        started_at = self.board.machine.cycles
-        self.port.reset()
-        if self.obs.enabled:
-            self.obs.emit("ddi.command", command="reset_run",
-                          cycles_spent=self.board.machine.cycles - started_at,
-                          bytes=0, booted=not self.board.boot_failed)
+        self.link.reset()
 
     # -- UART capture ----------------------------------------------------------------
 
     def drain_uart(self) -> List[str]:
         """New UART lines since the last drain (host-side log stream)."""
-        lines, self._uart_cursor = self.port.uart_read(self._uart_cursor)
-        if lines and self.obs.enabled:
-            self.obs.counter("uart.lines").inc(len(lines))
+        lines, self._uart_cursor = self.link.uart_read(self._uart_cursor)
         return lines

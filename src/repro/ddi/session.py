@@ -36,12 +36,24 @@ class DebugSession:
             # Virtual-cycle timestamps come from this board's clock.
             obs.bind_clock(lambda: board.machine.cycles)
         self.openocd = OpenOcd(board, obs=obs)
+        self.link = self.openocd.link
         self.gdb = GdbClient(
             self.openocd,
             symbols={name: sym.address for name, sym in build.symbols.items()},
             obs=obs)
 
     # -- convenience pass-throughs -------------------------------------------
+
+    def batch(self):
+        """Collect link commands and flush them as ONE transaction.
+
+        ``with session.batch():`` around the program-injection writes or
+        a breakpoint re-arm sequence turns N debug-port round-trips into
+        a single exchange.  Reads inside the scope return
+        :class:`~repro.link.PendingReply` handles; call ``.result()``
+        after the scope exits.
+        """
+        return self.link.batch()
 
     def exec_continue(self) -> HaltEvent:
         """``-exec-continue`` via the GDB client."""
@@ -54,6 +66,20 @@ class DebugSession:
     def drain_uart(self) -> List[str]:
         """New UART lines since the last drain."""
         return self.openocd.drain_uart()
+
+    def consume_boot_chatter(self) -> List[str]:
+        """Drain the UART until the boot banner stops arriving.
+
+        Both the engine and the one-shot harness used to hand-roll this
+        after every (re)boot; the canonical loop lives here.  Returns
+        every line consumed, in arrival order.
+        """
+        chatter: List[str] = []
+        while True:
+            lines = self.drain_uart()
+            if not lines:
+                return chatter
+            chatter.extend(lines)
 
     # -- restoration primitives (Algorithm 1 lines 16-18) -----------------------
 
@@ -82,6 +108,7 @@ class DebugSession:
         when the probe reconnected and the target booted.
         """
         started_at = self.board.machine.cycles
+        self.link.invalidate_cache()
         self.openocd.close()
         self.board.power_off()
         self.board.machine.tick(POWER_CYCLE_CYCLES)

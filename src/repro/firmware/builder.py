@@ -154,6 +154,9 @@ def _make_ram_layout(spec: BoardSpec, config: BuildConfig) -> RamLayout:
         cov_buf_addr=cov_addr, cov_buf_size=config.cov_buf_size,
         input_buf_addr=input_addr, input_buf_size=config.input_buf_size,
         kernel_heap_base=heap_base, kernel_heap_size=heap_size,
+        # Drain-generation word lives in the gap between the crash block
+        # (crash_addr + 256) and the coverage buffer at base + 0x200.
+        cov_gen_addr=crash_addr + 256,
     )
 
 

@@ -40,6 +40,10 @@ class RamLayout:
     input_buf_size: int
     kernel_heap_base: int
     kernel_heap_size: int
+    # Coverage drain-generation word (0 = image without one; the host
+    # then falls back to full drains).  Kept last with a default so
+    # metadata written by older builds still loads.
+    cov_gen_addr: int = 0
 
     def to_dict(self) -> Dict[str, int]:
         """JSON-friendly form (embedded in the kernel partition meta)."""
@@ -54,6 +58,7 @@ class RamLayout:
             "input_buf_size": self.input_buf_size,
             "kernel_heap_base": self.kernel_heap_base,
             "kernel_heap_size": self.kernel_heap_size,
+            "cov_gen_addr": self.cov_gen_addr,
         }
 
     @classmethod

@@ -55,6 +55,11 @@ class EngineOptions:
     use_log_monitor: bool = True
     restore_with_reflash: bool = True   # False = naive reboot-only recovery
     record_hangs_as_crashes: bool = False  # timeout-only detection (Tardis)
+    # Batch link commands (program injection + first continue as one
+    # transaction, single-exchange delta coverage drains).  Off = the
+    # historical one-command-per-round-trip path; results are
+    # byte-identical either way, only the transaction count changes.
+    link_batching: bool = True
     mutate_probability: float = 0.25
     max_calls: int = 12
     # Syzkaller-style "smash": on new coverage, immediately queue this
@@ -157,10 +162,7 @@ class EofEngine:
             raise RuntimeError("target never booted; image is broken")
         kernel = board.runtime.kernel
         self._exception_symbol = kernel.EXCEPTION_SYMBOL
-        gdb = self.session.gdb
-        for symbol in ("executor_main", "read_prog", "execute_one",
-                       "_kcmp_buf_full"):
-            gdb.break_insert(symbol, label="agent-sync")
+        self._arm_sync_breakpoints()
         if self.options.use_exception_monitor:
             self.exception_monitor = ExceptionMonitor(
                 self.session, self.build.config.os_name,
@@ -170,7 +172,7 @@ class EofEngine:
             from repro.fuzz.health import HeapHealthProbe
             self.heap_probe = HeapHealthProbe(
                 self.session, every_n_programs=self.options.heap_probe_every)
-        self.session.drain_uart()  # consume boot chatter
+        self.session.consume_boot_chatter()
         if self.options.chaos_profile:
             # Install fault injection only after clean factory bring-up:
             # chaos models a flaky *deployed* link, not a broken bench.
@@ -183,13 +185,24 @@ class EofEngine:
                              seed=seed, obs=self.obs)
             self.chaos = install_chaos(self.session, plan, obs=self.obs)
 
+    def _arm_sync_breakpoints(self) -> None:
+        """Arm the agent sync points — one batched transaction when
+        batching is on, four round-trips otherwise."""
+        gdb = self.session.gdb
+        if self.options.link_batching:
+            with self.session.batch():
+                for symbol in ("executor_main", "read_prog", "execute_one",
+                               "_kcmp_buf_full"):
+                    gdb.break_insert(symbol, label="agent-sync")
+        else:
+            for symbol in ("executor_main", "read_prog", "execute_one",
+                           "_kcmp_buf_full"):
+                gdb.break_insert(symbol, label="agent-sync")
+
     def _rearm_after_boot(self) -> None:
         """Re-install breakpoints lost to a power event (none are on our
         virtual probe, but arming is idempotent and cheap)."""
-        gdb = self.session.gdb
-        for symbol in ("executor_main", "read_prog", "execute_one",
-                       "_kcmp_buf_full"):
-            gdb.break_insert(symbol, label="agent-sync")
+        self._arm_sync_breakpoints()
         if self.exception_monitor is not None:
             self.exception_monitor._armed = False
             self.exception_monitor.arm()
@@ -237,12 +250,14 @@ class EofEngine:
                     self.coverage.decay_credit()
                 self.stats.record_point(board.machine.cycles,
                                         self.coverage.edge_count)
+            self._sync_link_stats()
         except RecoveryExhausted:
             # Quarantine: the board never came back.  Stop loudly rather
             # than fuzz dead hardware, but leave the stats consistent so
             # the caller can still report what the run achieved.
             self.stats.record_point(board.machine.cycles,
                                     self.coverage.edge_count)
+            self._sync_link_stats()
             if self.obs.enabled:
                 self.obs.emit("run.abort", reason="recovery-exhausted",
                               edges=self.coverage.edge_count,
@@ -251,11 +266,17 @@ class EofEngine:
         return (board.machine.cycles < opts.budget_cycles
                 and self._iteration < opts.max_iterations)
 
+    def _sync_link_stats(self) -> None:
+        """Mirror the link's accounting into the run stats."""
+        self.stats.link_transactions = self.session.link.transactions
+        self.stats.link_bytes = self.session.link.bytes_moved
+
     def finish(self) -> FuzzResult:
         """Close the run and return its result bundle."""
         board = self.session.board
         self.stats.record_point(board.machine.cycles,
                                 self.coverage.edge_count)
+        self._sync_link_stats()
         if self.obs.enabled:
             # Sub-site ids that fell outside a function's declared block
             # during this run: each is an out-of-range ``ctx.cov(n)`` the
@@ -353,24 +374,40 @@ class EofEngine:
         if len(raw) + 4 > layout.input_buf_size:
             self.stats.rejected_programs += 1
             return
+        self._run_started_at = self.session.board.machine.cycles
         try:
-            with self.obs.span("flash-program"):
-                gdb.write_u32(layout.input_buf_addr, len(raw))
-                gdb.write_memory(layout.input_buf_addr + 4, raw)
-            self._drive(program)
+            if self.options.link_batching:
+                # Header write + payload write + the resume into
+                # read_prog, pipelined as ONE link transaction (§4.5:
+                # the injection round-trips dominate short programs).
+                with self.obs.span("flash-program"):
+                    with self.session.batch():
+                        gdb.write_u32(layout.input_buf_addr, len(raw))
+                        gdb.write_memory(layout.input_buf_addr + 4, raw)
+                        first = gdb.exec_continue()
+                self._drive(program, first_halt=first.result())
+            else:
+                with self.obs.span("flash-program"):
+                    gdb.write_u32(layout.input_buf_addr, len(raw))
+                    gdb.write_memory(layout.input_buf_addr + 4, raw)
+                self._drive(program)
         except DebugLinkTimeout:
             self.stats.link_timeouts += 1
             if self.watchdog is not None:
                 self.watchdog.note_timeout()
             self._salvage()
 
-    def _drive(self, program: TestProgram) -> None:
+    def _drive(self, program: TestProgram,
+               first_halt: Optional[HaltEvent] = None) -> None:
         gdb = self.session.gdb
         new_edges = 0
-        self._run_started_at = self.session.board.machine.cycles
-        # read_prog halt.
-        with self.obs.span("continue"):
-            event = gdb.exec_continue()
+        # read_prog halt (already reached when the injection batch
+        # carried the first resume).
+        if first_halt is not None:
+            event = first_halt
+        else:
+            with self.obs.span("continue"):
+                event = gdb.exec_continue()
         if self._handle_abnormal(event, program, new_edges):
             return
         # execute_one halt (or straight back to executor_main on reject).
@@ -465,16 +502,33 @@ class EofEngine:
     def _drain_coverage(self) -> int:
         layout = self.build.ram_layout
         gdb = self.session.gdb
+        capacity = (layout.cov_buf_size - 4) // 4
         with self.obs.span("drain-coverage"):
-            try:
-                count = gdb.read_u32(layout.cov_buf_addr)
-                capacity = (layout.cov_buf_size - 4) // 4
-                count = min(count, capacity)
-                raw = gdb.read_memory(layout.cov_buf_addr, 4 + count * 4)
-            except DebugLinkTimeout:
-                return 0
+            if self.options.link_batching:
+                # One COV_DRAIN transaction: generation check, count,
+                # body and clear in a single exchange; an unchanged
+                # generation word means nothing new landed and the whole
+                # drain cost one word read.
+                try:
+                    raw = gdb.link.cov_drain(
+                        layout.cov_buf_addr, capacity,
+                        gen_addr=getattr(layout, "cov_gen_addr", 0))
+                except DebugLinkTimeout:
+                    return 0
+                if raw is None:
+                    if self.obs.enabled:
+                        self.obs.counter("link.drain.skipped").inc()
+                    return 0
+            else:
+                try:
+                    count = gdb.read_u32(layout.cov_buf_addr)
+                    count = min(count, capacity)
+                    raw = gdb.read_memory(layout.cov_buf_addr,
+                                          4 + count * 4)
+                except DebugLinkTimeout:
+                    return 0
+                gdb.write_u32(layout.cov_buf_addr, 0)
             edges = decode_coverage_buffer(raw, obs=self.obs)
-            gdb.write_u32(layout.cov_buf_addr, 0)
             fresh_edges = self.coverage.add_new(edges)
             if self.foreign_edges:
                 # Campaign dedup: an edge some other board already

@@ -21,6 +21,7 @@ from repro.agent.protocol import (
 )
 from repro.ddi.session import DebugSession, open_session
 from repro.errors import DebugLinkTimeout
+from repro.link.codec import decode_u32
 from repro.firmware.builder import BuildInfo, build_firmware
 from repro.fuzz.crash import CrashReport
 from repro.fuzz.monitors import ExceptionMonitor, LogMonitor
@@ -91,13 +92,14 @@ def execute_once(target: TargetConfig,
                                    [kernel.EXCEPTION_SYMBOL])
     exc_monitor.arm()
     log_monitor = LogMonitor(build.config.os_name)
-    session.drain_uart()
+    session.consume_boot_chatter()
 
     program = build_program(build, calls)
     raw = serialize_program(program)
     layout = build.ram_layout
-    gdb.write_u32(layout.input_buf_addr, len(raw))
-    gdb.write_memory(layout.input_buf_addr + 4, raw)
+    with session.batch():
+        gdb.write_u32(layout.input_buf_addr, len(raw))
+        gdb.write_memory(layout.input_buf_addr + 4, raw)
 
     outcome = Outcome(completed=False, session=session)
     for _ in range(max_resumes):
@@ -120,8 +122,7 @@ def execute_once(target: TargetConfig,
                 event.reason == HaltReason.BREAKPOINT and \
                 len(outcome.halts) >= 2:
             # Consult the agent's status block: 3 = DONE, 5 = BAD_PROG.
-            state = int.from_bytes(
-                gdb.read_memory(layout.status_addr + 4, 4), "little")
+            state = decode_u32(gdb.read_memory(layout.status_addr + 4, 4))
             outcome.completed = (state == 3)
             break
     outcome.uart = session.drain_uart()

@@ -262,7 +262,7 @@ class RecoveryLadder:
             self.session.read_pc()
             if self.rearm is not None:
                 self.rearm()
-            self.session.drain_uart()
+            self.session.consume_boot_chatter()
         except DebugLinkTimeout:
             return False
         if self.watchdog is not None:

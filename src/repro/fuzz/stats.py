@@ -15,6 +15,9 @@ from typing import Dict, List, Sequence, Tuple
 
 _INF_EDGES = float("inf")
 
+#: FuzzStats fields that measure transport cost, not fuzzing outcome.
+LINK_ACCOUNTING_FIELDS = ("link_transactions", "link_bytes")
+
 
 def series_edges_at(series: Sequence[Tuple[int, int]], cycles: int) -> int:
     """Coverage at or before ``cycles`` in a (cycles, edges) series.
@@ -50,6 +53,11 @@ class FuzzStats:
     # Statically-reachable edge universe for the run's build (from
     # repro.analysis.reach); 0 when analysis was unavailable.
     reachable_edges: int = 0
+    # Debug-link accounting (repro.link): how many transactions and
+    # frame bytes the run cost.  Excluded from semantic_dict() — batched
+    # and unbatched runs of the same seed differ ONLY here.
+    link_transactions: int = 0
+    link_bytes: int = 0
     series: List[Tuple[int, int]] = field(default_factory=list)  # (cycles, edges)
 
     def record_point(self, cycles: int, edges: int) -> None:
@@ -90,6 +98,19 @@ class FuzzStats:
         stats.series = [(int(cycles), int(edges))
                         for cycles, edges in data.get("series", [])]
         return stats
+
+    def semantic_dict(self) -> Dict[str, object]:
+        """:meth:`to_dict` minus link accounting.
+
+        This is the equality domain of the batched-vs-unbatched
+        determinism gate: everything the fuzzer *found* (coverage,
+        crashes, recoveries, the whole time series) must be
+        byte-identical across modes; only the transport cost may differ.
+        """
+        data = self.to_dict()
+        for name in LINK_ACCOUNTING_FIELDS:
+            data.pop(name, None)
+        return data
 
     def coverage_saturation(self) -> float:
         """Fraction of the statically-reachable edge universe seen so far.

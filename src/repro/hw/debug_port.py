@@ -6,6 +6,10 @@ It deliberately mirrors the operations OpenOCD exposes over a real probe,
 including the distinction the paper's restoration path depends on —
 *flash and reset keep working even when run control has died*, because
 they only need the debug access port, not a live core.
+
+Fault injection no longer lives here: chaos hooks moved up to the
+transaction boundary (:class:`repro.link.DebugPortTransport`), so every
+backend gets fault coverage from one place.
 """
 
 from __future__ import annotations
@@ -28,9 +32,6 @@ class DebugPort:
         self.board = board
         self._connected = False
         self.op_count = 0
-        # Optional fault-injection hooks (repro.chaos.ChaosLink); the
-        # clean path pays one ``is None`` check per operation.
-        self.chaos = None
 
     # -- session -----------------------------------------------------------
 
@@ -60,41 +61,26 @@ class DebugPort:
         if self.board.link_lost:
             raise DebugLinkTimeout(f"{self.board.name}: core access lost")
 
-    def _chaos_op(self, op: str) -> None:
-        """Give the installed fault plan one injection opportunity."""
-        if self.chaos is not None:
-            self.chaos.on_core_op(op)
-
     # -- memory access (works via the access port) ----------------------------
 
     def read_mem(self, address: int, length: int) -> bytes:
         """Read target memory."""
         self._require_core()
-        self._chaos_op("read_mem")
-        data = self.board.memory.read(address, length)
-        if self.chaos is not None:
-            data = self.chaos.filter_read(address, data)
-        return data
+        return self.board.memory.read(address, length)
 
     def write_mem(self, address: int, data: bytes) -> None:
         """Write target memory (RAM, or raw flash bytes)."""
         self._require_core()
-        self._chaos_op("write_mem")
         self.board.memory.write(address, data)
 
     def read_u32(self, address: int) -> int:
         """Read one little-endian word."""
         self._require_core()
-        self._chaos_op("read_u32")
-        value = self.board.memory.read_u32(address)
-        if self.chaos is not None:
-            value = self.chaos.filter_read_u32(address, value)
-        return value
+        return self.board.memory.read_u32(address)
 
     def write_u32(self, address: int, value: int) -> None:
         """Write one little-endian word."""
         self._require_core()
-        self._chaos_op("write_u32")
         self.board.memory.write_u32(address, value)
 
     # -- run control (needs a live core) ----------------------------------------
@@ -108,14 +94,12 @@ class DebugPort:
         on-hardware fuzzers live and die by their stop count.
         """
         self._require_session()
-        self._chaos_op("resume")
         self.board.machine.tick(self.probe_latency_cycles)
         return self.board.resume()
 
     def read_pc(self) -> int:
         """Sample the program counter."""
         self._require_session()
-        self._chaos_op("read_pc")
         return self.board.read_pc()
 
     def set_breakpoint(self, address: int, label: str = "") -> None:
@@ -148,8 +132,6 @@ class DebugPort:
     def flash_program(self, address: int, data: bytes) -> None:
         """Program bytes into (previously erased) flash."""
         self._require_session()
-        if self.chaos is not None:
-            data = self.chaos.filter_flash(address, data)
         self.board.flash.program(address, data)
 
     def flash_read(self, address: int, length: int) -> bytes:
@@ -167,7 +149,4 @@ class DebugPort:
     def uart_read(self, cursor: int) -> Tuple[List[str], int]:
         """Drain captured UART lines newer than ``cursor``."""
         self._require_session()
-        lines, new_cursor = self.board.uart_read(cursor)
-        if self.chaos is not None:
-            lines = self.chaos.filter_uart(lines)
-        return lines, new_cursor
+        return self.board.uart_read(cursor)

@@ -70,12 +70,14 @@ class SancovTracer:
     def __init__(self, ram: Ram, buf_addr: int, buf_size: int,
                  site_table: SiteTable,
                  enabled_modules: Optional[Set[str]] = None,
-                 enabled: bool = True):
+                 enabled: bool = True, gen_addr: int = 0):
         if buf_size < COV_HEADER_BYTES + COV_RECORD_BYTES:
             raise ValueError("coverage buffer too small")
         self.ram = ram
         self.buf_addr = buf_addr
         self.buf_size = buf_size
+        self.gen_addr = gen_addr
+        self.generation = 0
         self.site_table = site_table
         self.enabled_modules = (set(enabled_modules)
                                 if enabled_modules is not None else None)
@@ -124,6 +126,12 @@ class SancovTracer:
         self.ram.write_u32(off, edge)
         self._count += 1
         self.ram.write_u32(self.buf_addr, self._count)
+        if self.gen_addr:
+            # Bump the drain generation only when a record actually
+            # lands — an unchanged word tells the host the buffer
+            # content is exactly what it last drained.
+            self.generation = (self.generation + 1) & 0xFFFFFFFF
+            self.ram.write_u32(self.gen_addr, self.generation)
         if self._count >= self.capacity:
             self.trap_pending = True
         return TRACE_CYCLE_COST

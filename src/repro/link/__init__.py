@@ -1,0 +1,47 @@
+"""repro.link — the unified debug-link transport layer.
+
+Everything that crosses the hardware debug port goes through one stack:
+
+    DebugLink (batching, delta drain, read-through cache)
+        -> LinkTransport (framing, obs choke point, chaos boundary)
+            -> DebugPort (raw probe primitives)
+
+See DESIGN.md ("The link layer") for the batching and invalidation
+semantics and the byte-identical-results invariant.
+"""
+
+from repro.link.client import DebugLink, PendingReply
+from repro.link.codec import (
+    Command,
+    Reply,
+    command_wire_bytes,
+    decode_batch,
+    decode_command,
+    decode_u16,
+    decode_u32,
+    encode_batch,
+    encode_command,
+    encode_u16,
+    encode_u32,
+    reply_wire_bytes,
+)
+from repro.link.transport import DebugPortTransport, LinkTransport
+
+__all__ = [
+    "Command",
+    "DebugLink",
+    "DebugPortTransport",
+    "LinkTransport",
+    "PendingReply",
+    "Reply",
+    "command_wire_bytes",
+    "decode_batch",
+    "decode_command",
+    "decode_u16",
+    "decode_u32",
+    "encode_batch",
+    "encode_command",
+    "encode_u16",
+    "encode_u32",
+    "reply_wire_bytes",
+]

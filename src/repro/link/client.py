@@ -1,0 +1,286 @@
+"""The batched, cached debug-link client.
+
+:class:`DebugLink` is what the DDI layer actually talks to.  It adds the
+three things the raw transport cannot express:
+
+* **batching** — ``with link.batch():`` collects commands and flushes
+  them as ONE transaction at scope exit; reads return
+  :class:`PendingReply` handles resolved at the flush,
+* **delta coverage drain** — :meth:`cov_drain` remembers the tracer's
+  generation word per buffer, so an unchanged buffer costs one word,
+* **a read-through memory cache** keyed on ``(addr, len)``, invalidated
+  precisely on overlapping writes and wholesale on anything that lets
+  the target run (resume, reset, flash, reattach).
+
+The cache is sound on this substrate because target memory only mutates
+while the core runs — and every way of making it run goes through this
+object.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import DebugLinkError
+from repro.link.codec import (
+    OP_BACKTRACE,
+    OP_CLEAR_ALL_BP,
+    OP_CLEAR_BP,
+    OP_COV_DRAIN,
+    OP_FLASH_WRITE,
+    OP_READ_MEM,
+    OP_READ_PC,
+    OP_READ_U32,
+    OP_RESET,
+    OP_RESUME,
+    OP_SET_BP,
+    OP_UART_READ,
+    OP_WRITE_MEM,
+    OP_WRITE_U32,
+    Command,
+    Reply,
+    decode_u32,
+    encode_u32,
+)
+from repro.link.transport import LinkTransport
+from repro.obs import NULL_OBS
+
+
+class PendingReply:
+    """A batched command's result, readable after the batch flushed."""
+
+    __slots__ = ("_decode", "_value", "_resolved")
+
+    def __init__(self, decode):
+        self._decode = decode
+        self._value = None
+        self._resolved = False
+
+    def _resolve(self, reply: Reply) -> None:
+        self._value = self._decode(reply)
+        self._resolved = True
+
+    @property
+    def resolved(self) -> bool:
+        return self._resolved
+
+    def result(self):
+        """The decoded reply; raises if the batch has not flushed."""
+        if not self._resolved:
+            raise DebugLinkError(
+                "batched link reply read before the batch flushed")
+        return self._value
+
+
+class _Batch:
+    """Commands collected inside one ``with link.batch():`` scope."""
+
+    def __init__(self):
+        self.items: List[Tuple[Command, PendingReply]] = []
+
+    def add(self, cmd: Command, decode) -> PendingReply:
+        pending = PendingReply(decode)
+        self.items.append((cmd, pending))
+        return pending
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class DebugLink:
+    """High-level client over one :class:`LinkTransport`."""
+
+    def __init__(self, transport: LinkTransport, obs=NULL_OBS,
+                 cache_enabled: bool = True):
+        self.transport = transport
+        self.obs = obs
+        self.cache_enabled = cache_enabled
+        self._batch: Optional[_Batch] = None
+        self._cache: Dict[Tuple[int, int], bytes] = {}
+        self._drain_gen: Dict[int, int] = {}
+        self.cache_hits = 0
+        self.cache_misses = 0
+
+    # -- accounting ----------------------------------------------------------
+
+    @property
+    def transactions(self) -> int:
+        return self.transport.transactions
+
+    @property
+    def bytes_moved(self) -> int:
+        return self.transport.bytes_moved
+
+    # -- batching ------------------------------------------------------------
+
+    @contextmanager
+    def batch(self):
+        """Collect commands and flush them as one link transaction.
+
+        Nested scopes join the outermost batch.  If the body raises, the
+        collected commands are discarded (nothing was sent); an error
+        *during* the flush propagates with earlier commands applied,
+        matching sequential single-command semantics.
+        """
+        if self._batch is not None:
+            yield self._batch
+            return
+        self._batch = _Batch()
+        ok = False
+        try:
+            yield self._batch
+            ok = True
+        finally:
+            state, self._batch = self._batch, None
+            if ok and state.items:
+                self._flush(state)
+
+    def _flush(self, state: _Batch) -> None:
+        commands = [cmd for cmd, _ in state.items]
+        replies = self.transport.transact(commands)
+        for (cmd, pending), reply in zip(state.items, replies):
+            self._after(cmd, reply)
+            pending._resolve(reply)
+
+    def _submit(self, cmd: Command, decode):
+        """One command: queue it (in a batch) or transact immediately."""
+        if self._batch is not None:
+            return self._batch.add(cmd, decode)
+        [reply] = self.transport.transact([cmd])
+        self._after(cmd, reply)
+        return decode(reply)
+
+    # -- cache ---------------------------------------------------------------
+
+    def invalidate_cache(self) -> None:
+        """Drop every cached read (the target may have run)."""
+        self._cache.clear()
+
+    def _invalidate_range(self, addr: int, length: int) -> None:
+        if not self._cache:
+            return
+        end = addr + length
+        dead = [key for key in self._cache
+                if key[0] < end and addr < key[0] + key[1]]
+        for key in dead:
+            del self._cache[key]
+
+    def _cache_lookup(self, addr: int, length: int) -> Optional[bytes]:
+        if not self.cache_enabled or self._batch is not None:
+            return None
+        data = self._cache.get((addr, length))
+        if data is not None:
+            self.cache_hits += 1
+            if self.obs.enabled:
+                self.obs.counter("link.cache.hits").inc()
+        else:
+            self.cache_misses += 1
+        return data
+
+    def _after(self, cmd: Command, reply: Reply) -> None:
+        """Post-transaction cache bookkeeping, in execution order."""
+        op = cmd.op
+        if op == OP_READ_MEM:
+            if self.cache_enabled:
+                self._cache[(cmd.addr, cmd.length)] = reply.data
+        elif op == OP_READ_U32:
+            if self.cache_enabled:
+                self._cache[(cmd.addr, 4)] = encode_u32(reply.value)
+        elif op == OP_WRITE_MEM:
+            self._invalidate_range(cmd.addr, len(cmd.data))
+        elif op == OP_WRITE_U32:
+            self._invalidate_range(cmd.addr, 4)
+        elif op in (OP_RESUME, OP_RESET, OP_FLASH_WRITE):
+            # The target ran (or flash/sector state moved under us):
+            # nothing cached can be trusted.
+            self.invalidate_cache()
+        elif op == OP_COV_DRAIN:
+            self._invalidate_range(cmd.addr, 4 + cmd.length * 4)
+            if cmd.gen_addr:
+                self._invalidate_range(cmd.gen_addr, 4)
+                self._drain_gen[cmd.gen_addr] = reply.value
+
+    # -- memory --------------------------------------------------------------
+
+    def read_mem(self, addr: int, length: int):
+        cached = self._cache_lookup(addr, length)
+        if cached is not None:
+            return cached
+        return self._submit(Command(op=OP_READ_MEM, addr=addr,
+                                    length=length),
+                            lambda reply: reply.data)
+
+    def write_mem(self, addr: int, data: bytes):
+        return self._submit(Command(op=OP_WRITE_MEM, addr=addr,
+                                    data=bytes(data)),
+                            lambda reply: None)
+
+    def read_u32(self, addr: int):
+        cached = self._cache_lookup(addr, 4)
+        if cached is not None:
+            return decode_u32(cached)
+        return self._submit(Command(op=OP_READ_U32, addr=addr),
+                            lambda reply: reply.value)
+
+    def write_u32(self, addr: int, value: int):
+        return self._submit(Command(op=OP_WRITE_U32, addr=addr,
+                                    value=value),
+                            lambda reply: None)
+
+    # -- run control ---------------------------------------------------------
+
+    def resume(self):
+        return self._submit(Command(op=OP_RESUME),
+                            lambda reply: reply.halt)
+
+    def read_pc(self):
+        return self._submit(Command(op=OP_READ_PC),
+                            lambda reply: reply.value)
+
+    def set_breakpoint(self, addr: int, label: str = ""):
+        return self._submit(Command(op=OP_SET_BP, addr=addr, label=label),
+                            lambda reply: reply.value)
+
+    def clear_breakpoint(self, addr: int):
+        return self._submit(Command(op=OP_CLEAR_BP, addr=addr),
+                            lambda reply: None)
+
+    def clear_all_breakpoints(self):
+        return self._submit(Command(op=OP_CLEAR_ALL_BP),
+                            lambda reply: None)
+
+    def backtrace(self):
+        return self._submit(Command(op=OP_BACKTRACE),
+                            lambda reply: list(reply.frames))
+
+    # -- flash / reset / UART ------------------------------------------------
+
+    def flash_write(self, addr: int, data: bytes, verify: bool = True):
+        return self._submit(Command(op=OP_FLASH_WRITE, addr=addr,
+                                    data=bytes(data), verify=verify),
+                            lambda reply: None)
+
+    def reset(self):
+        return self._submit(Command(op=OP_RESET),
+                            lambda reply: bool(reply.value))
+
+    def uart_read(self, cursor: int):
+        return self._submit(Command(op=OP_UART_READ, value=cursor),
+                            lambda reply: (list(reply.lines), reply.cursor))
+
+    # -- coverage ------------------------------------------------------------
+
+    def cov_drain(self, addr: int, capacity: int, gen_addr: int = 0):
+        """Drain the coverage buffer in one transaction.
+
+        Returns the raw ``[count u32][records...]`` bytes, or ``None``
+        when the generation word says nothing changed since the last
+        drain of this buffer.  The generation bookkeeping lives here, so
+        a fresh boot (generation reset) forces a full drain and can
+        never serve stale coverage.
+        """
+        last_gen = self._drain_gen.get(gen_addr) if gen_addr else None
+        cmd = Command(op=OP_COV_DRAIN, addr=addr, length=capacity,
+                      gen_addr=gen_addr, last_gen=last_gen)
+        return self._submit(cmd, lambda reply: reply.data)

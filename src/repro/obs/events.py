@@ -54,7 +54,7 @@ EVENT_REGISTRY = frozenset({
     # -- crash triage -------------------------------------------------------
     "crash.report", "monitor.detect",
     # -- debug link / liveness / recovery -----------------------------------
-    "ddi.command", "liveness.trip",
+    "ddi.command", "link.transaction", "liveness.trip",
     "restore.reboot", "restore.reflash",
     "recovery.escalate", "recovery.complete", "recovery.exhausted",
     # -- fault injection ----------------------------------------------------

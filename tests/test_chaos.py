@@ -168,7 +168,7 @@ class TestChaosLinkHooks:
     def test_uninstall_restores_the_clean_path(self):
         session, _ = chaos_session(link_timeout_rate=1.0)
         uninstall_chaos(session)
-        assert session.openocd.port.chaos is None
+        assert session.link.transport.chaos is None
         assert session.board.chaos is None
         session.read_pc()
 
@@ -180,11 +180,11 @@ class GuardedEngine(EofEngine):
     """EofEngine that proves the liveness invariant on every test case:
     programs only ever run on a board whose last (re)boot succeeded."""
 
-    def _drive(self, program):
+    def _drive(self, program, first_halt=None):
         board = self.session.board
         assert not board.boot_failed, "executing on a board that never booted"
         assert board.runtime is not None
-        super()._drive(program)
+        super()._drive(program, first_halt=first_halt)
 
 
 def make_chaos_engine(profile, seed=2, budget=300_000, obs=None,
@@ -218,7 +218,7 @@ def test_chaos_off_by_default():
     engine = make_chaos_engine(None, budget=150_000)
     engine.run()
     assert engine.chaos is None
-    assert engine.session.openocd.port.chaos is None
+    assert engine.session.link.transport.chaos is None
 
 
 @pytest.mark.chaos
