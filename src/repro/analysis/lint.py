@@ -18,6 +18,13 @@ into machine-checked invariants:
 * **EOF304** — a dataclass in ``spec/model.py`` that is not
   ``frozen=True``; spec nodes are shared across generator, mutator and
   analysis passes and must be immutable.
+* **EOF306** — a ``counter("name")`` / ``gauge("name")`` /
+  ``histogram("name")`` call whose literal name is not declared in
+  :data:`repro.obs.metrics.METRIC_REGISTRY`; the metric vocabulary is
+  closed the same way the event vocabulary is (telemetry artifacts —
+  ``metrics.prom``, ``timeseries.jsonl``, the HTML report — select
+  metrics by name).  Dynamically formatted families (``ddi.cmd.*``,
+  ``recovery.rung.*``) are outside the literal check by design.
 
 Exposed as ``eof-fuzz lint`` and run in CI; the suite asserts the tree
 is clean, so any new violation fails the build with its stable code.
@@ -97,8 +104,18 @@ def _event_registry() -> frozenset:
     return EVENT_REGISTRY
 
 
+def _metric_registry() -> frozenset:
+    from repro.obs.metrics import METRIC_REGISTRY
+    return METRIC_REGISTRY
+
+
+#: Method names whose literal first argument names a metric (EOF306).
+_METRIC_FACTORIES = ("counter", "gauge", "histogram")
+
+
 def _lint_tree(tree: ast.AST, rel_path: str,
-               registry: frozenset) -> List:
+               registry: frozenset,
+               metric_registry: frozenset) -> List:
     diagnostics = []
     check_nondet = not _nondet_allowed(rel_path)
     check_frozen = rel_path.endswith("spec/model.py")
@@ -131,6 +148,19 @@ def _lint_tree(tree: ast.AST, rel_path: str,
                     f"repro.obs.events.EVENT_REGISTRY",
                     where=f"{rel_path}:{node.lineno}",
                     severity=SEV_ERROR, event=first.value))
+        if isinstance(node, ast.Call) and \
+                isinstance(node.func, ast.Attribute) and \
+                node.func.attr in _METRIC_FACTORIES and node.args:
+            first = node.args[0]
+            if isinstance(first, ast.Constant) and \
+                    isinstance(first.value, str) and \
+                    first.value not in metric_registry:
+                diagnostics.append(diag(
+                    "EOF306",
+                    f"metric {first.value!r} is not declared in "
+                    f"repro.obs.metrics.METRIC_REGISTRY",
+                    where=f"{rel_path}:{node.lineno}",
+                    severity=SEV_ERROR, metric=first.value))
         if check_frozen and isinstance(node, ast.ClassDef):
             for decorator in node.decorator_list:
                 if isinstance(decorator, ast.Name) and \
@@ -175,6 +205,7 @@ def lint_sources(paths: Optional[Sequence[str]] = None) -> AnalysisReport:
     if os.path.isfile(root):
         root = os.path.dirname(root)
     registry = _event_registry()
+    metric_registry = _metric_registry()
     report = AnalysisReport(target="lint")
     files = 0
     for path in _iter_python_files([os.path.abspath(p) for p in paths]):
@@ -189,8 +220,9 @@ def lint_sources(paths: Optional[Sequence[str]] = None) -> AnalysisReport:
                             where=f"{_rel(path, root)}:{exc.lineno or 0}",
                             severity=SEV_ERROR))
             continue
-        report.extend(_lint_tree(tree, _rel(path, root), registry))
+        report.extend(_lint_tree(tree, _rel(path, root), registry,
+                                 metric_registry))
     report.summary = {"lint.files": files,
-                      "lint.rules": 4,
+                      "lint.rules": 5,
                       "lint.diagnostics": len(report.diagnostics)}
     return report

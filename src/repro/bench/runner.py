@@ -43,6 +43,10 @@ class SeedSummary:
     link_bytes: List[int] = field(default_factory=list)
     # Per-seed observability snapshots (run_seeds(observe=True) only).
     obs_snapshots: List[dict] = field(default_factory=list)
+    # Per-seed cycle-budget profiles (observe=True only).
+    profiles: List[dict] = field(default_factory=list)
+    # Per-seed in-memory time series (observe=True + sample_interval).
+    timeseries: List[List[dict]] = field(default_factory=list)
 
     @property
     def mean_edges(self) -> float:
@@ -105,6 +109,13 @@ class SeedSummary:
                 totals[phase] = totals.get(phase, 0) + entry["cycles"]
         runs = max(len(self.obs_snapshots), 1)
         return {phase: cycles / runs for phase, cycles in totals.items()}
+
+    @property
+    def mean_attribution(self) -> float:
+        """Mean cycle-budget attribution ratio across observed seeds
+        (the >= 0.95 acceptance bar of the telemetry pipeline)."""
+        values = [p.get("attribution", 0.0) for p in self.profiles]
+        return sum(values) / max(len(values), 1)
 
 
 def edges_in_module(result: FuzzResult, build: BuildInfo,
@@ -211,16 +222,23 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
               module: Optional[str] = None,
               observe: bool = False,
               chaos: Optional[str] = None,
-              link_batching: bool = True) -> SeedSummary:
+              link_batching: bool = True,
+              sample_interval: int = 0) -> SeedSummary:
     """The paper's repeated-runs protocol.
 
     ``observe=True`` attaches a fresh in-memory observability bundle to
-    each seed and stores its snapshot, so bench tables can report where
-    the budget's cycles went (see :meth:`SeedSummary.phase_breakdown`).
-    ``chaos`` runs every seed under that fault-injection profile (the
-    fault streams reseed per fuzzing seed, so repetitions stay
-    independent).
+    each seed and stores its snapshot plus cycle-budget profile, so
+    bench tables can report where the budget's cycles went (see
+    :meth:`SeedSummary.phase_breakdown` / :attr:`profiles`).
+    ``sample_interval`` additionally rides an in-memory
+    :class:`~repro.obs.timeseries.TimeSeriesSampler` on each seed (rows
+    land in :attr:`SeedSummary.timeseries`).  ``chaos`` runs every seed
+    under that fault-injection profile (the fault streams reseed per
+    fuzzing seed, so repetitions stay independent).
     """
+    from repro.obs.profile import build_profile
+    from repro.obs.timeseries import TimeSeriesSampler
+
     summary = SeedSummary(fuzzer=fuzzer, target=target.name)
     for seed in range(1, seeds + 1):
         obs = None
@@ -228,6 +246,8 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
             obs = Observability(
                 run_id=f"{fuzzer}-{target.name}-seed{seed}")
             obs.attach(RingBufferSink())
+            if sample_interval > 0:
+                obs.sampler = TimeSeriesSampler(sample_interval)
         result, build = run_engine(fuzzer, target, seed, budget_cycles,
                                    entry_api=entry_api,
                                    restrict_modules=restrict_modules,
@@ -241,7 +261,12 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
         summary.link_transactions.append(result.stats.link_transactions)
         summary.link_bytes.append(result.stats.link_bytes)
         if obs is not None:
-            summary.obs_snapshots.append(obs.snapshot())
+            snapshot = obs.snapshot()
+            summary.obs_snapshots.append(snapshot)
+            summary.profiles.append(build_profile(
+                {**snapshot, "stats": result.stats.to_dict()}))
+            if obs.sampler is not None:
+                summary.timeseries.append(list(obs.sampler.rows))
         if module is not None:
             summary.module_edges.append(
                 edges_in_module(result, build, module))
@@ -256,7 +281,8 @@ def run_campaign(target: TargetConfig, workers: int,
                  share_frontier: bool = False,
                  obs: Optional[Observability] = None,
                  worker_obs: Optional[Callable[[int],
-                                               Observability]] = None):
+                                               Observability]] = None,
+                 epoch_hook: Optional[Callable[[dict], None]] = None):
     """One parallel multi-board campaign of EOF on one target.
 
     Spins up ``workers`` engines (fresh board + image + derived RNG
@@ -267,6 +293,8 @@ def run_campaign(target: TargetConfig, workers: int,
     are merged at the end — the scaling baseline the benchmark
     compares against.  ``worker_obs`` (worker index -> bundle) attaches
     per-worker observability, e.g. one trace subdirectory per board.
+    ``epoch_hook`` is called on the coordinator thread at every sync
+    barrier with the epoch summary (the ``--dashboard`` feed).
     """
     from repro.farm import CampaignOptions, CampaignOrchestrator
 
@@ -286,6 +314,7 @@ def run_campaign(target: TargetConfig, workers: int,
         import_min_novelty=import_min_novelty,
         replay_imports=replay_imports,
         share_frontier=share_frontier), obs=obs)
+    orchestrator.epoch_hook = epoch_hook
     return orchestrator.run()
 
 

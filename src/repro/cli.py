@@ -10,7 +10,9 @@ Subcommands::
     eof-fuzz campaign TARGET           parallel multi-board campaign
                      --workers N       ... N worker boards
                      --sync-interval C ... shared-corpus sync every C cycles
+                     --dashboard       ... live ANSI table at every barrier
     eof-fuzz report  RUN_DIR           render a recorded run's report
+                     --format F        ... as text (default), json or html
     eof-fuzz analyze TARGET            static analysis of one target
                      --out DIR         ... writing analysis.json to DIR
     eof-fuzz lint    [PATH ...]        determinism-lint python sources
@@ -56,17 +58,30 @@ def _cmd_build(args) -> int:
     return 0
 
 
+def _sample_interval(requested: int, budget_cycles: int) -> int:
+    """Epoch width in cycles: the request, or ~50 samples per budget."""
+    if requested > 0:
+        return requested
+    return max(budget_cycles // 50, 1)
+
+
 def _cmd_run(args) -> int:
     target = get_target(args.target)
     build = build_firmware(target.build_config())
     obs = None
     if args.trace_dir:
-        from repro.obs import JsonlSink, Observability
+        from repro.obs import (FlightRecorder, JsonlSink, Observability,
+                               TimeSeriesSampler)
         from repro.obs.report import EVENTS_FILE
+        from repro.obs.timeseries import TIMESERIES_FILE
         os.makedirs(args.trace_dir, exist_ok=True)
         obs = Observability(
             run_id=f"{args.fuzzer}-{args.target}-seed{args.seed}")
         obs.attach(JsonlSink(os.path.join(args.trace_dir, EVENTS_FILE)))
+        obs.sampler = TimeSeriesSampler(
+            _sample_interval(args.sample_interval, args.budget),
+            path=os.path.join(args.trace_dir, TIMESERIES_FILE))
+        obs.attach_flight(FlightRecorder(args.trace_dir))
     engine = make_engine(args.fuzzer, build, args.seed, args.budget,
                          obs=obs, chaos=args.chaos,
                          chaos_seed=args.chaos_seed,
@@ -120,25 +135,48 @@ def _cmd_campaign(args) -> int:
     target = get_target(args.target)
     obs = None
     worker_obs = None
+    epoch_hook = None
     worker_bundles = []
+    per_worker_budget = max(args.budget // max(args.workers, 1), 1)
     if args.trace_dir:
-        from repro.obs import JsonlSink, Observability
+        from repro.obs import (FlightRecorder, JsonlSink, Observability,
+                               TimeSeriesSampler)
         from repro.obs.report import EVENTS_FILE
+        from repro.obs.timeseries import TIMESERIES_FILE
         os.makedirs(args.trace_dir, exist_ok=True)
         obs = Observability(
             run_id=f"campaign-{args.target}-seed{args.seed}")
         obs.attach(JsonlSink(os.path.join(args.trace_dir, EVENTS_FILE)))
+        # The campaign-level series is barrier-driven (one row per sync
+        # epoch, recorded by the orchestrator); the interval only names
+        # the epoch width for consumers of the artifact.
+        obs.sampler = TimeSeriesSampler(
+            max(args.sync_interval, 1),
+            path=os.path.join(args.trace_dir, TIMESERIES_FILE))
 
         def worker_obs(index: int):
-            # One trace subdirectory per board: worker-<i>/events.jsonl.
+            # One trace subdirectory per board: worker-<i>/events.jsonl
+            # plus the worker's own timeseries and flight dumps.
             subdir = os.path.join(args.trace_dir, f"worker-{index}")
             os.makedirs(subdir, exist_ok=True)
             bundle = Observability(
                 run_id=f"campaign-{args.target}-seed{args.seed}"
                        f"-w{index}")
             bundle.attach(JsonlSink(os.path.join(subdir, EVENTS_FILE)))
+            bundle.sampler = TimeSeriesSampler(
+                _sample_interval(args.sample_interval,
+                                 per_worker_budget),
+                path=os.path.join(subdir, TIMESERIES_FILE))
+            bundle.attach_flight(FlightRecorder(subdir))
             worker_bundles.append(bundle)
             return bundle
+
+    if args.dashboard:
+        from repro.obs.render import render_dashboard
+
+        def epoch_hook(summary):
+            print(render_dashboard(
+                summary, ansi=sys.stdout.isatty()))
 
     print(f"campaign on {target.name}: {args.workers} workers, "
           f"total budget {args.budget} cycles, sync every "
@@ -147,7 +185,8 @@ def _cmd_campaign(args) -> int:
         target, workers=args.workers,
         total_budget_cycles=args.budget,
         campaign_seed=args.seed, sync_interval=args.sync_interval,
-        import_cap=args.import_cap, obs=obs, worker_obs=worker_obs)
+        import_cap=args.import_cap, obs=obs, worker_obs=worker_obs,
+        epoch_hook=epoch_hook)
     stats = result.stats
     print(stats.summary())
     for index, worker in enumerate(result.worker_results):
@@ -159,16 +198,34 @@ def _cmd_campaign(args) -> int:
               f"epoch {triaged.first_epoch}:")
         print(triaged.report.render())
     if obs is not None:
+        from repro.obs.profile import aggregate_profiles, build_profile
         from repro.obs.report import (collect_campaign_data,
+                                      collect_run_data,
                                       write_run_artifacts)
-        for bundle in worker_bundles:
+        # Per-worker artifact sets first (each worker dir becomes a
+        # self-contained run directory), then the campaign-level set
+        # with the workers' profiles summed into one budget tree.
+        worker_profiles = []
+        for index, bundle in enumerate(worker_bundles):
             bundle.close()
+            worker_stats = result.worker_results[index].stats
+            worker_data = collect_run_data(
+                bundle, stats=worker_stats, meta={
+                    "target": args.target, "worker": index,
+                    "campaign_seed": args.seed})
+            worker_profiles.append(build_profile(worker_data))
+            write_run_artifacts(
+                os.path.join(args.trace_dir, f"worker-{index}"),
+                worker_data)
         obs.close()
         data = collect_campaign_data(obs, stats, meta={
             "target": args.target, "workers": args.workers,
             "sync_interval": args.sync_interval,
             "campaign_seed": args.seed,
             "total_budget_cycles": args.budget})
+        if worker_profiles:
+            data["profile"] = aggregate_profiles(
+                worker_profiles, run_id=obs.run_id)
         write_run_artifacts(args.trace_dir, data)
         print(f"campaign artifacts written to {args.trace_dir}")
     if stats.aborted_workers == args.workers:
@@ -196,12 +253,29 @@ def _cmd_lint(args) -> int:
 
 
 def _cmd_report(args) -> int:
-    from repro.obs.report import (METRICS_FILE, count_events,
-                                  load_run_data, render_report)
+    from repro.obs.report import (METRICS_FILE, SchemaVersionError,
+                                  count_events, load_run_data,
+                                  render_report)
     if not os.path.exists(os.path.join(args.run_dir, METRICS_FILE)):
         print(f"no {METRICS_FILE} in {args.run_dir}", file=sys.stderr)
         return 1
-    data = load_run_data(args.run_dir)
+    try:
+        data = load_run_data(args.run_dir)
+    except SchemaVersionError as exc:
+        print(f"cannot render: {exc}", file=sys.stderr)
+        return 1
+    if args.format == "json":
+        from repro.obs.render import dump_json
+        print(dump_json(data))
+        return 0
+    if args.format == "html":
+        from repro.obs.render import render_html
+        from repro.obs.timeseries import TIMESERIES_FILE, load_timeseries
+        ts_path = os.path.join(args.run_dir, TIMESERIES_FILE)
+        timeseries = load_timeseries(ts_path) \
+            if os.path.exists(ts_path) else None
+        print(render_html(data, timeseries=timeseries))
+        return 0
     print(render_report(data))
     recorded = count_events(args.run_dir)
     if recorded:
@@ -278,8 +352,15 @@ def main(argv=None) -> int:
                             "delta coverage drain (same results, more "
                             "link transactions)")
     run_p.add_argument("--trace-dir", default=None,
-                       help="write events.jsonl/metrics.json/report.txt "
-                            "run artifacts into this directory")
+                       help="write run artifacts (events.jsonl, "
+                            "metrics.json, timeseries.jsonl, "
+                            "profile.json, metrics.prom, report.txt, "
+                            "report.html, flight dumps) into this "
+                            "directory")
+    run_p.add_argument("--sample-interval", type=int, default=0,
+                       metavar="CYCLES",
+                       help="timeseries epoch width in virtual cycles "
+                            "(default: budget/50)")
 
     campaign_p = sub.add_parser(
         "campaign", help="parallel multi-board campaign with "
@@ -304,10 +385,20 @@ def main(argv=None) -> int:
                             help="write campaign artifacts plus "
                                  "worker-<i>/ trace subdirectories "
                                  "into this directory")
+    campaign_p.add_argument("--sample-interval", type=int, default=0,
+                            metavar="CYCLES",
+                            help="per-worker timeseries epoch width "
+                                 "(default: worker budget/50)")
+    campaign_p.add_argument("--dashboard", action="store_true",
+                            help="print a live ANSI status table at "
+                                 "every sync-epoch barrier")
 
     report_p = sub.add_parser(
         "report", help="render the report of a recorded run directory")
     report_p.add_argument("run_dir")
+    report_p.add_argument("--format", default="text",
+                          choices=["text", "json", "html"],
+                          help="output rendering (default: text)")
 
     analyze_p = sub.add_parser(
         "analyze", help="static analysis: spec lint + reachability")

@@ -155,6 +155,11 @@ class CampaignOrchestrator:
         self._crash_offsets = [0 for _ in self.engines]
         self._status = [_LIVE for _ in self.engines]
         self._epochs_run = 0
+        #: Optional live-dashboard callback, invoked on the coordinator
+        #: thread at every epoch barrier with a summary dict (see
+        #: :meth:`_epoch_summary`).  ``eof-fuzz campaign --dashboard``
+        #: plugs the ANSI renderer in here.
+        self.epoch_hook: Optional[Callable[[dict], None]] = None
 
     # -- the campaign -------------------------------------------------------
 
@@ -219,15 +224,16 @@ class CampaignOrchestrator:
     def _sync(self, epoch: int) -> None:
         """Merge worker state into the campaign, in worker order, then
         deliver imports.  Runs on the coordinator thread only."""
-        for index, engine in enumerate(self.engines):
-            self._push_worker(index, epoch, engine)
-        imported_total = 0
-        for index, engine in enumerate(self.engines):
-            if self._status[index] != _LIVE:
-                continue
-            imported_total += self._pull_worker(index, engine)
-            if self.options.share_frontier:
-                engine.absorb_frontier(self.state.edges)
+        with self.obs.span("sync"):
+            for index, engine in enumerate(self.engines):
+                self._push_worker(index, epoch, engine)
+            imported_total = 0
+            for index, engine in enumerate(self.engines):
+                if self._status[index] != _LIVE:
+                    continue
+                imported_total += self._pull_worker(index, engine)
+                if self.options.share_frontier:
+                    engine.absorb_frontier(self.state.edges)
         if self.obs.enabled:
             self.obs.counter("farm.sync.epochs").inc()
             self.obs.gauge("farm.merged.edges").set(
@@ -241,6 +247,49 @@ class CampaignOrchestrator:
                           live_workers=sum(
                               1 for status in self._status
                               if status == _LIVE))
+        # The campaign-level time series samples at every barrier: one
+        # row per epoch, timestamped with the epoch's target cycles (a
+        # pure function of epoch and sync_interval, so replays match).
+        summary = None
+        if self.obs.sampler is not None or self.epoch_hook is not None:
+            summary = self._epoch_summary(epoch, imported_total)
+        if self.obs.sampler is not None:
+            row = {key: summary[key] for key in
+                   ("edges", "lanes", "programs", "crashes", "shared",
+                    "imported", "live")}
+            self.obs.sampler.record(
+                epoch, self._epoch_target(epoch), row)
+        if self.epoch_hook is not None:
+            self.epoch_hook(summary)
+
+    def _epoch_summary(self, epoch: int, imported: int) -> dict:
+        """Deterministic barrier snapshot (sampler + dashboard feed)."""
+        workers = []
+        for index, engine in enumerate(self.engines):
+            workers.append({
+                "edges": engine.coverage.edge_count,
+                "execs": engine.stats.programs_executed,
+                "crashes": engine.stats.unique_crashes,
+                "restores": engine.stats.restorations,
+                "status": self._status[index],
+            })
+        return {
+            "epoch": epoch,
+            "edges": len(self.state.edges),
+            "merged_edges": len(self.state.edges),
+            "lanes": [worker["edges"] for worker in workers],
+            "programs": sum(w["execs"] for w in workers),
+            "crashes": len(self.state.crashes),
+            "shared": len(self.state.corpus),
+            "shared_corpus": len(self.state.corpus),
+            "imported": imported,
+            "live": sum(1 for status in self._status
+                        if status == _LIVE),
+            "live_workers": sum(1 for status in self._status
+                                if status == _LIVE),
+            "workers_total": len(self.engines),
+            "workers": workers,
+        }
 
     def _push_worker(self, index: int, epoch: int,
                      engine: EofEngine) -> None:

@@ -222,6 +222,9 @@ class EofEngine:
             return
         self._attach()
         self._clamps_at_start = CLAMPS.count
+        # Cycle-budget baseline: boot spent cycles before the loop ever
+        # ran, and the profiler only accounts for the loop's own budget.
+        self.stats.start_cycles = self.session.board.machine.cycles
         if self.obs.enabled:
             self.obs.emit("run.start", fuzzer=self.options.name,
                           os=self.build.config.os_name,
@@ -250,6 +253,18 @@ class EofEngine:
                     self.coverage.decay_credit()
                 self.stats.record_point(board.machine.cycles,
                                         self.coverage.edge_count)
+                # Telemetry sampling at virtual-cycle epochs: one int
+                # compare per iteration until a boundary is crossed.
+                sampler = self.obs.sampler
+                if sampler is not None and \
+                        board.machine.cycles >= sampler.next_cycles:
+                    count = sampler.maybe_sample(board.machine.cycles,
+                                                 self._telemetry_row)
+                    if count and self.obs.enabled:
+                        self.obs.counter("ts.samples").inc(count)
+                        self.obs.emit("ts.sample",
+                                      epoch=sampler.last_epoch,
+                                      edges=self.coverage.edge_count)
             self._sync_link_stats()
         except RecoveryExhausted:
             # Quarantine: the board never came back.  Stop loudly rather
@@ -270,6 +285,25 @@ class EofEngine:
         """Mirror the link's accounting into the run stats."""
         self.stats.link_transactions = self.session.link.transactions
         self.stats.link_bytes = self.session.link.bytes_moved
+
+    def _telemetry_row(self) -> dict:
+        """One time-series sample: integer state only, never wall clock,
+        so identical seeds stream byte-identical ``timeseries.jsonl``."""
+        phases = {name: int(entry.get("cycles", 0))
+                  for name, entry in
+                  sorted(self.obs.tracer.snapshot().items())}
+        return {
+            "edges": self.coverage.edge_count,
+            "programs": self.stats.programs_executed,
+            "crashes": self.stats.crashes_observed,
+            "unique_crashes": self.stats.unique_crashes,
+            "corpus": len(self.corpus),
+            "restores": self.stats.restorations,
+            "recoveries": self.stats.recoveries,
+            "link_txns": self.session.link.transactions,
+            "link_bytes": self.session.link.bytes_moved,
+            "phases": phases,
+        }
 
     def finish(self) -> FuzzResult:
         """Close the run and return its result bundle."""
@@ -459,6 +493,11 @@ class EofEngine:
             self.obs.emit("crash.report", kind=report.kind,
                           monitor=report.monitor, cause=report.cause,
                           unique=fresh)
+        if fresh and self.obs.flight is not None:
+            # Black-box dump for every *new* signature; duplicates are
+            # deduplicated inside the recorder.
+            self.obs.flight.dump("crash", report.signature(),
+                                 obs=self.obs)
         return fresh
 
     def _post_run(self, program: TestProgram, new_edges: int,

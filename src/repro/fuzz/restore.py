@@ -187,6 +187,12 @@ class RecoveryLadder:
             self.obs.emit("recovery.exhausted", reason=reason,
                           attempts=len(attempted),
                           cycles_spent=board.machine.cycles - started_at)
+        flight = getattr(self.obs, "flight", None)
+        if flight is not None:
+            # Quarantine is exactly what the flight recorder exists for:
+            # dump the last events before the board went dark.
+            flight.dump("recovery-exhausted",
+                        f"quarantine-{board.name}", obs=self.obs)
         raise RecoveryExhausted(
             f"{board.name}: recovery ladder exhausted after "
             f"{len(attempted)} attempts "

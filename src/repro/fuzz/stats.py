@@ -58,6 +58,9 @@ class FuzzStats:
     # and unbatched runs of the same seed differ ONLY here.
     link_transactions: int = 0
     link_bytes: int = 0
+    # Cycle-clock reading when the fuzzing loop started: the profiler's
+    # budget baseline (boot cycles are not the fuzzer's to spend).
+    start_cycles: int = 0
     series: List[Tuple[int, int]] = field(default_factory=list)  # (cycles, edges)
 
     def record_point(self, cycles: int, edges: int) -> None:

@@ -23,18 +23,39 @@ from typing import Callable, Dict, Optional
 
 from repro.obs.events import (  # noqa: F401 (re-exported surface)
     EVENT_SCHEMA_KEYS,
+    EVENT_SCHEMA_MAJOR,
     Event,
     EventBus,
     JsonlSink,
     RingBufferSink,
     Sink,
 )
+from repro.obs.flight import (  # noqa: F401
+    FLIGHT_CAPACITY,
+    FlightRecorder,
+    load_flight,
+)
 from repro.obs.metrics import (  # noqa: F401
     DDI_LATENCY_BUCKETS,
+    METRIC_REGISTRY,
     Counter,
     Gauge,
     Histogram,
     MetricsRegistry,
+)
+from repro.obs.profile import (  # noqa: F401
+    PROFILE_FILE,
+    aggregate_profiles,
+    build_profile,
+    load_profile,
+    write_profile,
+)
+from repro.obs.timeseries import (  # noqa: F401
+    TIMESERIES_FILE,
+    TimeSeriesSampler,
+    load_timeseries,
+    merge_worker_series,
+    write_timeseries,
 )
 from repro.obs.tracing import NULL_SPAN, Tracer  # noqa: F401
 
@@ -53,6 +74,10 @@ class Observability:
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=self._read_clock)
         self.enabled = False
+        # Optional telemetry riders; ``None`` keeps the hot-loop guards
+        # at a single attribute read, so the disabled path stays free.
+        self.sampler: Optional[TimeSeriesSampler] = None
+        self.flight: Optional[FlightRecorder] = None
 
     # -- wiring ---------------------------------------------------------------
 
@@ -82,9 +107,18 @@ class Observability:
         self.tracer.enabled = True
         return sink
 
+    def attach_flight(self, recorder: FlightRecorder) -> FlightRecorder:
+        """Add a flight recorder: a sink that also serves black-box
+        dumps via :attr:`flight` at crash / quarantine sites."""
+        self.attach(recorder)
+        self.flight = recorder
+        return recorder
+
     def close(self) -> None:
         """Flush and close every sink."""
         self.bus.close()
+        if self.sampler is not None:
+            self.sampler.close()
 
     # -- emit surface (delegates; call sites guard on ``enabled``) -----------
 

@@ -32,14 +32,18 @@ class Event:
     fields: Dict[str, object] = field(default_factory=dict)
 
     def to_dict(self) -> Dict[str, object]:
-        """Schema-stable dict: always exactly these five keys."""
-        return {"name": self.name, "cycles": self.cycles,
-                "wall_time": self.wall_time, "run_id": self.run_id,
-                "fields": self.fields}
+        """Schema-stable dict: always exactly these six keys."""
+        return {"v": EVENT_SCHEMA_MAJOR, "name": self.name,
+                "cycles": self.cycles, "wall_time": self.wall_time,
+                "run_id": self.run_id, "fields": self.fields}
 
+
+#: Major schema version stamped into every serialized event as ``"v"``.
+EVENT_SCHEMA_MAJOR = 1
 
 # The exact top-level key set every serialized event carries, in order.
-EVENT_SCHEMA_KEYS = ("name", "cycles", "wall_time", "run_id", "fields")
+EVENT_SCHEMA_KEYS = ("v", "name", "cycles", "wall_time", "run_id",
+                     "fields")
 
 #: Every event name the stack may emit.  Run-artifact consumers parse by
 #: name, so the vocabulary is closed: a new emit site declares its name
@@ -62,6 +66,8 @@ EVENT_REGISTRY = frozenset({
     # -- multi-board campaigns (repro.farm) ---------------------------------
     "farm.campaign.start", "farm.campaign.end", "farm.epoch",
     "farm.crash.new", "farm.worker.done",
+    # -- telemetry pipeline (timeseries / flight recorder) ------------------
+    "ts.sample", "flight.dump",
 })
 
 

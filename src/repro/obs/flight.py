@@ -1,0 +1,117 @@
+"""Flight recorder: a bounded ring of recent events, dumped on failure.
+
+Postmortems of a crash, a quarantine, or a ``RecoveryExhausted`` abort
+should not require re-running the whole campaign with full tracing.  The
+flight recorder rides along as one more event sink, keeping only the
+most recent ``capacity`` events plus metric deltas since the previous
+dump; when something goes wrong the stack calls :meth:`dump` and gets a
+self-contained ``flight_<signature>.json`` — the last seconds of the
+black box, not the whole tape.
+
+Dumps carry wall-clock timestamps (they are postmortem artifacts, not
+part of the deterministic telemetry set) but are triggered only by
+deterministic run events, so *which* dumps exist is reproducible.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.obs.events import Event, Sink
+
+#: Major schema version stamped into every dump as ``"v"``.
+FLIGHT_SCHEMA_MAJOR = 1
+
+#: Default ring capacity: enough to cover a full recovery-ladder climb
+#: plus the events of the programs leading into it.
+FLIGHT_CAPACITY = 256
+
+_SIGNATURE_SAFE = re.compile(r"[^A-Za-z0-9._-]+")
+
+
+def flight_file_name(signature: str) -> str:
+    """Artifact name for one dump (filesystem-safe, bounded length)."""
+    safe = _SIGNATURE_SAFE.sub("-", signature).strip("-") or "unknown"
+    return f"flight_{safe[:80]}.json"
+
+
+class FlightRecorder(Sink):
+    """Ring-buffer sink + failure-triggered JSON dumps."""
+
+    def __init__(self, directory: str,
+                 capacity: int = FLIGHT_CAPACITY):
+        self.directory = str(directory)
+        self.capacity = capacity
+        self.events: Deque[Event] = deque(maxlen=capacity)
+        self.total_events = 0
+        self.dumps = 0
+        self.dumped_paths: List[str] = []
+        self._last_counters: Dict[str, int] = {}
+
+    # -- sink protocol -------------------------------------------------------
+
+    def emit(self, event: Event) -> None:
+        self.events.append(event)
+        self.total_events += 1
+
+    # -- the black-box dump --------------------------------------------------
+
+    def dump(self, reason: str, signature: str,
+             obs=None) -> Optional[str]:
+        """Write ``flight_<signature>.json``; returns its path.
+
+        ``obs`` (the owning :class:`repro.obs.Observability`) supplies
+        the metrics snapshot and the virtual-cycle timestamp; without it
+        the dump still records the event ring.  Re-dumping an already
+        written signature is a no-op (the *first* occurrence is the
+        interesting one), so crash storms do not thrash the disk.
+        """
+        path = os.path.join(self.directory, flight_file_name(signature))
+        if path in self.dumped_paths:
+            return None
+        os.makedirs(self.directory, exist_ok=True)
+        counters: Dict[str, int] = {}
+        payload: Dict[str, object] = {
+            "v": FLIGHT_SCHEMA_MAJOR,
+            "reason": reason,
+            "signature": signature,
+            "events_total": self.total_events,
+            "events": [event.to_dict() for event in self.events],
+        }
+        if obs is not None:
+            payload["run_id"] = obs.run_id
+            payload["cycles"] = obs.now()
+            snapshot = obs.metrics.snapshot()
+            payload["metrics"] = snapshot
+            counters = {name: int(value) for name, value
+                        in snapshot.get("counters", {}).items()}
+            payload["counter_deltas"] = {
+                name: value - self._last_counters.get(name, 0)
+                for name, value in sorted(counters.items())}
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump(payload, fh, indent=2, default=str)
+            fh.write("\n")
+        self._last_counters = counters
+        self.dumps += 1
+        self.dumped_paths.append(path)
+        if obs is not None and obs.enabled:
+            obs.counter("flight.dumps").inc()
+            obs.emit("flight.dump", reason=reason, signature=signature,
+                     events=len(self.events))
+        return path
+
+
+def load_flight(path: str) -> Dict[str, object]:
+    """Read one flight dump; rejects unknown majors."""
+    with open(path, encoding="utf-8") as fh:
+        payload = json.load(fh)
+    major = int(payload.get("v", FLIGHT_SCHEMA_MAJOR))
+    if major != FLIGHT_SCHEMA_MAJOR:
+        raise ValueError(
+            f"{path}: unsupported flight schema major {major} "
+            f"(this build reads {FLIGHT_SCHEMA_MAJOR})")
+    return payload

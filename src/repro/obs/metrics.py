@@ -17,6 +17,30 @@ from typing import Dict, Optional, Sequence, Tuple
 DDI_LATENCY_BUCKETS: Tuple[int, ...] = (
     500, 1_000, 2_000, 5_000, 10_000, 20_000, 50_000, 100_000)
 
+#: Every literal metric name the stack may register.  Like
+#: :data:`repro.obs.events.EVENT_REGISTRY` this closes the vocabulary:
+#: run-artifact consumers (the Prometheus exporter, the HTML report)
+#: select by name, so a new literal ``counter("...")`` / ``gauge`` /
+#: ``histogram`` site declares its name here first and the determinism
+#: linter (``EOF306``) rejects unknown literals.  Dynamically formatted
+#: families (``ddi.cmd.<name>``, ``ddi.bytes.<name>``,
+#: ``recovery.rung.<rung>``) are outside the literal check by design.
+METRIC_REGISTRY = frozenset({
+    # -- engine / fuzzing loop ---------------------------------------------
+    "sites.clamped", "corpus.size", "crash.observed", "exec.cycles",
+    # -- coverage / debug link ---------------------------------------------
+    "coverage.drain.bytes", "coverage.drain.records", "cov.truncated",
+    "link.drain.skipped", "link.cache.hits", "link.transactions",
+    "link.txn.cycles", "link.bytes", "uart.lines",
+    # -- restore / recovery -------------------------------------------------
+    "restore.latency", "recovery.latency",
+    # -- multi-board campaigns (repro.farm) ---------------------------------
+    "farm.sync.epochs", "farm.merged.edges", "farm.shared.corpus",
+    "farm.seeds.shared", "farm.seeds.imported",
+    # -- telemetry pipeline -------------------------------------------------
+    "ts.samples", "flight.dumps", "profile.attribution",
+})
+
 
 class Counter:
     """Monotone event count."""
@@ -72,18 +96,30 @@ class Histogram:
         return self.total / self.count if self.count else 0.0
 
     def percentile(self, q: float) -> float:
-        """Bucket-resolution percentile estimate (q in [0, 1])."""
+        """Bucket-resolution percentile estimate (q in [0, 1]).
+
+        The estimate is a bucket upper bound clamped into the observed
+        ``[min, max]`` range, so it never reports a value outside the
+        data: an empty histogram reads 0, a single sample reads itself,
+        ``q <= 0`` reads the min and ``q >= 1`` the max.
+        """
         if not self.count:
             return 0.0
+        assert self.min is not None and self.max is not None
+        if self.count == 1 or q >= 1.0:
+            return float(self.max)
+        if q <= 0.0:
+            return float(self.min)
         target = q * self.count
         seen = 0
+        estimate = float(self.max)
         for index, bucket_count in enumerate(self.counts):
             seen += bucket_count
             if seen >= target:
                 if index < len(self.buckets):
-                    return float(self.buckets[index])
-                return float(self.max if self.max is not None else 0.0)
-        return float(self.max if self.max is not None else 0.0)
+                    estimate = float(self.buckets[index])
+                break
+        return min(max(estimate, float(self.min)), float(self.max))
 
     def snapshot(self) -> Dict[str, object]:
         return {"buckets": list(self.buckets), "counts": list(self.counts),

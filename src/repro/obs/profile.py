@@ -1,0 +1,210 @@
+"""Cycle-budget profiler: attribute every spent virtual cycle to a phase.
+
+Built on the span tracer's per-phase aggregates, the profiler answers
+the EmbedFuzz-style question "where did the board time actually go": it
+folds raw span names into a small phase tree (generate / inject / exec /
+cov-drain / triage / restore / sync), measures the run's total spent
+cycles from the stats series (``final - start_cycles``), and reports the
+attributed share — the acceptance bar is that >= 95% of every run's
+cycles land in a *named* phase, with the remainder reported explicitly
+as ``unattributed`` rather than silently dropped.
+
+Everything in ``profile.json`` derives from integer cycle counters, so
+identical seeds produce byte-identical profiles (wall-clock span fields
+are deliberately excluded).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Optional
+
+#: File name of the per-run profile artifact.
+PROFILE_FILE = "profile.json"
+
+#: Major schema version stamped into the artifact as ``"v"``.
+PROFILE_SCHEMA_MAJOR = 1
+
+#: Span name -> top-level phase of the profile tree.  Spans not listed
+#: keep their own name as a top-level phase, so a new span is never
+#: silently mis-attributed.
+SPAN_TO_PHASE = {
+    "generate": "generate",
+    "mutate": "generate",
+    "flash-program": "inject",
+    "continue": "exec",
+    "drain-coverage": "cov-drain",
+    "triage": "triage",
+    "restore": "restore",
+    "sync": "sync",
+}
+
+#: Report order of the tree's top-level phases.
+PHASE_TREE_ORDER = ("generate", "inject", "exec", "cov-drain", "triage",
+                    "restore", "sync")
+
+
+def _share(cycles: int, total: int) -> float:
+    """Exact-ratio share rounded for stable JSON rendering."""
+    return round(cycles / total, 6) if total > 0 else 0.0
+
+
+def run_total_cycles(stats_data: Dict[str, object]) -> int:
+    """Spent cycles of one run: last series timestamp minus the cycle
+    clock at run start (boot cost is not the fuzzer's budget)."""
+    series = stats_data.get("series") or []
+    if not series:
+        return 0
+    final = int(series[-1][0])
+    return max(final - int(stats_data.get("start_cycles", 0)), 0)
+
+
+def build_profile(data: Dict[str, object]) -> Dict[str, object]:
+    """Fold one run's ``metrics.json`` payload into a profile tree.
+
+    ``data`` is the :func:`repro.obs.report.collect_run_data` bundle;
+    only its integer cycle fields are consumed.
+    """
+    phases_data: Dict[str, dict] = data.get("phases", {}) or {}
+    stats_data = data.get("stats") or {}
+    total = run_total_cycles(stats_data)
+
+    tree: Dict[str, dict] = {}
+    for span, entry in phases_data.items():
+        phase = SPAN_TO_PHASE.get(span, span)
+        node = tree.setdefault(phase, {"cycles": 0, "spans": 0,
+                                       "max_cycles": 0, "children": {}})
+        cycles = int(entry.get("cycles", 0))
+        node["cycles"] += cycles
+        node["spans"] += int(entry.get("count", 0))
+        node["max_cycles"] = max(node["max_cycles"],
+                                 int(entry.get("max_cycles", 0)))
+        node["children"][span] = {
+            "cycles": cycles, "spans": int(entry.get("count", 0))}
+
+    # The restore phase breaks down further: cycles spent inside
+    # StateRestoration reflashes (the restore.latency histogram) vs the
+    # ladder's own backoff/reboot/verify overhead around them.
+    histograms = (data.get("metrics", {}) or {}).get("histograms", {})
+    restore = tree.get("restore")
+    if restore is not None:
+        reflash = int((histograms.get("restore.latency") or {})
+                      .get("sum", 0) or 0)
+        reflash = min(reflash, restore["cycles"])
+        restore["children"] = {
+            "reflash": {"cycles": reflash,
+                        "spans": int((histograms.get("restore.latency")
+                                      or {}).get("count", 0) or 0)},
+            "ladder-overhead": {
+                "cycles": restore["cycles"] - reflash,
+                "spans": restore["spans"]},
+        }
+
+    attributed = sum(node["cycles"] for node in tree.values())
+    if total <= 0:
+        # No series (e.g. a run that never executed): fall back to the
+        # attributed sum so shares still render as fractions of 1.
+        total = attributed
+
+    ordered = [name for name in PHASE_TREE_ORDER if name in tree]
+    ordered += sorted(name for name in tree if name not in PHASE_TREE_ORDER)
+    phases: List[Dict[str, object]] = []
+    for name in ordered:
+        node = tree[name]
+        children = [
+            {"name": child, "cycles": entry["cycles"],
+             "share": _share(entry["cycles"], total),
+             "spans": entry["spans"]}
+            for child, entry in sorted(node["children"].items())]
+        phases.append({"name": name, "cycles": node["cycles"],
+                       "share": _share(node["cycles"], total),
+                       "spans": node["spans"],
+                       "max_cycles": node["max_cycles"],
+                       "children": children})
+    unattributed = max(total - attributed, 0)
+    phases.append({"name": "unattributed", "cycles": unattributed,
+                   "share": _share(unattributed, total), "spans": 0,
+                   "max_cycles": 0, "children": []})
+    return {"v": PROFILE_SCHEMA_MAJOR,
+            "run_id": data.get("run_id", ""),
+            "total_cycles": total,
+            "attributed_cycles": min(attributed, total),
+            "attribution": _share(min(attributed, total), total),
+            "phases": phases}
+
+
+def aggregate_profiles(
+        profiles: List[Dict[str, object]],
+        run_id: str = "") -> Dict[str, object]:
+    """Sum several runs' profiles into one (the campaign artifact).
+
+    Cycle counts add; shares and the attribution ratio are recomputed
+    against the summed total, so the aggregate stays exact.
+    """
+    total = sum(int(p.get("total_cycles", 0)) for p in profiles)
+    merged: Dict[str, Dict[str, object]] = {}
+    order: List[str] = []
+    for profile in profiles:
+        for phase in profile.get("phases", []):
+            name = phase["name"]
+            node = merged.get(name)
+            if node is None:
+                node = merged[name] = {"name": name, "cycles": 0,
+                                       "spans": 0, "max_cycles": 0,
+                                       "children": []}
+                order.append(name)
+            node["cycles"] += int(phase.get("cycles", 0))
+            node["spans"] += int(phase.get("spans", 0))
+            node["max_cycles"] = max(node["max_cycles"],
+                                     int(phase.get("max_cycles", 0)))
+    phases = []
+    attributed = 0
+    for name in order:
+        node = merged[name]
+        if name != "unattributed":
+            attributed += node["cycles"]
+        node["share"] = _share(node["cycles"], total)
+        phases.append(node)
+    return {"v": PROFILE_SCHEMA_MAJOR, "run_id": run_id,
+            "total_cycles": total,
+            "attributed_cycles": min(attributed, total),
+            "attribution": _share(min(attributed, total), total),
+            "phases": phases}
+
+
+def profile_table_rows(profile: Dict[str, object]) -> List[List[object]]:
+    """Rows for the report's "Cycle budget" table (children indented)."""
+    rows: List[List[object]] = []
+    for phase in profile.get("phases", []):
+        rows.append([phase["name"], phase["spans"], phase["cycles"],
+                     f"{100.0 * phase['share']:.1f}%"])
+        children = phase.get("children", [])
+        if len(children) > 1:
+            for child in children:
+                rows.append([f"  {child['name']}", child["spans"],
+                             child["cycles"],
+                             f"{100.0 * child['share']:.1f}%"])
+    return rows
+
+
+def write_profile(run_dir: str, profile: Dict[str, object]) -> str:
+    """Write ``profile.json`` into a run directory."""
+    path = os.path.join(run_dir, PROFILE_FILE)
+    with open(path, "w", encoding="utf-8") as fh:
+        json.dump(profile, fh, indent=2)
+        fh.write("\n")
+    return path
+
+
+def load_profile(run_dir: str) -> Dict[str, object]:
+    """Read a run directory's ``profile.json``; rejects unknown majors."""
+    path = os.path.join(run_dir, PROFILE_FILE)
+    with open(path, encoding="utf-8") as fh:
+        profile = json.load(fh)
+    major = int(profile.get("v", PROFILE_SCHEMA_MAJOR))
+    if major != PROFILE_SCHEMA_MAJOR:
+        raise ValueError(
+            f"{path}: unsupported profile schema major {major} "
+            f"(this build reads {PROFILE_SCHEMA_MAJOR})")
+    return profile

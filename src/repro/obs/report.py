@@ -6,7 +6,13 @@ A run directory (``runs/<id>/`` or whatever ``--trace-dir`` named) holds
 * ``metrics.json`` — metrics + phase aggregates + the ``FuzzStats``
   series, written here at the end of the run,
 * ``report.txt`` — the human rendering: phase-time breakdown and
-  per-DDI-command latency histogram summaries.
+  per-DDI-command latency histogram summaries,
+* ``profile.json`` — the cycle-budget phase tree
+  (:mod:`repro.obs.profile`),
+* ``timeseries.jsonl`` — the deterministic epoch series, streamed live
+  by an attached :class:`repro.obs.timeseries.TimeSeriesSampler`,
+* ``metrics.prom`` + ``report.html`` — the rendered exports
+  (:mod:`repro.obs.render`).
 
 ``repro report <run-dir>`` re-renders ``metrics.json`` at any later
 time, so artifacts are the interchange format, not the console text.
@@ -20,20 +26,46 @@ from typing import Dict, Optional
 
 from repro.bench.report import render_table
 from repro.fuzz.stats import FuzzStats
+from repro.obs.profile import (build_profile, profile_table_rows,
+                               run_total_cycles, write_profile)
+from repro.obs.render import HTML_FILE, PROM_FILE, render_html, render_prom
+from repro.obs.timeseries import TIMESERIES_FILE, load_timeseries
 
 METRICS_FILE = "metrics.json"
 EVENTS_FILE = "events.jsonl"
 REPORT_FILE = "report.txt"
 
+#: Schema version stamped into ``metrics.json`` as ``schema_version``
+#: (``"<major>.<minor>"``).  Bump the major on any change an existing
+#: consumer would mis-parse; :func:`load_run_data` rejects majors this
+#: build does not read.
+SCHEMA_VERSION = "1.0"
+SCHEMA_MAJOR = 1
+
 # Loop phases in pipeline order (the report keeps this order).
 PHASE_ORDER = ("generate", "mutate", "flash-program", "continue",
-               "drain-coverage", "triage", "restore")
+               "drain-coverage", "triage", "restore", "sync")
+
+
+class SchemaVersionError(ValueError):
+    """A run artifact's major schema version is not readable here."""
 
 
 def collect_run_data(obs, stats: Optional[FuzzStats] = None,
                      meta: Optional[Dict[str, object]] = None) -> dict:
     """Bundle one run's observability state into a JSON-friendly dict."""
+    if stats is not None and obs.enabled:
+        # Stamp the cycle-budget attribution ratio into the metrics
+        # themselves before snapshotting, so it travels with the run.
+        stats_data = stats.to_dict()
+        total = run_total_cycles(stats_data)
+        attributed = sum(int(entry.get("cycles", 0)) for entry
+                         in obs.tracer.snapshot().values())
+        if total > 0:
+            obs.gauge("profile.attribution").set(
+                round(min(attributed, total) / total, 6))
     data = obs.snapshot()
+    data["schema_version"] = SCHEMA_VERSION
     data["meta"] = dict(meta or {})
     if stats is not None:
         data["stats"] = stats.to_dict()
@@ -50,31 +82,73 @@ def collect_campaign_data(obs, campaign_stats,
     headline numbers.
     """
     data = obs.snapshot()
+    data["schema_version"] = SCHEMA_VERSION
     data["meta"] = dict(meta or {})
     data["campaign"] = campaign_stats.to_dict()
     return data
 
 
 def write_run_artifacts(run_dir: str, data: dict) -> str:
-    """Write ``metrics.json`` + ``report.txt`` into ``run_dir``."""
+    """Write the full artifact set into ``run_dir``.
+
+    ``metrics.json`` + ``report.txt`` as always, plus ``profile.json``
+    (built from the payload unless the caller injected an aggregated
+    one under ``data["profile"]``), ``metrics.prom`` for textfile
+    scrapers, and the self-contained ``report.html`` timeline (which
+    picks up ``timeseries.jsonl`` from the run directory if a sampler
+    streamed one there).
+    """
     os.makedirs(run_dir, exist_ok=True)
+    profile = data.get("profile") or build_profile(data)
+    data = dict(data)
+    data.pop("profile", None)
     with open(os.path.join(run_dir, METRICS_FILE), "w",
               encoding="utf-8") as fh:
         json.dump(data, fh, indent=2, default=str)
         fh.write("\n")
-    text = render_report(data)
+    write_profile(run_dir, profile)
+    text = render_report(data, profile=profile)
     with open(os.path.join(run_dir, REPORT_FILE), "w",
               encoding="utf-8") as fh:
         fh.write(text)
         if not text.endswith("\n"):
             fh.write("\n")
+    with open(os.path.join(run_dir, PROM_FILE), "w",
+              encoding="utf-8") as fh:
+        fh.write(render_prom({**data, "profile": profile}))
+    ts_path = os.path.join(run_dir, TIMESERIES_FILE)
+    timeseries = load_timeseries(ts_path) if os.path.exists(ts_path) \
+        else None
+    with open(os.path.join(run_dir, HTML_FILE), "w",
+              encoding="utf-8") as fh:
+        fh.write(render_html({**data, "profile": profile},
+                             timeseries=timeseries))
     return run_dir
 
 
+def schema_major(data: dict) -> int:
+    """Major component of a payload's ``schema_version`` (pre-schema
+    artifacts read as major 1)."""
+    version = str(data.get("schema_version", SCHEMA_VERSION))
+    try:
+        return int(version.split(".", 1)[0])
+    except ValueError:
+        raise SchemaVersionError(
+            f"malformed schema_version {version!r}") from None
+
+
 def load_run_data(run_dir: str) -> dict:
-    """Read a run directory's ``metrics.json``."""
+    """Read a run directory's ``metrics.json``; rejects majors this
+    build cannot parse with a clear :class:`SchemaVersionError`."""
     with open(os.path.join(run_dir, METRICS_FILE), encoding="utf-8") as fh:
-        return json.load(fh)
+        data = json.load(fh)
+    major = schema_major(data)
+    if major != SCHEMA_MAJOR:
+        raise SchemaVersionError(
+            f"{run_dir}: metrics.json has schema major {major}; this "
+            f"build reads major {SCHEMA_MAJOR} — re-render with the "
+            f"toolchain that produced the run")
+    return data
 
 
 def count_events(run_dir: str) -> int:
@@ -92,7 +166,7 @@ def _ordered_phases(phases: Dict[str, dict]):
     return known + extra
 
 
-def render_report(data: dict) -> str:
+def render_report(data: dict, profile: Optional[dict] = None) -> str:
     """Human rendering of one run's ``metrics.json`` payload."""
     sections = []
     meta = data.get("meta", {})
@@ -149,6 +223,18 @@ def render_report(data: dict) -> str:
         sections.append(render_table(
             "Phase-time breakdown (virtual cycles)",
             ["phase", "spans", "cycles", "share", "wall ms"], rows))
+
+    if profile is None and (data.get("phases") or data.get("stats")):
+        profile = build_profile(data)
+    if profile and profile.get("total_cycles"):
+        rows = profile_table_rows(profile)
+        sections.append(render_table(
+            "Cycle budget (phase tree, % of spent cycles)",
+            ["phase", "spans", "cycles", "share"], rows))
+        sections.append(
+            f"attributed: {profile['attributed_cycles']} of "
+            f"{profile['total_cycles']} spent cycles "
+            f"({100.0 * profile['attribution']:.1f}%)")
 
     histograms = data.get("metrics", {}).get("histograms", {})
     ddi = {name: snap for name, snap in histograms.items()

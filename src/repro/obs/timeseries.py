@@ -1,0 +1,177 @@
+"""Deterministic time-series sampling keyed to virtual cycle epochs.
+
+The sampler turns one run's live state (FuzzStats counters, coverage,
+corpus size, link accounting, per-phase cycle totals) into a sequence of
+JSONL rows, one per crossed **cycle epoch** — never per wall-clock tick.
+Epoch ``k`` is the instant the board's cycle clock crosses ``k *
+interval``, so two runs of the same seed produce *byte-identical*
+``timeseries.jsonl`` files: every value in a row is an integer derived
+from virtual time, and the EOF301 determinism lint keeps wall-clock
+reads out of this module.
+
+The farm writes one series per worker (``worker-<i>/timeseries.jsonl``)
+plus a campaign-level series recorded at sync barriers; the two are
+joined by :func:`merge_worker_series`, which aligns worker rows at epoch
+boundaries into the merged coverage / corpus / crash / link-cost curves
+the HTML timeline and the dashboard render.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Callable, Dict, Iterable, List, Optional
+
+#: File name of the per-run (and per-worker) series artifact.
+TIMESERIES_FILE = "timeseries.jsonl"
+
+#: Major schema version stamped into every row as ``"v"``.  Bump on any
+#: change a consumer of recorded rows could mis-parse.
+TS_SCHEMA_MAJOR = 1
+
+
+def _row_bytes(row: Dict[str, object]) -> str:
+    """Canonical one-line rendering (stable separators, given key order)."""
+    return json.dumps(row, separators=(",", ":"))
+
+
+class TimeSeriesSampler:
+    """Record one row per crossed virtual-cycle epoch.
+
+    ``interval`` is the epoch width in cycles.  Call
+    :meth:`maybe_sample` from the hot loop — it costs one integer
+    comparison until a boundary is crossed, at which point ``values_fn``
+    is invoked once and a row is recorded for every epoch the clock
+    passed (a long recovery can cross several; each gets the same
+    values, which renders as the flat stretch it was).
+
+    Rows go to ``path`` as JSONL when given, and are always kept in
+    :attr:`rows` for in-memory consumers (bench, tests, the merge).
+    """
+
+    def __init__(self, interval: int, path: Optional[str] = None):
+        if interval <= 0:
+            raise ValueError("sampling interval must be positive")
+        self.interval = int(interval)
+        self.path = str(path) if path is not None else None
+        self.rows: List[Dict[str, object]] = []
+        self.last_epoch = 0
+        self._fh = (open(self.path, "w", encoding="utf-8")
+                    if self.path is not None else None)
+
+    @property
+    def next_cycles(self) -> int:
+        """First cycle timestamp that will trigger the next sample."""
+        return (self.last_epoch + 1) * self.interval
+
+    def maybe_sample(self, cycles: int,
+                     values_fn: Callable[[], Dict[str, object]]) -> int:
+        """Record rows for every epoch boundary at or before ``cycles``.
+
+        Returns how many rows were recorded (0 on the fast path).
+        """
+        if cycles < self.next_cycles:
+            return 0
+        values = values_fn()
+        recorded = 0
+        while cycles >= self.next_cycles:
+            epoch = self.last_epoch + 1
+            self.record(epoch, epoch * self.interval, values)
+            recorded += 1
+        return recorded
+
+    def record(self, epoch: int, cycles: int,
+               values: Dict[str, object]) -> Dict[str, object]:
+        """Append one row (low-level; barrier-driven callers use this)."""
+        row: Dict[str, object] = {"v": TS_SCHEMA_MAJOR, "epoch": epoch,
+                                  "cycles": cycles}
+        row.update(values)
+        self.rows.append(row)
+        self.last_epoch = epoch
+        if self._fh is not None:
+            self._fh.write(_row_bytes(row))
+            self._fh.write("\n")
+        return row
+
+    def close(self) -> None:
+        """Flush and close the JSONL file (idempotent)."""
+        if self._fh is not None and not self._fh.closed:
+            self._fh.close()
+
+
+def load_timeseries(path: str) -> List[Dict[str, object]]:
+    """Read one ``timeseries.jsonl`` file; rejects unknown majors."""
+    rows = []
+    with open(path, encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            major = int(row.get("v", TS_SCHEMA_MAJOR))
+            if major != TS_SCHEMA_MAJOR:
+                raise ValueError(
+                    f"{path}: unsupported timeseries schema major "
+                    f"{major} (this build reads {TS_SCHEMA_MAJOR})")
+            rows.append(row)
+    return rows
+
+
+#: Worker-row fields summed into the merged row (cost + outcome tallies).
+_SUMMED_FIELDS = ("programs", "crashes", "unique_crashes", "restores",
+                  "recoveries", "link_txns", "link_bytes", "corpus")
+
+
+def merge_worker_series(
+        worker_rows: List[List[Dict[str, object]]]
+) -> List[Dict[str, object]]:
+    """Align per-worker series at epoch barriers into campaign curves.
+
+    For every epoch present in any worker's series the merged row carries
+    the epoch, its cycle timestamp, each worker's edge count (``lanes``),
+    the best single-worker frontier (``edges_max`` — a lower bound on the
+    true merged frontier, whose exact value only the orchestrator's
+    barrier series knows), and the summed cost/outcome tallies.  A worker
+    that has no row at an epoch (quarantined early, or finished) holds
+    its last known values — the same convention a coverage step curve
+    uses.  Output order is ascending epoch, so merging the same inputs
+    is byte-for-byte reproducible.
+    """
+    epochs = sorted({int(row["epoch"])
+                     for rows in worker_rows for row in rows})
+    by_worker = [{int(row["epoch"]): row for row in rows}
+                 for rows in worker_rows]
+    merged: List[Dict[str, object]] = []
+    last_seen: List[Optional[Dict[str, object]]] = \
+        [None] * len(worker_rows)
+    for epoch in epochs:
+        lanes: List[int] = []
+        cycles = 0
+        sums = {name: 0 for name in _SUMMED_FIELDS}
+        for index, rows in enumerate(by_worker):
+            row = rows.get(epoch, last_seen[index])
+            if rows.get(epoch) is not None:
+                last_seen[index] = rows[epoch]
+                cycles = max(cycles, int(rows[epoch]["cycles"]))
+            if row is None:
+                lanes.append(0)
+                continue
+            lanes.append(int(row.get("edges", 0)))
+            for name in _SUMMED_FIELDS:
+                sums[name] += int(row.get(name, 0))
+        out: Dict[str, object] = {"v": TS_SCHEMA_MAJOR, "epoch": epoch,
+                                  "cycles": cycles,
+                                  "edges_max": max(lanes, default=0),
+                                  "lanes": lanes}
+        out.update(sums)
+        merged.append(out)
+    return merged
+
+
+def write_timeseries(path: str,
+                     rows: Iterable[Dict[str, object]]) -> str:
+    """Write rows as canonical JSONL (the merge artifact writer)."""
+    with open(path, "w", encoding="utf-8") as fh:
+        for row in rows:
+            fh.write(_row_bytes(row))
+            fh.write("\n")
+    return path

@@ -114,6 +114,42 @@ class TestMetrics:
         assert histogram.percentile(0.5) == 10.0
         assert "n=10" in histogram.summary()
 
+    def test_empty_histogram_reads_zero(self):
+        histogram = Histogram("h", buckets=(10, 100))
+        assert histogram.mean == 0.0
+        for q in (0.0, 0.5, 1.0):
+            assert histogram.percentile(q) == 0.0
+
+    def test_single_sample_percentile_is_the_sample(self):
+        histogram = Histogram("h", buckets=(10, 100))
+        histogram.record(37)
+        for q in (0.0, 0.5, 0.99, 1.0):
+            assert histogram.percentile(q) == 37.0
+        assert histogram.mean == 37.0
+
+    def test_percentile_clamps_to_observed_range(self):
+        histogram = Histogram("h", buckets=(10, 100))
+        # All samples land in the overflow bucket; the bucket estimate
+        # would be +inf-ish, so the observed max bounds it instead.
+        for _ in range(4):
+            histogram.record(5000)
+        assert histogram.percentile(0.5) == 5000.0
+        # q extremes pin to min/max, never outside the data.
+        histogram.record(2)
+        assert histogram.percentile(0.0) == 2.0
+        assert histogram.percentile(1.0) == 5000.0
+        assert histogram.percentile(-1.0) == 2.0
+        assert histogram.percentile(2.0) == 5000.0
+
+    def test_percentile_never_below_min(self):
+        histogram = Histogram("h", buckets=(10, 100))
+        histogram.record(8)
+        histogram.record(9)
+        # The bucket upper bound is 10 but the data never reached it:
+        # the estimate is clamped into the observed [8, 9] range.
+        assert 8.0 <= histogram.percentile(0.5) <= 9.0
+        assert histogram.percentile(0.01) >= 8.0
+
 
 class TestTracer:
     def test_disabled_returns_shared_null_span(self):
