@@ -79,10 +79,8 @@ def write_analysis_artifact(run_dir: str,
     """Write ``analysis.json`` into a run-artifact directory."""
     os.makedirs(run_dir, exist_ok=True)
     path = os.path.join(run_dir, ANALYSIS_FILE)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(report.to_dict(), fh, indent=2, default=str)
-        fh.write("\n")
-    return path
+    from repro.db.io import atomic_write_json
+    return atomic_write_json(path, report.to_dict())
 
 
 def load_analysis_artifact(run_dir: str) -> Optional[AnalysisReport]:

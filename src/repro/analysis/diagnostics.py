@@ -45,6 +45,8 @@ CODE_TABLE: Dict[str, str] = {
     "EOF303": "event name not declared in the event registry",
     "EOF304": "non-frozen dataclass in the spec model",
     "EOF305": "unparseable source file",
+    "EOF306": "metric name not declared in the metric registry",
+    "EOF307": "persistent artifact written without the atomic helpers",
 }
 
 SEV_ERROR = "error"

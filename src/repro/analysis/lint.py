@@ -25,6 +25,14 @@ into machine-checked invariants:
   ``metrics.prom``, ``timeseries.jsonl``, the HTML report — select
   metrics by name).  Dynamically formatted families (``ddi.cmd.*``,
   ``recovery.rung.*``) are outside the literal check by design.
+* **EOF307** — a bare ``open(..., "w")`` whose path names a persistent
+  artifact (``.json`` / ``.jsonl`` / ``.prom`` / ``.html``, literally
+  or via a module-level filename constant); such writes must go through
+  :mod:`repro.db.io`'s atomic helpers so a kill never leaves a torn
+  half-file.  The helper module itself is exempt, and append-streamed
+  journals opened on a computed path (``events.jsonl`` live sink, the
+  sampler) are outside the literal check — their loaders tolerate torn
+  tails instead.
 
 Exposed as ``eof-fuzz lint`` and run in CI; the suite asserts the tree
 is clean, so any new violation fails the build with its stable code.
@@ -112,6 +120,85 @@ def _metric_registry() -> frozenset:
 #: Method names whose literal first argument names a metric (EOF306).
 _METRIC_FACTORIES = ("counter", "gauge", "histogram")
 
+#: Filename suffixes that mark a persistent artifact (EOF307): parsed
+#: back by consumers, so a torn half-write is data loss.
+PERSISTENT_SUFFIXES = (".json", ".jsonl", ".prom", ".html")
+
+#: Path fragments exempt from EOF307 (the atomic helpers themselves).
+ATOMIC_WRITE_ALLOWED = ("db/io.py",)
+
+
+def _module_constants(tree: ast.AST) -> dict:
+    """Module-level ``NAME = "literal"`` string bindings.
+
+    EOF307 resolves these so ``open(join(dir, METRICS_FILE), "w")`` is
+    caught just like an inline ``"metrics.json"`` literal.
+    """
+    constants = {}
+    body = tree.body if isinstance(tree, ast.Module) else []
+    for node in body:
+        if isinstance(node, ast.Assign) and len(node.targets) == 1 and \
+                isinstance(node.targets[0], ast.Name) and \
+                isinstance(node.value, ast.Constant) and \
+                isinstance(node.value.value, str):
+            constants[node.targets[0].id] = node.value.value
+    return constants
+
+
+def _artifact_name(node: ast.AST, constants: dict) -> Optional[str]:
+    """Persistent-artifact filename referenced by a path expression.
+
+    Looks through string literals, module-level filename constants,
+    f-string fragments, ``os.path.join(...)``-style calls and string
+    concatenation; anything it cannot resolve (attributes, locals) is
+    out of scope — those are the streaming-sink paths EOF307
+    deliberately leaves alone.
+    """
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value if node.value.endswith(PERSISTENT_SUFFIXES) \
+            else None
+    if isinstance(node, ast.Name):
+        value = constants.get(node.id)
+        return value if value is not None and \
+            value.endswith(PERSISTENT_SUFFIXES) else None
+    if isinstance(node, ast.JoinedStr):
+        for part in node.values:
+            if isinstance(part, ast.Constant) and \
+                    isinstance(part.value, str) and \
+                    part.value.endswith(PERSISTENT_SUFFIXES):
+                return part.value
+        return None
+    if isinstance(node, ast.Call):
+        for arg in node.args:
+            found = _artifact_name(arg, constants)
+            if found is not None:
+                return found
+        return None
+    if isinstance(node, ast.BinOp):
+        return _artifact_name(node.left, constants) or \
+            _artifact_name(node.right, constants)
+    return None
+
+
+def _open_write_mode(node: ast.Call) -> Optional[str]:
+    """The literal write mode of a bare ``open`` call, or None.
+
+    Append modes pass: streamed journals legitimately append, and their
+    loaders tolerate torn tails.
+    """
+    if not (isinstance(node.func, ast.Name) and node.func.id == "open"):
+        return None
+    if len(node.args) >= 2:
+        mode_node = node.args[1]
+    else:
+        mode_node = next((kw.value for kw in node.keywords
+                          if kw.arg == "mode"), None)
+    if not isinstance(mode_node, ast.Constant) or \
+            not isinstance(mode_node.value, str):
+        return None
+    mode = mode_node.value
+    return mode if ("w" in mode or "x" in mode) else None
+
 
 def _lint_tree(tree: ast.AST, rel_path: str,
                registry: frozenset,
@@ -119,6 +206,8 @@ def _lint_tree(tree: ast.AST, rel_path: str,
     diagnostics = []
     check_nondet = not _nondet_allowed(rel_path)
     check_frozen = rel_path.endswith("spec/model.py")
+    check_atomic = not rel_path.endswith(ATOMIC_WRITE_ALLOWED)
+    constants = _module_constants(tree) if check_atomic else {}
     for node in ast.walk(tree):
         if check_nondet and isinstance(node, ast.Call):
             banned = _banned_call(node)
@@ -183,6 +272,20 @@ def _lint_tree(tree: ast.AST, rel_path: str,
                         f"must be immutable)",
                         where=f"{rel_path}:{node.lineno}",
                         severity=SEV_ERROR, cls=node.name))
+        if check_atomic and isinstance(node, ast.Call) and node.args:
+            mode = _open_write_mode(node)
+            if mode is not None:
+                artifact = _artifact_name(node.args[0], constants)
+                if artifact is not None:
+                    diagnostics.append(diag(
+                        "EOF307",
+                        f"bare open(..., {mode!r}) writes persistent "
+                        f"artifact {artifact!r}; use the repro.db.io "
+                        f"atomic helpers so a kill never leaves a "
+                        f"torn file",
+                        where=f"{rel_path}:{node.lineno}",
+                        severity=SEV_ERROR, artifact=artifact,
+                        mode=mode))
     return diagnostics
 
 
@@ -223,6 +326,6 @@ def lint_sources(paths: Optional[Sequence[str]] = None) -> AnalysisReport:
         report.extend(_lint_tree(tree, _rel(path, root), registry,
                                  metric_registry))
     report.summary = {"lint.files": files,
-                      "lint.rules": 5,
+                      "lint.rules": 6,
                       "lint.diagnostics": len(report.diagnostics)}
     return report

@@ -273,16 +273,69 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
     return summary
 
 
+def make_campaign(target: TargetConfig, workers: int,
+                  total_budget_cycles: int, campaign_seed: int = 1,
+                  sync_interval: int = 400_000, import_cap: int = 2,
+                  import_min_novelty: int = 2,
+                  replay_imports: bool = True,
+                  share_frontier: bool = False,
+                  obs: Optional[Observability] = None,
+                  worker_obs: Optional[Callable[[int],
+                                                Observability]] = None,
+                  epoch_hook: Optional[Callable[[dict], None]] = None,
+                  state_dir: Optional[str] = None,
+                  resume: bool = False,
+                  warm_start_dir: Optional[str] = None,
+                  checkpoint_every: int = 4):
+    """Build (but do not run) one multi-board campaign orchestrator.
+
+    Splitting construction from :meth:`~repro.farm.CampaignOrchestrator.run`
+    lets callers wire signal handlers at the orchestrator before the
+    first epoch (the CLI's graceful-interrupt path).  ``state_dir``
+    attaches a :class:`repro.db.CampaignStore` (created on first use);
+    with ``resume`` the campaign fast-forwards deterministically to the
+    store's last committed epoch and continues.  ``warm_start_dir``
+    pre-seeds the shared corpus from *another* campaign's store.
+    """
+    from repro.farm import CampaignOptions, CampaignOrchestrator
+    from repro.farm.orchestrator import campaign_config
+
+    def factory(index: int, seed: int, budget_cycles: int) -> EofEngine:
+        build = build_firmware(target.build_config())
+        spec = generate_validated_specs(build)
+        bundle = worker_obs(index) if worker_obs is not None else None
+        return EofEngine(build, spec, EngineOptions(
+            seed=seed, budget_cycles=budget_cycles,
+            name=f"eof-w{index}"), obs=bundle)
+
+    options = CampaignOptions(
+        campaign_seed=campaign_seed, workers=workers,
+        sync_interval=sync_interval,
+        total_budget_cycles=total_budget_cycles,
+        import_cap=import_cap,
+        import_min_novelty=import_min_novelty,
+        replay_imports=replay_imports,
+        share_frontier=share_frontier)
+    store = None
+    if state_dir is not None:
+        from repro.db import CampaignStore
+        store = CampaignStore(state_dir, obs=obs,
+                              checkpoint_every=checkpoint_every)
+        store.open(campaign_config(options, target.name), resume=resume)
+    warm_entries = None
+    if warm_start_dir is not None:
+        from repro.db import CampaignStore
+        warm_entries = CampaignStore.read(
+            warm_start_dir, obs=obs).corpus_entries()
+    orchestrator = CampaignOrchestrator(factory, options, obs=obs,
+                                        store=store,
+                                        warm_entries=warm_entries)
+    orchestrator.epoch_hook = epoch_hook
+    return orchestrator
+
+
 def run_campaign(target: TargetConfig, workers: int,
-                 total_budget_cycles: int, campaign_seed: int = 1,
-                 sync_interval: int = 400_000, import_cap: int = 2,
-                 import_min_novelty: int = 2,
-                 replay_imports: bool = True,
-                 share_frontier: bool = False,
-                 obs: Optional[Observability] = None,
-                 worker_obs: Optional[Callable[[int],
-                                               Observability]] = None,
-                 epoch_hook: Optional[Callable[[dict], None]] = None):
+                 total_budget_cycles: int, **kwargs):
     """One parallel multi-board campaign of EOF on one target.
 
     Spins up ``workers`` engines (fresh board + image + derived RNG
@@ -294,28 +347,12 @@ def run_campaign(target: TargetConfig, workers: int,
     compares against.  ``worker_obs`` (worker index -> bundle) attaches
     per-worker observability, e.g. one trace subdirectory per board.
     ``epoch_hook`` is called on the coordinator thread at every sync
-    barrier with the epoch summary (the ``--dashboard`` feed).
+    barrier with the epoch summary (the ``--dashboard`` feed).  See
+    :func:`make_campaign` for the persistence knobs (``state_dir``,
+    ``resume``, ``warm_start_dir``, ``checkpoint_every``).
     """
-    from repro.farm import CampaignOptions, CampaignOrchestrator
-
-    def factory(index: int, seed: int, budget_cycles: int) -> EofEngine:
-        build = build_firmware(target.build_config())
-        spec = generate_validated_specs(build)
-        bundle = worker_obs(index) if worker_obs is not None else None
-        return EofEngine(build, spec, EngineOptions(
-            seed=seed, budget_cycles=budget_cycles,
-            name=f"eof-w{index}"), obs=bundle)
-
-    orchestrator = CampaignOrchestrator(factory, CampaignOptions(
-        campaign_seed=campaign_seed, workers=workers,
-        sync_interval=sync_interval,
-        total_budget_cycles=total_budget_cycles,
-        import_cap=import_cap,
-        import_min_novelty=import_min_novelty,
-        replay_imports=replay_imports,
-        share_frontier=share_frontier), obs=obs)
-    orchestrator.epoch_hook = epoch_hook
-    return orchestrator.run()
+    return make_campaign(target, workers, total_budget_cycles,
+                         **kwargs).run()
 
 
 @dataclass

@@ -11,6 +11,9 @@ Subcommands::
                      --workers N       ... N worker boards
                      --sync-interval C ... shared-corpus sync every C cycles
                      --dashboard       ... live ANSI table at every barrier
+                     --state-dir DIR   ... durable crash-safe state store
+                     --resume          ... continue from the last epoch
+                     --warm-start DIR  ... pre-seed from another campaign
     eof-fuzz report  RUN_DIR           render a recorded run's report
                      --format F        ... as text (default), json or html
     eof-fuzz analyze TARGET            static analysis of one target
@@ -131,8 +134,14 @@ def _cmd_run(args) -> int:
 
 
 def _cmd_campaign(args) -> int:
-    from repro.bench.runner import run_campaign
+    import signal
+
+    from repro.bench.runner import make_campaign
+    from repro.errors import StoreError
     target = get_target(args.target)
+    if args.resume and not args.state_dir:
+        print("--resume requires --state-dir", file=sys.stderr)
+        return 1
     obs = None
     worker_obs = None
     epoch_hook = None
@@ -181,12 +190,69 @@ def _cmd_campaign(args) -> int:
     print(f"campaign on {target.name}: {args.workers} workers, "
           f"total budget {args.budget} cycles, sync every "
           f"{args.sync_interval} cycles, seed {args.seed} ...")
-    result = run_campaign(
-        target, workers=args.workers,
-        total_budget_cycles=args.budget,
-        campaign_seed=args.seed, sync_interval=args.sync_interval,
-        import_cap=args.import_cap, obs=obs, worker_obs=worker_obs,
-        epoch_hook=epoch_hook)
+    # First SIGINT/SIGTERM asks for a clean stop at the next epoch
+    # barrier (state checkpointed, exit code 3); a second one aborts
+    # hard.  The handler only sets a flag — all real work happens on
+    # the coordinator thread at the barrier.  Handlers go in *before*
+    # the store opens and the boards build, so an interrupt that lands
+    # during bring-up still honours the exit-code contract.
+    stop_signals = []
+    orchestrator = None
+
+    def _graceful_stop(signum, _frame):
+        if stop_signals:
+            raise KeyboardInterrupt
+        stop_signals.append(signum)
+        if orchestrator is not None:
+            orchestrator.request_stop()
+        print("\ninterrupt: finishing the current epoch, then "
+              "checkpointing (signal again to abort hard) ...",
+              file=sys.stderr)
+
+    previous_handlers = {
+        sig: signal.signal(sig, _graceful_stop)
+        for sig in (signal.SIGINT, signal.SIGTERM)}
+    try:
+        try:
+            orchestrator = make_campaign(
+                target, workers=args.workers,
+                total_budget_cycles=args.budget,
+                campaign_seed=args.seed,
+                sync_interval=args.sync_interval,
+                import_cap=args.import_cap, obs=obs,
+                worker_obs=worker_obs,
+                epoch_hook=epoch_hook, state_dir=args.state_dir,
+                resume=args.resume, warm_start_dir=args.warm_start,
+                checkpoint_every=args.checkpoint_every)
+        except StoreError as exc:
+            print(f"campaign store: {exc}", file=sys.stderr)
+            return 1
+        store = orchestrator.store
+        if store is not None:
+            salvage = store.salvage_summary()
+            if args.resume:
+                print(f"resuming from epoch "
+                      f"{salvage['resumed_from_epoch']}: "
+                      f"{len(store.entries)} seeds, "
+                      f"{len(store.edges)} edges, "
+                      f"{len(store.crashes)} crash signatures restored")
+            if salvage["quarantined_spans"] \
+                    or salvage["torn_tail_bytes"] \
+                    or salvage["dropped_uncommitted"]:
+                print(f"store salvage: {salvage['salvaged_records']} "
+                      f"records kept, {salvage['quarantined_spans']} "
+                      f"quarantined, {salvage['torn_tail_bytes']} torn "
+                      f"bytes dropped, {salvage['dropped_uncommitted']} "
+                      f"uncommitted records discarded")
+        if orchestrator.state.seeds_warmed:
+            print(f"warm start: {orchestrator.state.seeds_warmed} "
+                  f"seeds from {args.warm_start}")
+        if stop_signals:
+            orchestrator.request_stop()
+        result = orchestrator.run()
+    finally:
+        for sig, handler in previous_handlers.items():
+            signal.signal(sig, handler)
     stats = result.stats
     print(stats.summary())
     for index, worker in enumerate(result.worker_results):
@@ -231,6 +297,13 @@ def _cmd_campaign(args) -> int:
     if stats.aborted_workers == args.workers:
         print("all workers quarantined", file=sys.stderr)
         return 2
+    if stats.interrupted:
+        where = f" --state-dir {args.state_dir} --resume" \
+            if args.state_dir else ""
+        print(f"campaign interrupted at epoch {stats.sync_epochs}; "
+              f"state checkpointed — continue with: eof-fuzz campaign "
+              f"{args.target}{where}", file=sys.stderr)
+        return 3
     return 0
 
 
@@ -364,7 +437,15 @@ def main(argv=None) -> int:
 
     campaign_p = sub.add_parser(
         "campaign", help="parallel multi-board campaign with "
-                         "shared-corpus sync")
+                         "shared-corpus sync",
+        formatter_class=argparse.RawDescriptionHelpFormatter,
+        epilog="exit codes:\n"
+               "  0  campaign ran its whole cycle budget\n"
+               "  1  error (bad arguments, campaign-store mismatch)\n"
+               "  2  every worker board was quarantined\n"
+               "  3  interrupted (SIGINT/SIGTERM): the last completed\n"
+               "     epoch is checkpointed; rerun with --state-dir DIR\n"
+               "     --resume to continue deterministically\n")
     campaign_p.add_argument("target")
     campaign_p.add_argument("--workers", type=int, default=2,
                             help="worker boards fuzzing in parallel")
@@ -392,6 +473,26 @@ def main(argv=None) -> int:
     campaign_p.add_argument("--dashboard", action="store_true",
                             help="print a live ANSI status table at "
                                  "every sync-epoch barrier")
+    campaign_p.add_argument("--state-dir", default=None, metavar="DIR",
+                            help="persist campaign state (corpus, "
+                                 "frontier, crashes) into DIR via a "
+                                 "crash-safe journal + checkpoint "
+                                 "store")
+    campaign_p.add_argument("--resume", action="store_true",
+                            help="continue the campaign persisted in "
+                                 "--state-dir from its last completed "
+                                 "epoch (options must match the "
+                                 "original run)")
+    campaign_p.add_argument("--warm-start", default=None, metavar="DIR",
+                            help="pre-seed the shared corpus from "
+                                 "another campaign's state directory "
+                                 "(footprints stay out of this run's "
+                                 "frontier)")
+    campaign_p.add_argument("--checkpoint-every", type=int, default=4,
+                            metavar="EPOCHS",
+                            help="compact the journal into a full "
+                                 "checkpoint every N epochs "
+                                 "(default: 4)")
 
     report_p = sub.add_parser(
         "report", help="render the report of a recorded run directory")

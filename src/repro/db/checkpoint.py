@@ -1,0 +1,52 @@
+"""Checkpoint files: one whole-state frame, atomically replaced.
+
+A checkpoint is the journal's compaction: the complete campaign
+snapshot serialized as a single CRC-framed record (the same wire format
+as :mod:`repro.db.journal`, record type ``C``) and written via
+write-to-temp + fsync + atomic rename.  At any instant the checkpoint
+file on disk is therefore either the complete previous snapshot or the
+complete new one; a kill mid-checkpoint costs nothing but the compaction.
+
+Reading mirrors the journal's salvage policy: :func:`read_checkpoint`
+returns ``None`` for a missing, truncated or corrupt file instead of
+raising — the store falls back to replaying the journal from the start
+and quarantines the unreadable bytes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.db.io import atomic_write_bytes
+from repro.db.journal import decode_record, encode_record
+
+__all__ = ["CHECKPOINT_RECORD", "write_checkpoint", "read_checkpoint"]
+
+#: Record type of the single frame a checkpoint file holds.
+CHECKPOINT_RECORD = "C"
+
+
+def write_checkpoint(path: str, snapshot: Dict[str, object],
+                     durable: bool = True) -> str:
+    """Atomically replace ``path`` with a framed snapshot."""
+    return atomic_write_bytes(
+        path, encode_record(CHECKPOINT_RECORD, snapshot),
+        durable=durable)
+
+
+def read_checkpoint(path: str) -> Optional[Dict[str, object]]:
+    """Load a checkpoint snapshot; ``None`` unless it fully verifies.
+
+    Missing file, torn frame, CRC mismatch, wrong record type — all
+    read as ``None``; the caller decides whether the bytes (if any)
+    are worth quarantining.
+    """
+    try:
+        with open(path, "rb") as fh:
+            raw = fh.read()
+    except FileNotFoundError:
+        return None
+    record = decode_record(raw)
+    if record is None or record.rtype != CHECKPOINT_RECORD:
+        return None
+    return record.payload

@@ -96,6 +96,26 @@ class RecoveryExhausted(ReproError):
         self.rungs = tuple(rungs)
 
 
+class StoreError(ReproError):
+    """A campaign store (``repro.db``) cannot be used as requested.
+
+    Raised only for *caller* mistakes — resuming into a directory that
+    already holds a different campaign, pointing ``--resume`` at a
+    directory with no state.  Corrupt on-disk bytes never raise: the
+    loader salvages what verifies and quarantines the rest.
+    """
+
+
+class StoreConfigError(StoreError):
+    """A resume was attempted with options that do not match the
+    persisted campaign (seed / workers / sync interval / target).
+
+    Replaying with different options cannot reproduce the interrupted
+    campaign's state, so the store refuses rather than silently
+    continuing a *different* campaign on top of the old journal.
+    """
+
+
 class UnsupportedTargetError(ReproError):
     """A fuzzer was pointed at a target/board it cannot drive.
 

@@ -30,15 +30,19 @@ pool is an execution convenience, not a correctness ingredient.
 from __future__ import annotations
 
 from concurrent.futures import ThreadPoolExecutor
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from dataclasses import asdict, dataclass, field
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
 from repro.errors import RecoveryExhausted
 from repro.farm.state import CampaignState, TriagedCrash
-from repro.fuzz.corpus import MAX_CORPUS
+from repro.fuzz.corpus import MAX_CORPUS, CorpusEntry
+from repro.fuzz.crash import CrashReport
 from repro.fuzz.engine import EofEngine, FuzzResult
 from repro.fuzz.stats import CampaignStats
 from repro.obs import NULL_OBS, Observability
+
+if TYPE_CHECKING:
+    from repro.db.store import CampaignStore
 
 #: Worker liveness states across epochs.
 _LIVE, _DONE, _ABORTED = "live", "done", "aborted"
@@ -125,6 +129,20 @@ class CampaignResult:
         return list(self.crashes)
 
 
+def campaign_config(options: CampaignOptions,
+                    target: str = "") -> Dict[str, object]:
+    """The option set a campaign store persists and re-checks on resume.
+
+    Every :class:`CampaignOptions` field is included: a resumed
+    campaign is a deterministic *replay*, so any knob that steers
+    execution — not just the seed triple — must match for the replay
+    to reproduce the interrupted run.
+    """
+    config: Dict[str, object] = asdict(options)
+    config["target"] = target
+    return config
+
+
 #: Builds one worker engine: (worker_index, worker_seed, budget_cycles).
 EngineFactory = Callable[[int, int, int], EofEngine]
 
@@ -134,13 +152,25 @@ class CampaignOrchestrator:
 
     def __init__(self, factory: EngineFactory,
                  options: Optional[CampaignOptions] = None,
-                 obs: Optional[Observability] = None):
+                 obs: Optional[Observability] = None,
+                 store: Optional["CampaignStore"] = None,
+                 warm_entries: Optional[List[CorpusEntry]] = None):
         self.options = options or CampaignOptions()
         if self.options.workers < 1:
             raise ValueError("a campaign needs at least one worker")
         self.obs = obs or NULL_OBS
+        #: Opened campaign store (ownership transfers here: the
+        #: orchestrator checkpoints and closes it when the run ends).
+        #: A store opened with ``resume`` sets the fast-forward point.
+        self.store = store
+        self._resume_epoch = store.resumed_from_epoch if store else 0
+        self._stop_requested = False
+        self._interrupted = False
+        self._last_imported = 0
         self.state = CampaignState(
             max_corpus=self.options.shared_corpus_max)
+        if warm_entries:
+            self.state.warm_start(warm_entries)
         self.engines: List[EofEngine] = []
         per_worker = max(
             self.options.total_budget_cycles // self.options.workers, 1)
@@ -189,7 +219,23 @@ class CampaignOrchestrator:
                 for index in sorted(futures):
                     self._status[index] = futures[index].result()
                 self._sync(self._epochs_run)
+                self._persist_epoch(self._epochs_run)
+                if self._stop_requested:
+                    # Honoured only at the barrier, *after* the epoch
+                    # persisted: the run stops on a committed epoch, so
+                    # a resume continues exactly where it left off.
+                    self._interrupted = True
+                    break
         return self._collect()
+
+    def request_stop(self) -> None:
+        """Ask the campaign to stop at the next epoch barrier.
+
+        Safe to call from a signal handler: it only sets a flag; the
+        coordinator checks it after each barrier has merged and
+        persisted, then winds down cleanly with a final checkpoint.
+        """
+        self._stop_requested = True
 
     def _campaign_clock(self) -> int:
         """Campaign virtual time: the furthest worker clock."""
@@ -250,6 +296,7 @@ class CampaignOrchestrator:
         # The campaign-level time series samples at every barrier: one
         # row per epoch, timestamped with the epoch's target cycles (a
         # pure function of epoch and sync_interval, so replays match).
+        self._last_imported = imported_total
         summary = None
         if self.obs.sampler is not None or self.epoch_hook is not None:
             summary = self._epoch_summary(epoch, imported_total)
@@ -290,6 +337,57 @@ class CampaignOrchestrator:
             "workers_total": len(self.engines),
             "workers": workers,
         }
+
+    # -- persistence (repro.db) ---------------------------------------------
+
+    def _persist_epoch(self, epoch: int) -> None:
+        """Journal the barrier that just completed (when a store rides
+        along).
+
+        A resumed campaign is a deterministic replay: epochs up to the
+        stored one re-execute with journaling suppressed (they are
+        already on disk), the resume barrier itself is *verified*
+        against the store, and only epochs beyond it journal new work.
+        """
+        if self.store is None:
+            return
+        with self.obs.span("sync"):
+            if epoch < self._resume_epoch:
+                return
+            if epoch == self._resume_epoch:
+                self._verify_resume(epoch)
+                return
+            summary = self._epoch_summary(epoch, self._last_imported)
+            row = {key: summary[key] for key in
+                   ("edges", "lanes", "programs", "crashes", "shared",
+                    "imported", "live")}
+            self.store.record_epoch(epoch, self._epoch_target(epoch),
+                                    self.state, row)
+
+    def _verify_resume(self, epoch: int) -> None:
+        """The replay reached the stored barrier: check it reproduced
+        the persisted state, and if code drift broke the replay, fold
+        the persisted findings back in rather than losing them."""
+        mismatch = self.store.verify(
+            self.state.edges, self.state.crashes.keys(),
+            self.state.snapshot_digests())
+        if mismatch:
+            self.state.merge_edges(self.store.edges)
+            for signature, record in self.store.crashes.items():
+                if signature in self.state.crashes:
+                    continue
+                report = record.get("report")
+                self.state.crashes[signature] = TriagedCrash(
+                    report=CrashReport.from_dict(dict(report or {})),
+                    first_worker=int(record.get("first_worker", 0)),
+                    first_epoch=int(record.get("first_epoch", 0)),
+                    count=int(record.get("count", 1)),
+                    workers={int(w) for w in record.get("workers", ())})
+        if self.obs.enabled:
+            self.obs.emit("db.resume", epoch=epoch,
+                          match=not mismatch, **{
+                              f"drift_{key}": value
+                              for key, value in mismatch.items()})
 
     def _push_worker(self, index: int, epoch: int,
                      engine: EofEngine) -> None:
@@ -355,7 +453,18 @@ class CampaignOrchestrator:
             seeds_shared=self.state.seeds_shared,
             seeds_imported=self.state.seeds_imported,
             aborted_workers=sum(1 for status in self._status
-                                if status == _ABORTED))
+                                if status == _ABORTED),
+            resumed_from_epoch=self._resume_epoch,
+            interrupted=self._interrupted)
+        if self.store is not None:
+            # Final checkpoint: a completed run's store doubles as a
+            # warm-start corpus; an interrupted run's is the resume
+            # point.
+            self.store.close(final_checkpoint=True)
+            if self.obs.enabled and self._interrupted:
+                self.obs.emit("db.interrupted",
+                              epoch=self._epochs_run,
+                              resumable=True)
         if self.obs.enabled:
             self.obs.emit("farm.campaign.end",
                           merged_edges=stats.merged_edges,

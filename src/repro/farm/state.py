@@ -57,6 +57,7 @@ class CampaignState:
         self.crashes: Dict[str, TriagedCrash] = {}
         self.seeds_shared = 0
         self.seeds_imported = 0
+        self.seeds_warmed = 0
 
     # -- coverage -----------------------------------------------------------
 
@@ -133,6 +134,27 @@ class CampaignState:
             out = [entry for _, _, entry in ranked[:limit]]
             self.seeds_imported += len(out)
         return out
+
+    def warm_start(self, entries: Iterable[CorpusEntry]) -> int:
+        """Pre-seed the shared pool from another campaign's store.
+
+        Warm-start seeds enter the corpus under the pseudo-worker ``-1``
+        — every real worker can pull them — but their footprints are
+        *not* merged into the frontier: this campaign has not observed
+        those edges, and claiming them would both inflate the headline
+        metric and starve the novelty-ranked pull that is supposed to
+        deliver the warm seeds in the first place.
+        """
+        count = 0
+        with self._lock:
+            for entry in entries:
+                if self.corpus.import_entry(entry) is None:
+                    continue
+                self.provenance[entry.digest] = SeedProvenance(
+                    worker=-1, epoch=0)
+                self.seeds_warmed += 1
+                count += 1
+        return count
 
     # -- crash triage -------------------------------------------------------
 

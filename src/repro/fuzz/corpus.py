@@ -15,7 +15,8 @@ import hashlib
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional
 
-from repro.agent.protocol import TestProgram, serialize_program
+from repro.agent.protocol import (TestProgram, deserialize_program,
+                                  serialize_program)
 from repro.fuzz.rng import FuzzRng
 
 CRASH_BONUS = 1.5
@@ -64,6 +65,47 @@ class CorpusEntry:
         speed_penalty = 1.0 + self.exec_cycles / 4000.0
         # Fresh seeds get explored before over-picked ones.
         return base / (speed_penalty * (1.0 + 0.1 * self.picks))
+
+
+def entry_to_record(entry: CorpusEntry) -> Optional[Dict[str, object]]:
+    """JSON-friendly persistence record of one seed (``repro.db``).
+
+    The program rides along as the hex of its wire encoding — the same
+    bytes the content hash covers, so a record is self-verifying against
+    its digest.  Programs the protocol cannot encode (hostile-test
+    constructions) return ``None``: they cannot be reconstructed, so the
+    store skips rather than half-persists them.
+    """
+    try:
+        raw = serialize_program(entry.program)
+    except Exception:
+        return None
+    return {
+        "digest": entry.digest or program_hash(entry.program),
+        "program": raw.hex(),
+        "new_edges": entry.new_edges,
+        "crashed": entry.crashed,
+        "exec_cycles": entry.exec_cycles,
+        "footprint": sorted(entry.edge_footprint),
+    }
+
+
+def entry_from_record(record: Dict[str, object]) -> CorpusEntry:
+    """Inverse of :func:`entry_to_record`.
+
+    Raises ``ProtocolError``/``ValueError`` on malformed records — the
+    store catches these and quarantines the record instead of loading
+    a seed it cannot trust.
+    """
+    program = deserialize_program(bytes.fromhex(str(record["program"])))
+    return CorpusEntry(
+        program=program,
+        new_edges=int(record.get("new_edges", 0)),
+        crashed=bool(record.get("crashed", False)),
+        exec_cycles=int(record.get("exec_cycles", 0)),
+        digest=str(record.get("digest", "")) or program_hash(program),
+        edge_footprint=frozenset(
+            int(edge) for edge in record.get("footprint", ())))
 
 
 class Corpus:

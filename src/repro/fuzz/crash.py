@@ -45,6 +45,53 @@ class CrashReport:
             return f"{self.os_name}|{self.kind}|{frames}"
         return f"{self.os_name}|{self.kind}|{cause_head}"
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly persistence record (``repro.db``).
+
+        The offending program is embedded as the hex of its wire
+        encoding when it encodes; reports whose programs cannot be
+        serialized persist everything else (triage survives even when
+        the reproducer does not).
+        """
+        data: Dict[str, object] = {
+            "os_name": self.os_name, "kind": self.kind,
+            "cause": self.cause, "detail": self.detail,
+            "monitor": self.monitor,
+            "backtrace": list(self.backtrace),
+            "uart_tail": list(self.uart_tail),
+            "cycles": self.cycles,
+        }
+        if self.program is not None:
+            from repro.agent.protocol import serialize_program
+            try:
+                data["program"] = serialize_program(self.program).hex()
+            except Exception:
+                pass
+        return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "CrashReport":
+        """Inverse of :meth:`to_dict`; an undecodable embedded program
+        degrades to ``program=None`` rather than failing the load."""
+        program = None
+        raw = data.get("program")
+        if raw:
+            from repro.agent.protocol import deserialize_program
+            try:
+                program = deserialize_program(bytes.fromhex(str(raw)))
+            except Exception:
+                program = None
+        return cls(
+            os_name=str(data.get("os_name", "")),
+            kind=str(data.get("kind", "")),
+            cause=str(data.get("cause", "")),
+            detail=str(data.get("detail", "")),
+            monitor=str(data.get("monitor", "")),
+            backtrace=[str(frame) for frame in data.get("backtrace", [])],
+            uart_tail=[str(line) for line in data.get("uart_tail", [])],
+            program=program,
+            cycles=int(data.get("cycles", 0)))
+
     def render(self) -> str:
         """Human-readable report (the Figure 6 shape)."""
         lines = [f"[{self.os_name}] {self.kind}: {self.cause}"]

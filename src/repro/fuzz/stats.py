@@ -154,6 +154,11 @@ class CampaignStats:
     seeds_shared: int = 0     # pushes admitted to the shared corpus
     seeds_imported: int = 0   # pulls delivered to some worker
     aborted_workers: int = 0  # RecoveryExhausted quarantines
+    # Persistence (repro.db): the epoch a resumed campaign restarted
+    # from (0 = fresh), and whether this run stopped at an interrupt
+    # request instead of exhausting its budget.
+    resumed_from_epoch: int = 0
+    interrupted: bool = False
 
     @property
     def worker_count(self) -> int:
@@ -178,6 +183,8 @@ class CampaignStats:
             "seeds_shared": self.seeds_shared,
             "seeds_imported": self.seeds_imported,
             "aborted_workers": self.aborted_workers,
+            "resumed_from_epoch": self.resumed_from_epoch,
+            "interrupted": self.interrupted,
             "workers": [stats.to_dict() for stats in self.workers],
         }
 
@@ -192,7 +199,9 @@ class CampaignStats:
             sync_epochs=int(data.get("sync_epochs", 0)),
             seeds_shared=int(data.get("seeds_shared", 0)),
             seeds_imported=int(data.get("seeds_imported", 0)),
-            aborted_workers=int(data.get("aborted_workers", 0)))
+            aborted_workers=int(data.get("aborted_workers", 0)),
+            resumed_from_epoch=int(data.get("resumed_from_epoch", 0)),
+            interrupted=bool(data.get("interrupted", False)))
         stats.workers = [FuzzStats.from_dict(worker)
                          for worker in data.get("workers", [])]
         return stats

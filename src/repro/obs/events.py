@@ -68,6 +68,9 @@ EVENT_REGISTRY = frozenset({
     "farm.crash.new", "farm.worker.done",
     # -- telemetry pipeline (timeseries / flight recorder) ------------------
     "ts.sample", "flight.dump",
+    # -- campaign store (repro.db) ------------------------------------------
+    "db.open", "db.checkpoint", "db.quarantined", "db.resume",
+    "db.interrupted",
 })
 
 

@@ -92,9 +92,8 @@ class FlightRecorder(Sink):
             payload["counter_deltas"] = {
                 name: value - self._last_counters.get(name, 0)
                 for name, value in sorted(counters.items())}
-        with open(path, "w", encoding="utf-8") as fh:
-            json.dump(payload, fh, indent=2, default=str)
-            fh.write("\n")
+        from repro.db.io import atomic_write_json
+        atomic_write_json(path, payload)
         self._last_counters = counters
         self.dumps += 1
         self.dumped_paths.append(path)

@@ -39,6 +39,10 @@ METRIC_REGISTRY = frozenset({
     "farm.seeds.shared", "farm.seeds.imported",
     # -- telemetry pipeline -------------------------------------------------
     "ts.samples", "flight.dumps", "profile.attribution",
+    # -- campaign store (repro.db) ------------------------------------------
+    "db.salvaged", "db.quarantined", "db.quarantined.bytes",
+    "db.uncommitted", "db.checkpoints", "db.journal.records",
+    "db.journal.bytes",
 })
 
 

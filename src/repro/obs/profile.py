@@ -191,10 +191,8 @@ def profile_table_rows(profile: Dict[str, object]) -> List[List[object]]:
 def write_profile(run_dir: str, profile: Dict[str, object]) -> str:
     """Write ``profile.json`` into a run directory."""
     path = os.path.join(run_dir, PROFILE_FILE)
-    with open(path, "w", encoding="utf-8") as fh:
-        json.dump(profile, fh, indent=2)
-        fh.write("\n")
-    return path
+    from repro.db.io import atomic_write_json
+    return atomic_write_json(path, profile)
 
 
 def load_profile(run_dir: str) -> Dict[str, object]:

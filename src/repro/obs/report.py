@@ -25,6 +25,7 @@ import os
 from typing import Dict, Optional
 
 from repro.bench.report import render_table
+from repro.db.io import atomic_write_json, atomic_write_text
 from repro.fuzz.stats import FuzzStats
 from repro.obs.profile import (build_profile, profile_table_rows,
                                run_total_cycles, write_profile)
@@ -102,27 +103,21 @@ def write_run_artifacts(run_dir: str, data: dict) -> str:
     profile = data.get("profile") or build_profile(data)
     data = dict(data)
     data.pop("profile", None)
-    with open(os.path.join(run_dir, METRICS_FILE), "w",
-              encoding="utf-8") as fh:
-        json.dump(data, fh, indent=2, default=str)
-        fh.write("\n")
+    # Every artifact goes through the atomic write helpers: a reader
+    # (or a crash) can never observe a half-written report set.
+    atomic_write_json(os.path.join(run_dir, METRICS_FILE), data)
     write_profile(run_dir, profile)
-    text = render_report(data, profile=profile)
-    with open(os.path.join(run_dir, REPORT_FILE), "w",
-              encoding="utf-8") as fh:
-        fh.write(text)
-        if not text.endswith("\n"):
-            fh.write("\n")
-    with open(os.path.join(run_dir, PROM_FILE), "w",
-              encoding="utf-8") as fh:
-        fh.write(render_prom({**data, "profile": profile}))
+    atomic_write_text(os.path.join(run_dir, REPORT_FILE),
+                      render_report(data, profile=profile),
+                      ensure_newline=True)
+    atomic_write_text(os.path.join(run_dir, PROM_FILE),
+                      render_prom({**data, "profile": profile}))
     ts_path = os.path.join(run_dir, TIMESERIES_FILE)
     timeseries = load_timeseries(ts_path) if os.path.exists(ts_path) \
         else None
-    with open(os.path.join(run_dir, HTML_FILE), "w",
-              encoding="utf-8") as fh:
-        fh.write(render_html({**data, "profile": profile},
-                             timeseries=timeseries))
+    atomic_write_text(os.path.join(run_dir, HTML_FILE),
+                      render_html({**data, "profile": profile},
+                                  timeseries=timeseries))
     return run_dir
 
 

@@ -99,20 +99,34 @@ class TimeSeriesSampler:
 
 
 def load_timeseries(path: str) -> List[Dict[str, object]]:
-    """Read one ``timeseries.jsonl`` file; rejects unknown majors."""
+    """Read one ``timeseries.jsonl`` file; rejects unknown majors.
+
+    The sampler streams rows live, so a kill mid-run can leave a torn
+    final line; like every streamed-artifact loader, this one drops an
+    unparseable *last* line silently and still raises on garbage in the
+    middle of the file (that is corruption, not a torn tail).
+    """
     rows = []
     with open(path, encoding="utf-8") as fh:
-        for line in fh:
-            line = line.strip()
-            if not line:
-                continue
+        lines = fh.read().splitlines()
+    while lines and not lines[-1].strip():
+        lines.pop()
+    for index, line in enumerate(lines):
+        line = line.strip()
+        if not line:
+            continue
+        try:
             row = json.loads(line)
-            major = int(row.get("v", TS_SCHEMA_MAJOR))
-            if major != TS_SCHEMA_MAJOR:
-                raise ValueError(
-                    f"{path}: unsupported timeseries schema major "
-                    f"{major} (this build reads {TS_SCHEMA_MAJOR})")
-            rows.append(row)
+        except ValueError:
+            if index == len(lines) - 1:
+                break
+            raise
+        major = int(row.get("v", TS_SCHEMA_MAJOR))
+        if major != TS_SCHEMA_MAJOR:
+            raise ValueError(
+                f"{path}: unsupported timeseries schema major "
+                f"{major} (this build reads {TS_SCHEMA_MAJOR})")
+        rows.append(row)
     return rows
 
 
@@ -169,9 +183,11 @@ def merge_worker_series(
 
 def write_timeseries(path: str,
                      rows: Iterable[Dict[str, object]]) -> str:
-    """Write rows as canonical JSONL (the merge artifact writer)."""
-    with open(path, "w", encoding="utf-8") as fh:
-        for row in rows:
-            fh.write(_row_bytes(row))
-            fh.write("\n")
-    return path
+    """Write rows as canonical JSONL (the merge artifact writer).
+
+    Unlike the sampler's live stream this writes a complete artifact in
+    one shot, so it goes through the atomic-replace helper.
+    """
+    from repro.db.io import atomic_write_text
+    return atomic_write_text(
+        path, "".join(_row_bytes(row) + "\n" for row in rows))

@@ -248,7 +248,7 @@ class TestDeterminismLint:
     def test_own_tree_is_clean(self):
         report = lint_sources()
         assert report.clean, report.render()
-        assert report.summary["lint.rules"] >= 4
+        assert report.summary["lint.rules"] >= 6
         assert report.summary["lint.files"] > 50
 
     def test_nondeterministic_call_flagged(self, tmp_path):
@@ -304,6 +304,59 @@ class TestDeterminismLint:
         bad.write_text("def f(:\n")
         report = lint_sources([str(bad)])
         assert report.codes() == ["EOF305"]
+
+    def test_unregistered_metric_flagged(self, tmp_path):
+        bad = tmp_path / "metrics.py"
+        bad.write_text("def f(obs):\n"
+                       "    obs.counter('totally.unregistered').inc()\n"
+                       "    obs.counter('corpus.size').inc()\n")
+        report = lint_sources([str(bad)])
+        assert report.codes() == ["EOF306"]
+        assert len(report.diagnostics) == 1
+
+    def test_bare_persistent_write_flagged(self, tmp_path):
+        bad = tmp_path / "writer.py"
+        bad.write_text(
+            "import json\n\n"
+            "def save(run_dir, payload):\n"
+            "    with open(run_dir + '/metrics.json', 'w') as fh:\n"
+            "        json.dump(payload, fh)\n")
+        report = lint_sources([str(bad)])
+        assert report.codes() == ["EOF307"]
+        assert dict(report.diagnostics[0].data)["artifact"] \
+            == "/metrics.json"
+
+    def test_constant_filename_write_flagged(self, tmp_path):
+        bad = tmp_path / "constwriter.py"
+        bad.write_text(
+            "import os\n\n"
+            "SERIES_FILE = 'timeseries.jsonl'\n\n"
+            "def save(run_dir, text):\n"
+            "    path = os.path.join(run_dir, SERIES_FILE)\n"
+            "    with open(os.path.join(run_dir, SERIES_FILE),\n"
+            "              mode='w') as fh:\n"
+            "        fh.write(text)\n")
+        report = lint_sources([str(bad)])
+        assert report.codes() == ["EOF307"]
+
+    def test_atomic_helper_and_streams_not_flagged(self, tmp_path):
+        db_dir = tmp_path / "db"
+        db_dir.mkdir()
+        # The helper module itself is exempt; appends and writes to a
+        # computed path (the streaming sinks) are out of scope.
+        (db_dir / "io.py").write_text(
+            "def atomic_write_text(path, text):\n"
+            "    with open(path + '.json', 'w') as fh:\n"
+            "        fh.write(text)\n")
+        (tmp_path / "sink.py").write_text(
+            "from repro.db.io import atomic_write_json\n\n"
+            "def good(path, payload, stream_path):\n"
+            "    atomic_write_json(path, payload)\n"
+            "    with open(stream_path, 'a') as fh:\n"
+            "        fh.write('x')\n"
+            "    with open('events.jsonl', 'ab') as fh:\n"
+            "        fh.write(b'x')\n")
+        assert lint_sources([str(tmp_path)]).clean
 
 
 # ---------------------------------------------------------------------------
