@@ -9,7 +9,10 @@ on codes instead of message text.  Code ranges are reserved per pass:
 * ``EOF2xx`` — kernel reachability and instrumentation-site hygiene
   (:mod:`repro.analysis.reach`),
 * ``EOF3xx`` — repo determinism / hygiene lint
-  (:mod:`repro.analysis.lint`).
+  (:mod:`repro.analysis.lint`),
+* ``EOF4xx`` — concurrency effects: races, lock order, signal safety
+  (:mod:`repro.analysis.concurrency`), plus ``EOF407`` for stale
+  inline suppressions (:mod:`repro.analysis.suppress`).
 
 An :class:`AnalysisReport` aggregates the diagnostics of one analysis
 run plus pass-level summary numbers, and round-trips through JSON as the
@@ -47,6 +50,14 @@ CODE_TABLE: Dict[str, str] = {
     "EOF305": "unparseable source file",
     "EOF306": "metric name not declared in the metric registry",
     "EOF307": "persistent artifact written without the atomic helpers",
+    # -- EOF4xx: concurrency effects ----------------------------------------
+    "EOF401": "guarded attribute written without its declared lock",
+    "EOF402": "lock-order inversion (acquired-while-holding cycle)",
+    "EOF403": "signal handler exceeds the flag/append effect whitelist",
+    "EOF404": "mutable module global written from threaded context",
+    "EOF405": "guarded state mutated from outside its class without "
+              "lock or barrier",
+    "EOF407": "unused suppression comment",
 }
 
 SEV_ERROR = "error"

@@ -18,6 +18,9 @@ into machine-checked invariants:
 * **EOF304** — a dataclass in ``spec/model.py`` that is not
   ``frozen=True``; spec nodes are shared across generator, mutator and
   analysis passes and must be immutable.
+* **EOF305** — a source file under the linted tree that does not parse;
+  an unparseable file is invisible to every AST rule, so it is itself a
+  finding rather than a silent skip.
 * **EOF306** — a ``counter("name")`` / ``gauge("name")`` /
   ``histogram("name")`` call whose literal name is not declared in
   :data:`repro.obs.metrics.METRIC_REGISTRY`; the metric vocabulary is
@@ -295,12 +298,19 @@ def default_lint_root() -> str:
     return os.path.dirname(os.path.abspath(repro.__file__))
 
 
-def lint_sources(paths: Optional[Sequence[str]] = None) -> AnalysisReport:
+def lint_sources(paths: Optional[Sequence[str]] = None,
+                 suppressions=None,
+                 report_unused: bool = True) -> AnalysisReport:
     """Run every EOF3xx rule over the given files/directories.
 
     Defaults to the installed ``repro`` package tree, which is what
-    ``eof-fuzz lint`` and the CI gate check.
+    ``eof-fuzz lint`` and the CI gate check.  Inline ``# eof:
+    allow[EOF3nn]`` comments drop matching findings; when the pass owns
+    its suppression index (``suppressions=None``) it also reports stale
+    EOF3xx allows as EOF407 unless ``report_unused`` is false.
     """
+    from repro.analysis.suppress import SuppressionIndex
+
     if not paths:
         paths = [default_lint_root()]
     root = os.path.commonpath([os.path.abspath(p) for p in paths]) \
@@ -309,23 +319,32 @@ def lint_sources(paths: Optional[Sequence[str]] = None) -> AnalysisReport:
         root = os.path.dirname(root)
     registry = _event_registry()
     metric_registry = _metric_registry()
+    own_index = suppressions is None
+    if own_index:
+        suppressions = SuppressionIndex()
     report = AnalysisReport(target="lint")
     files = 0
     for path in _iter_python_files([os.path.abspath(p) for p in paths]):
         files += 1
+        rel_path = _rel(path, root)
         with open(path, encoding="utf-8") as fh:
             source = fh.read()
+        if own_index:
+            suppressions.scan_source(rel_path, source)
         try:
             tree = ast.parse(source, filename=path)
         except SyntaxError as exc:
-            report.add(diag("EOF305",
-                            f"file does not parse: {exc.msg}",
-                            where=f"{_rel(path, root)}:{exc.lineno or 0}",
-                            severity=SEV_ERROR))
+            report.extend(suppressions.filter([diag(
+                "EOF305",
+                f"file does not parse: {exc.msg}",
+                where=f"{rel_path}:{exc.lineno or 0}",
+                severity=SEV_ERROR)]))
             continue
-        report.extend(_lint_tree(tree, _rel(path, root), registry,
-                                 metric_registry))
+        report.extend(suppressions.filter(
+            _lint_tree(tree, rel_path, registry, metric_registry)))
+    if own_index and report_unused:
+        report.extend(suppressions.unused_diagnostics(("EOF3",)))
     report.summary = {"lint.files": files,
-                      "lint.rules": 6,
+                      "lint.rules": 7,
                       "lint.diagnostics": len(report.diagnostics)}
     return report

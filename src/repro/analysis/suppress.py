@@ -1,0 +1,128 @@
+"""Inline diagnostic suppressions, shared by every analysis pass.
+
+A trailing ``# eof: allow[EOFnnn]`` comment on the offending line tells
+whichever pass scans that file to drop matching diagnostics::
+
+    self.total += 1  # eof: allow[EOFnnn]  single-writer by construction
+
+(with ``nnn`` a real code number; the placeholder here deliberately
+does not match the scanner, which is line-based and cannot tell a
+docstring from code.)
+
+The contract is deliberately narrow:
+
+* a suppression matches **one code on one line** — there is no
+  file-level or range form, so an allow can never hide a second,
+  unrelated finding that later lands on the same file;
+* **EOF407** — an *unused* suppression: an ``allow[...]`` comment that
+  matched no diagnostic in a run that executed the pass owning that
+  code.  Stale allows are how suppression lists rot, so they are
+  themselves a finding.  A pass that did not run (e.g. ``eof-fuzz
+  lint`` never executes the concurrency pass) does not report EOF407
+  for the other pass's codes — only codes whose range was actually
+  checked in this invocation count as stale.
+
+Location matching is suffix-tolerant: passes record ``where`` as
+``path:line`` with paths relative to whatever root they scanned, so a
+suppression recorded under ``farm/state.py`` matches a diagnostic
+reported against ``repro/farm/state.py`` and vice versa.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.analysis.diagnostics import Diagnostic, diag
+
+#: The inline-comment form every pass honors.
+SUPPRESS_RE = re.compile(r"#\s*eof:\s*allow\[(EOF\d{3})\]")
+
+
+@dataclass
+class Suppression:
+    """One ``# eof: allow[CODE]`` comment at ``path:line``."""
+
+    path: str
+    line: int
+    code: str
+    used: bool = False
+
+
+def _same_file(a: str, b: str) -> bool:
+    """Suffix-tolerant path equality (different scan roots)."""
+    if a == b:
+        return True
+    return a.endswith("/" + b) or b.endswith("/" + a)
+
+
+@dataclass
+class SuppressionIndex:
+    """Every suppression comment found in the scanned sources."""
+
+    suppressions: List[Suppression] = field(default_factory=list)
+
+    def scan_source(self, rel_path: str, source: str) -> None:
+        """Collect the allow comments of one file's text."""
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            for code in SUPPRESS_RE.findall(text):
+                self.suppressions.append(
+                    Suppression(path=rel_path, line=lineno, code=code))
+
+    def scan_file(self, path: str, rel_path: str) -> None:
+        with open(path, encoding="utf-8") as fh:
+            self.scan_source(rel_path, fh.read())
+
+    def allows(self, rel_path: str, line: int, code: str) -> bool:
+        """True (and mark used) if ``code`` at ``rel_path:line`` is
+        suppressed."""
+        hit = False
+        for entry in self.suppressions:
+            if entry.code == code and entry.line == line and \
+                    _same_file(entry.path, rel_path):
+                entry.used = True
+                hit = True
+        return hit
+
+    def allows_where(self, where: str, code: str) -> bool:
+        """Match a diagnostic by its ``path:line`` where-string."""
+        path, sep, line = where.rpartition(":")
+        if not sep or not line.isdigit():
+            return False
+        return self.allows(path, int(line), code)
+
+    def filter(self, diagnostics: Iterable[Diagnostic]) -> List[Diagnostic]:
+        """Drop every diagnostic an allow comment matches."""
+        return [d for d in diagnostics
+                if not self.allows_where(d.where, d.code)]
+
+    def unused(self, prefixes: Sequence[str]) -> List[Suppression]:
+        """Unmatched suppressions whose code range was actually run."""
+        return [entry for entry in self.suppressions
+                if not entry.used and entry.code.startswith(tuple(prefixes))]
+
+    def unused_diagnostics(self,
+                           prefixes: Sequence[str]) -> List[Diagnostic]:
+        """EOF407 for every stale allow within the executed ranges."""
+        out = []
+        for entry in sorted(self.unused(prefixes),
+                            key=lambda e: (e.path, e.line, e.code)):
+            out.append(diag(
+                "EOF407",
+                f"suppression allow[{entry.code}] matched no diagnostic; "
+                f"remove the stale comment",
+                where=f"{entry.path}:{entry.line}",
+                suppressed=entry.code))
+        return out
+
+
+def scan_suppressions(files: Sequence[Tuple[str, str]]) -> SuppressionIndex:
+    """Build an index from ``(abs_path, rel_path)`` pairs."""
+    index = SuppressionIndex()
+    for path, rel_path in files:
+        try:
+            index.scan_file(path, rel_path)
+        except OSError:
+            continue
+    return index

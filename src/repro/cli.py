@@ -18,7 +18,9 @@ Subcommands::
                      --format F        ... as text (default), json or html
     eof-fuzz analyze TARGET            static analysis of one target
                      --out DIR         ... writing analysis.json to DIR
+                     --explain CODE    document one diagnostic code
     eof-fuzz lint    [PATH ...]        determinism-lint python sources
+    eof-fuzz concurrency [PATH ...]    concurrency-effect analysis (EOF4xx)
     eof-fuzz repro   --bug N           run a Table 2 bug reproducer
     eof-fuzz bugs                      list the Table 2 bug catalog
 """
@@ -117,18 +119,21 @@ def _cmd_run(args) -> int:
         print()
         print(report.render())
     if obs is not None:
-        from repro.analysis import analyze_target, write_analysis_artifact
+        from repro.analysis import (analysis_summary, analyze_target,
+                                    write_analysis_artifact)
         from repro.obs.report import collect_run_data, write_run_artifacts
         obs.close()
         data = collect_run_data(obs, stats=stats, meta={
             "target": args.target, "fuzzer": args.fuzzer,
             "seed": args.seed, "budget_cycles": args.budget,
             "chaos": args.chaos or "none"})
-        write_run_artifacts(args.trace_dir, data)
         # Static-analysis snapshot rides along with the run artifacts so
-        # a recorded run carries its own edge-universe provenance.
-        write_analysis_artifact(
-            args.trace_dir, analyze_target(args.target, include_lint=False))
+        # a recorded run carries its own edge-universe provenance, and
+        # its compact summary lands in report.txt.
+        analysis = analyze_target(args.target, include_lint=False)
+        data["analysis"] = analysis_summary(analysis)
+        write_run_artifacts(args.trace_dir, data)
+        write_analysis_artifact(args.trace_dir, analysis)
         print(f"run artifacts written to {args.trace_dir}")
     return exit_code
 
@@ -308,8 +313,22 @@ def _cmd_campaign(args) -> int:
 
 
 def _cmd_analyze(args) -> int:
-    from repro.analysis import analyze_target, write_analysis_artifact
-    report = analyze_target(args.target, include_lint=not args.no_lint)
+    from repro.analysis import (analyze_target, explain_code,
+                                write_analysis_artifact)
+    if args.explain:
+        text = explain_code(args.explain)
+        if text is None:
+            print(f"unknown diagnostic code {args.explain!r}",
+                  file=sys.stderr)
+            return 1
+        print(text)
+        return 0
+    if not args.target:
+        print("analyze: a TARGET (or --explain CODE) is required",
+              file=sys.stderr)
+        return 1
+    report = analyze_target(args.target, include_lint=not args.no_lint,
+                            include_concurrency=not args.no_concurrency)
     print(report.render())
     if args.out:
         os.makedirs(args.out, exist_ok=True)
@@ -321,6 +340,13 @@ def _cmd_analyze(args) -> int:
 def _cmd_lint(args) -> int:
     from repro.analysis import lint_sources
     report = lint_sources(args.paths or None)
+    print(report.render())
+    return 0 if report.clean else 1
+
+
+def _cmd_concurrency(args) -> int:
+    from repro.analysis import analyze_concurrency
+    report = analyze_concurrency(args.paths or None)
     print(report.render())
     return 0 if report.clean else 1
 
@@ -502,19 +528,32 @@ def main(argv=None) -> int:
                           help="output rendering (default: text)")
 
     analyze_p = sub.add_parser(
-        "analyze", help="static analysis: spec lint + reachability")
-    analyze_p.add_argument("target")
+        "analyze", help="static analysis: spec lint + reachability + "
+                        "determinism + concurrency")
+    analyze_p.add_argument("target", nargs="?", default=None)
     analyze_p.add_argument("--out", default=None, metavar="DIR",
                            help="also write analysis.json into DIR")
     analyze_p.add_argument("--no-lint", action="store_true",
                            help="skip the determinism lint of the host "
                                 "sources")
+    analyze_p.add_argument("--no-concurrency", action="store_true",
+                           help="skip the concurrency-effect pass")
+    analyze_p.add_argument("--explain", default=None, metavar="CODE",
+                           help="print the documentation of one "
+                                "diagnostic code (e.g. EOF401) and exit")
 
     lint_p = sub.add_parser(
         "lint", help="determinism lint of the host python sources")
     lint_p.add_argument("paths", nargs="*",
                         help="files/directories to lint (default: the "
                              "installed repro package)")
+
+    conc_p = sub.add_parser(
+        "concurrency", help="concurrency-effect analysis (EOF4xx) of "
+                            "the host python sources")
+    conc_p.add_argument("paths", nargs="*",
+                        help="files/directories to analyze (default: "
+                             "the installed repro package)")
 
     sub.add_parser("bugs", help="list the Table 2 bug catalog")
 
@@ -529,7 +568,8 @@ def main(argv=None) -> int:
                 "run": _cmd_run, "campaign": _cmd_campaign,
                 "report": _cmd_report, "bugs": _cmd_bugs,
                 "repro": _cmd_repro, "spec": _cmd_spec,
-                "analyze": _cmd_analyze, "lint": _cmd_lint}
+                "analyze": _cmd_analyze, "lint": _cmd_lint,
+                "concurrency": _cmd_concurrency}
     try:
         return handlers[args.command](args)
     except BrokenPipeError:

@@ -74,6 +74,31 @@ REC_EPOCH = "E"    # epoch commit: frontier delta + series row
 class CampaignStore:
     """Durable mirror of one campaign's shared state."""
 
+    #: Concurrency contract (EOF401/EOF405): the store is
+    #: single-threaded *by design* — it is driven from the CLI and the
+    #: orchestrator's epoch barrier only, never from a worker or a
+    #: signal handler.  ``@main`` makes the analyzer enforce exactly
+    #: that, instead of paying for a lock nothing contends on.
+    GUARDED_BY = {
+        "config": "@main",
+        "epoch": "@main",
+        "edges": "@main",
+        "entries": "@main",
+        "crashes": "@main",
+        "series": "@main",
+        "tallies": "@main",
+        "salvaged_records": "@main",
+        "quarantined_spans": "@main",
+        "quarantined_bytes": "@main",
+        "torn_tail_bytes": "@main",
+        "dropped_uncommitted": "@main",
+        "resumed_from_epoch": "@main",
+        "_digests": "@main",
+        "_writer": "@main",
+        "_last_checkpoint_epoch": "@main",
+        "_epoch_records": "@main",
+    }
+
     def __init__(self, root: str, obs: Optional[Observability] = None,
                  durable: bool = True, checkpoint_every: int = 4):
         self.root = str(root)

@@ -150,6 +150,28 @@ EngineFactory = Callable[[int, int, int], EofEngine]
 class CampaignOrchestrator:
     """Run one campaign: N workers, shared corpus, sync epochs."""
 
+    #: Concurrency contract (EOF401/EOF405).  ``@atomic`` — the stop
+    #: flag is written from the CLI signal handler and read at the
+    #: barrier, so writes must stay single constant stores (GIL-atomic).
+    #: ``@barrier`` — coordinator bookkeeping touched only between
+    #: epochs, while the pool is joined; never from worker or signal
+    #: context.
+    GUARDED_BY = {
+        "_stop_requested": "@atomic",
+        "_interrupted": "@barrier",
+        "_last_imported": "@barrier",
+        "_status": "@barrier",
+        "_offered": "@barrier",
+        "_delivered": "@barrier",
+        "_crash_offsets": "@barrier",
+        "_epochs_run": "@barrier",
+    }
+
+    #: Methods that *are* the epoch barrier: every worker future has
+    #: been joined when they run, so EOF405 permits cross-object
+    #: mutation (e.g. folding store state back into ``state``) here.
+    EPOCH_BARRIERS = ("_sync", "_persist_epoch")
+
     def __init__(self, factory: EngineFactory,
                  options: Optional[CampaignOptions] = None,
                  obs: Optional[Observability] = None,

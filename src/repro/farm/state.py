@@ -49,6 +49,20 @@ class TriagedCrash:
 class CampaignState:
     """Thread-safe shared state of one fuzzing campaign."""
 
+    #: Machine-checked concurrency contract (EOF401/EOF405): every
+    #: field below may only be touched under ``self._lock`` — workers
+    #: hit this object concurrently, and barrier regions get no free
+    #: pass here because ``pull``/``push`` run mid-epoch too.
+    GUARDED_BY = {
+        "edges": "_lock",
+        "corpus": "_lock",
+        "provenance": "_lock",
+        "crashes": "_lock",
+        "seeds_shared": "_lock",
+        "seeds_imported": "_lock",
+        "seeds_warmed": "_lock",
+    }
+
     def __init__(self, max_corpus: int = MAX_CORPUS) -> None:
         self._lock = threading.Lock()
         self.edges: Set[int] = set()

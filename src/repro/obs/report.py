@@ -206,6 +206,25 @@ def render_report(data: dict, profile: Optional[dict] = None) -> str:
             ["board", "execs", "edges", "crashes", "imports",
              "restores"], rows))
 
+    analysis = data.get("analysis")
+    if analysis:
+        lines = ["Static analysis"]
+        codes = analysis.get("codes", {})
+        count = analysis.get("diagnostics", 0)
+        if codes:
+            rendered = ", ".join(f"{code} x{codes[code]}"
+                                 for code in sorted(codes))
+            lines.append(f"  diagnostics: {count} ({rendered})")
+        else:
+            lines.append("  diagnostics: none")
+        summary = analysis.get("summary", {})
+        for key in ("reach.edge_universe", "conc.classes_guarded",
+                    "conc.worker_functions", "conc.signal_handlers",
+                    "conc.lock_edges"):
+            if key in summary:
+                lines.append(f"  {key:22}: {summary[key]}")
+        sections.append("\n".join(lines))
+
     phases = data.get("phases", {})
     if phases:
         total = sum(entry["cycles"] for entry in phases.values()) or 1

@@ -1,0 +1,37 @@
+"""Clean fixture: every guarded write is disciplined.
+
+Lock-guarded writes stay inside ``with self._lock:``; the ``@atomic``
+flag only ever receives whole constant stores; the external mutation in
+``locked_drain`` holds the object's declared lock.  Zero diagnostics.
+"""
+
+import threading
+
+
+class Tally:
+    GUARDED_BY = {"count": "_lock", "stopping": "@atomic"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+        self.stopping = False
+
+    def bump(self):
+        with self._lock:
+            self.count += 1
+
+    def stop(self):
+        self.stopping = True
+
+
+def locked_drain(tally: Tally):
+    with tally._lock:
+        tally.count = 0
+
+
+def run():
+    tally = Tally()
+    thread = threading.Thread(target=tally.bump)
+    thread.start()
+    thread.join()
+    tally.stop()

@@ -1,0 +1,18 @@
+"""EOF401 fixture: a guarded attribute written without its lock.
+
+``Tally.count`` declares ``GUARDED_BY _lock`` but ``bump`` performs a
+read-modify-write without entering the lock.  Exactly one EOF401.
+"""
+
+import threading
+
+
+class Tally:
+    GUARDED_BY = {"count": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.count = 0
+
+    def bump(self):
+        self.count += 1

@@ -1,0 +1,34 @@
+"""EOF402 fixture: a three-lock cycle through an interprocedural edge.
+
+A -> B comes from calling ``grab_b`` while holding A (the callee's
+transitive acquisition, not a lexical nesting); B -> C and C -> A are
+lexical.  One cycle, so exactly one EOF402.
+"""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+LOCK_C = threading.Lock()
+
+
+def grab_b():
+    with LOCK_B:
+        pass
+
+
+def a_then_b():
+    with LOCK_A:
+        grab_b()
+
+
+def b_then_c():
+    with LOCK_B:
+        with LOCK_C:
+            pass
+
+
+def c_then_a():
+    with LOCK_C:
+        with LOCK_A:
+            pass

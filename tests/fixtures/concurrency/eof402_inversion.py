@@ -1,0 +1,23 @@
+"""EOF402 fixture: the classic two-lock order inversion.
+
+``forward`` takes A then B; ``backward`` takes B then A.  One strongly
+connected component in the acquired-while-holding graph, so exactly one
+EOF402.
+"""
+
+import threading
+
+LOCK_A = threading.Lock()
+LOCK_B = threading.Lock()
+
+
+def forward():
+    with LOCK_A:
+        with LOCK_B:
+            pass
+
+
+def backward():
+    with LOCK_B:
+        with LOCK_A:
+            pass

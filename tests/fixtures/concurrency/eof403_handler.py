@@ -1,0 +1,27 @@
+"""EOF403 fixture: a signal handler with a non-whitelisted effect.
+
+``_on_alarm`` transitively performs a dict item-store
+(``Recorder.samples[key] = ...``) — neither a constant flag assignment
+nor an ``append``, so the handler exceeds the async-signal-safe
+whitelist.  Exactly one EOF403.
+"""
+
+import signal
+
+
+class Recorder:
+    def __init__(self):
+        self.samples = {}
+
+    def note(self, key):
+        self.samples[key] = 1
+
+
+REC = Recorder()
+
+
+def install():
+    def _on_alarm(signum, frame):
+        REC.note(signum)
+
+    signal.signal(signal.SIGALRM, _on_alarm)

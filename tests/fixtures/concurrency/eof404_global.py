@@ -1,0 +1,19 @@
+"""EOF404 fixture: a module global mutated from worker context.
+
+``worker`` is a ``threading.Thread`` target and appends to the
+module-level ``RESULTS`` list with no module lock held.  Exactly one
+EOF404.
+"""
+
+import threading
+
+RESULTS = []
+
+
+def worker():
+    RESULTS.append(1)
+
+
+def start():
+    thread = threading.Thread(target=worker)
+    thread.start()

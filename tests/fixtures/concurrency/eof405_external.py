@@ -1,0 +1,20 @@
+"""EOF405 fixture: guarded state mutated from outside its class.
+
+``drain`` clears ``Shared.items`` through a typed parameter without
+holding the declared lock, and is neither a barrier region nor
+lock-entered.  Exactly one EOF405.
+"""
+
+import threading
+
+
+class Shared:
+    GUARDED_BY = {"items": "_lock"}
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.items = []
+
+
+def drain(shared: Shared):
+    shared.items.clear()

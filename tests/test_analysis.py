@@ -63,7 +63,7 @@ class TestDiagnosticModel:
 
     def test_code_table_covers_all_passes(self):
         prefixes = {code[:4] for code in CODE_TABLE}
-        assert prefixes == {"EOF1", "EOF2", "EOF3"}
+        assert prefixes == {"EOF1", "EOF2", "EOF3", "EOF4"}
 
     def test_diagnostic_round_trip(self):
         d = diag("EOF101", "m", where="w", severity="error", a=1, b="x")
