@@ -1,0 +1,101 @@
+"""Snapshot-restore throughput bench: dirty-page write-back vs reflash.
+
+The snapshot PR's acceptance gate, measured on the 5-OS full-system
+matrix under the stateless-fuzzing workload (restore the pristine
+post-boot state after *every* program, the restore-heaviest case the
+paper's Algorithm 1 pays reflash for): snapshot restores must fuzz at
+>= 3x the reflash ladder's execution rate while leaving every fuzzing
+outcome byte-identical (same seed -> same restore-invariant
+``FuzzStats.semantic_dict()``).  Writes
+``bench_results/snapshot_throughput.txt``.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.bench.report import render_table
+from repro.firmware.builder import build_firmware
+from repro.fuzz.engine import EngineOptions, EofEngine
+from repro.fuzz.targets import get_target
+from repro.spec.llmgen import generate_validated_specs
+
+from common import FULL_SYSTEM_OSES, save_result
+
+SEED = 1
+ITERATIONS = 30
+#: Iteration-capped runs: a cycle budget would let the cheaper snapshot
+#: mode execute more programs and break the apples-to-apples comparison.
+BUDGET = 50_000_000
+RESTORE_EVERY = 1
+SPEEDUP_GATE = 3.0
+
+
+def run_mode(os_name: str, snapshots: bool):
+    build = build_firmware(get_target(os_name).build_config())
+    spec = generate_validated_specs(build)
+    engine = EofEngine(build, spec, EngineOptions(
+        seed=SEED, budget_cycles=BUDGET, max_iterations=ITERATIONS,
+        snapshots=snapshots, restore_every=RESTORE_EVERY))
+    result = engine.run()
+    return engine, result
+
+
+def spent_cycles(result) -> int:
+    return result.stats.series[-1][0] - result.stats.start_cycles
+
+
+@pytest.fixture(scope="module")
+def snapshot_rows():
+    return {os_name: (run_mode(os_name, snapshots=True),
+                      run_mode(os_name, snapshots=False))
+            for os_name in FULL_SYSTEM_OSES}
+
+
+class TestSnapshotThroughput:
+    def test_results_byte_identical_across_modes(self, snapshot_rows):
+        for os_name, ((_, snap), (_, flash)) in snapshot_rows.items():
+            assert snap.stats.semantic_dict(restore_invariant=True) == \
+                flash.stats.semantic_dict(restore_invariant=True), os_name
+            assert snap.coverage.edges == flash.coverage.edges, os_name
+
+    def test_snapshot_mode_is_at_least_3x_faster(self, snapshot_rows):
+        for os_name, ((_, snap), (_, flash)) in snapshot_rows.items():
+            speedup = spent_cycles(flash) / spent_cycles(snap)
+            assert speedup >= SPEEDUP_GATE, (
+                f"{os_name}: {spent_cycles(flash)} -> {spent_cycles(snap)} "
+                f"cycles for {ITERATIONS} programs ({speedup:.1f}x)")
+
+    def test_restores_actually_happened(self, snapshot_rows):
+        # The workload is vacuous unless both modes paid their restore
+        # path once per program.
+        for os_name, ((snap_eng, _), (flash_eng, _)) \
+                in snapshot_rows.items():
+            assert snap_eng.stats.snapshot_restores >= ITERATIONS - 1, \
+                os_name
+            assert flash_eng.stats.restorations >= ITERATIONS - 1, os_name
+
+
+def test_snapshot_throughput_render(snapshot_rows):
+    rows = []
+    for os_name, ((snap_eng, snap), (_, flash)) in snapshot_rows.items():
+        snap_spent, flash_spent = spent_cycles(snap), spent_cycles(flash)
+        rows.append([
+            os_name,
+            f"{flash_spent}",
+            f"{snap_spent}",
+            f"{flash_spent / snap_spent:.1f}x",
+            f"{snap_eng.stats.snapshot_restores}",
+            f"{snap_eng.stats.snapshot_pages_written}",
+            f"{snap_eng.stats.snapshot_fallbacks}",
+        ])
+    text = render_table(
+        f"Restore throughput, snapshot vs reflash ladder "
+        f"({ITERATIONS} programs, pristine restore per program; "
+        f"identical coverage/crashes)",
+        ["target", "cycles (reflash)", "cycles (snapshot)", "speedup",
+         "restores", "pages written", "fallbacks"],
+        rows)
+    print()
+    print(text)
+    save_result("snapshot_throughput", text)

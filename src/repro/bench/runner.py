@@ -154,7 +154,9 @@ def make_engine(fuzzer: str, build: BuildInfo, seed: int,
                 obs: Optional[Observability] = None,
                 chaos: Optional[str] = None,
                 chaos_seed: Optional[int] = None,
-                link_batching: bool = True):
+                link_batching: bool = True,
+                snapshots: bool = True,
+                restore_every: int = 0):
     """Construct a named engine for a built target.
 
     ``obs`` attaches an observability bundle to the engines built on the
@@ -163,7 +165,10 @@ def make_engine(fuzzer: str, build: BuildInfo, seed: int,
     built on the EOF loop; the buffer-based baselines reject it.
     ``link_batching=False`` pins the plain EOF engine to the historical
     one-command-per-round-trip link path (the throughput bench's
-    before/after comparison).
+    before/after comparison).  ``snapshots=False`` likewise pins it to
+    the reflash-only recovery ladder, and ``restore_every=N`` restores
+    the pristine post-boot state every N programs (the snapshot
+    throughput bench's workload).
     """
     engine = None
     if fuzzer in ("eof", "eof-nf", "tardis"):
@@ -175,7 +180,8 @@ def make_engine(fuzzer: str, build: BuildInfo, seed: int,
         if fuzzer == "eof":
             engine = EofEngine(build, spec, EngineOptions(
                 seed=seed, budget_cycles=budget_cycles,
-                link_batching=link_batching), obs=obs)
+                link_batching=link_batching, snapshots=snapshots,
+                restore_every=restore_every), obs=obs)
         elif fuzzer == "eof-nf":
             engine = make_eof_nf_engine(build, spec, seed=seed,
                                         budget_cycles=budget_cycles, obs=obs)
@@ -204,14 +210,18 @@ def run_engine(fuzzer: str, target: TargetConfig, seed: int,
                obs: Optional[Observability] = None,
                chaos: Optional[str] = None,
                chaos_seed: Optional[int] = None,
-               link_batching: bool = True):
+               link_batching: bool = True,
+               snapshots: bool = True,
+               restore_every: int = 0):
     """One seed of one fuzzer on one target; returns (result, build)."""
     build = build_firmware(target.build_config())
     engine = make_engine(fuzzer, build, seed, budget_cycles,
                          entry_api=entry_api,
                          restrict_modules=restrict_modules, obs=obs,
                          chaos=chaos, chaos_seed=chaos_seed,
-                         link_batching=link_batching)
+                         link_batching=link_batching,
+                         snapshots=snapshots,
+                         restore_every=restore_every)
     result = engine.run()
     return result, build
 
@@ -223,6 +233,8 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
               observe: bool = False,
               chaos: Optional[str] = None,
               link_batching: bool = True,
+              snapshots: bool = True,
+              restore_every: int = 0,
               sample_interval: int = 0) -> SeedSummary:
     """The paper's repeated-runs protocol.
 
@@ -252,7 +264,9 @@ def run_seeds(fuzzer: str, target: TargetConfig, seeds: int,
                                    entry_api=entry_api,
                                    restrict_modules=restrict_modules,
                                    obs=obs, chaos=chaos, chaos_seed=seed,
-                                   link_batching=link_batching)
+                                   link_batching=link_batching,
+                                   snapshots=snapshots,
+                                   restore_every=restore_every)
         summary.edges.append(result.edges)
         summary.bugs.append(len(result.crash_db))
         summary.execs.append(result.stats.programs_executed)
@@ -286,7 +300,8 @@ def make_campaign(target: TargetConfig, workers: int,
                   state_dir: Optional[str] = None,
                   resume: bool = False,
                   warm_start_dir: Optional[str] = None,
-                  checkpoint_every: int = 4):
+                  checkpoint_every: int = 4,
+                  snapshots: bool = True):
     """Build (but do not run) one multi-board campaign orchestrator.
 
     Splitting construction from :meth:`~repro.farm.CampaignOrchestrator.run`
@@ -301,12 +316,14 @@ def make_campaign(target: TargetConfig, workers: int,
     from repro.farm.orchestrator import campaign_config
 
     def factory(index: int, seed: int, budget_cycles: int) -> EofEngine:
+        # Each worker engine constructs its own SnapshotManager against
+        # its own board — per-worker snapshots, no shared state.
         build = build_firmware(target.build_config())
         spec = generate_validated_specs(build)
         bundle = worker_obs(index) if worker_obs is not None else None
         return EofEngine(build, spec, EngineOptions(
             seed=seed, budget_cycles=budget_cycles,
-            name=f"eof-w{index}"), obs=bundle)
+            snapshots=snapshots, name=f"eof-w{index}"), obs=bundle)
 
     options = CampaignOptions(
         campaign_seed=campaign_seed, workers=workers,

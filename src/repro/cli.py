@@ -90,7 +90,8 @@ def _cmd_run(args) -> int:
     engine = make_engine(args.fuzzer, build, args.seed, args.budget,
                          obs=obs, chaos=args.chaos,
                          chaos_seed=args.chaos_seed,
-                         link_batching=not args.no_link_batch)
+                         link_batching=not args.no_link_batch,
+                         snapshots=not args.no_snapshot)
     chaos_note = f", chaos {args.chaos}" if args.chaos else ""
     print(f"fuzzing {target.name} with {args.fuzzer} "
           f"(budget {args.budget} cycles, seed {args.seed}{chaos_note}) ...")
@@ -115,6 +116,10 @@ def _cmd_run(args) -> int:
         print(f"recoveries={stats.recoveries} "
               f"reattaches={stats.reattaches} "
               f"exhausted={stats.recovery_failures}")
+    if stats.snapshot_restores or stats.snapshot_fallbacks:
+        print(f"snapshot: {stats.snapshot_restores} restores "
+              f"({stats.snapshot_pages_written} pages), "
+              f"{stats.snapshot_fallbacks} fallbacks to reflash")
     for report in crash_db.unique_crashes():
         print()
         print(report.render())
@@ -228,7 +233,8 @@ def _cmd_campaign(args) -> int:
                 worker_obs=worker_obs,
                 epoch_hook=epoch_hook, state_dir=args.state_dir,
                 resume=args.resume, warm_start_dir=args.warm_start,
-                checkpoint_every=args.checkpoint_every)
+                checkpoint_every=args.checkpoint_every,
+                snapshots=not args.no_snapshot)
         except StoreError as exc:
             print(f"campaign store: {exc}", file=sys.stderr)
             return 1
@@ -450,6 +456,10 @@ def main(argv=None) -> int:
                        help="disable debug-link command batching and "
                             "delta coverage drain (same results, more "
                             "link transactions)")
+    run_p.add_argument("--no-snapshot", action="store_true",
+                       help="disable snapshot-tier state restoration "
+                            "and recover via the reflash ladder only "
+                            "(same results, slower recovery)")
     run_p.add_argument("--trace-dir", default=None,
                        help="write run artifacts (events.jsonl, "
                             "metrics.json, timeseries.jsonl, "
@@ -499,6 +509,9 @@ def main(argv=None) -> int:
     campaign_p.add_argument("--dashboard", action="store_true",
                             help="print a live ANSI status table at "
                                  "every sync-epoch barrier")
+    campaign_p.add_argument("--no-snapshot", action="store_true",
+                            help="disable snapshot-tier state "
+                                 "restoration on every worker board")
     campaign_p.add_argument("--state-dir", default=None, metavar="DIR",
                             help="persist campaign state (corpus, "
                                  "frontier, crashes) into DIR via a "

@@ -340,6 +340,10 @@ class CampaignOrchestrator:
                 "execs": engine.stats.programs_executed,
                 "crashes": engine.stats.unique_crashes,
                 "restores": engine.stats.restorations,
+                # Per-worker snapshot tier (each worker owns its own
+                # SnapshotManager; nothing here is shared state).
+                "snapshot_restores": engine.stats.snapshot_restores,
+                "snapshot_fallbacks": engine.stats.snapshot_fallbacks,
                 "status": self._status[index],
             })
         return {

@@ -15,7 +15,12 @@ from typing import List, Optional
 
 from repro.agent.protocol import TestProgram, serialize_program
 from repro.ddi.session import DebugSession, open_session
-from repro.errors import DebugLinkTimeout, RecoveryExhausted
+from repro.errors import (
+    DebugLinkError,
+    DebugLinkTimeout,
+    FlashError,
+    RecoveryExhausted,
+)
 from repro.firmware.builder import BuildInfo
 from repro.fuzz.corpus import Corpus
 from repro.fuzz.crash import CrashDb, CrashReport, KIND_HANG
@@ -29,6 +34,7 @@ from repro.fuzz.restore import (
     StateRestoration,
 )
 from repro.fuzz.rng import FuzzRng
+from repro.fuzz.snapshot import SnapshotManager
 from repro.fuzz.stats import FuzzStats
 from repro.fuzz.watchdog import LivenessWatchdog
 from repro.hw.machine import HaltEvent, HaltReason
@@ -60,6 +66,18 @@ class EngineOptions:
     # historical one-command-per-round-trip path; results are
     # byte-identical either way, only the transaction count changes.
     link_batching: bool = True
+    # Snapshot-tier restoration (repro.fuzz.snapshot): capture RAM +
+    # registers after the clean boot and recover crashes by dirty-page
+    # write-back instead of reflash.  Off = the historical
+    # reflash-ladder-only path; fuzzing outcomes are identical either
+    # way (the restore-equivalence suite gates it), only recovery
+    # latency changes.
+    snapshots: bool = True
+    # Restore to the pristine post-boot state every N executed programs
+    # (0 = only restore on crashes).  This is the snapshot-vs-reflash
+    # throughput workload: with snapshots the periodic restore is a
+    # dirty-page write-back, without them a full Algorithm 1 reflash.
+    restore_every: int = 0
     mutate_probability: float = 0.25
     max_calls: int = 12
     # Syzkaller-style "smash": on new coverage, immediately queue this
@@ -129,6 +147,7 @@ class EofEngine:
         self.watchdog: Optional[LivenessWatchdog] = None
         self.restoration: Optional[StateRestoration] = None
         self.ladder: Optional[RecoveryLadder] = None
+        self.snapshot: Optional[SnapshotManager] = None
         self.chaos = None
         self._smash_queue: List[TestProgram] = []
         self._inject_queue: List[TestProgram] = []
@@ -153,10 +172,14 @@ class EofEngine:
         self.session = open_session(self.build, obs=self.obs)
         self.watchdog = LivenessWatchdog(self.session, obs=self.obs)
         self.restoration = StateRestoration(self.session, obs=self.obs)
+        if self.options.snapshots:
+            self.snapshot = SnapshotManager(self.session, stats=self.stats,
+                                            obs=self.obs)
         self.ladder = RecoveryLadder(
             self.session, self.restoration, watchdog=self.watchdog,
             stats=self.stats, obs=self.obs, rearm=self._rearm_after_boot,
-            use_reflash=self.options.restore_with_reflash)
+            use_reflash=self.options.restore_with_reflash,
+            snapshot=self.snapshot)
         board = self.session.board
         if board.boot_failed or board.runtime is None:
             raise RuntimeError("target never booted; image is broken")
@@ -173,6 +196,12 @@ class EofEngine:
             self.heap_probe = HeapHealthProbe(
                 self.session, every_n_programs=self.options.heap_probe_every)
         self.session.consume_boot_chatter()
+        if self.snapshot is not None:
+            # Snapshot the verified clean boot before fault injection
+            # goes live: the capture is factory bring-up, and the image
+            # must be trusted.  Charged before start_cycles, so the
+            # one-time capture cost is not the fuzzing loop's to answer.
+            self.snapshot.capture()
         if self.options.chaos_profile:
             # Install fault injection only after clean factory bring-up:
             # chaos models a flaky *deployed* link, not a broken bench.
@@ -249,6 +278,9 @@ class EofEngine:
                 self._iteration += 1
                 program = self._next_program()
                 self._execute_program(program)
+                if opts.restore_every > 0 and \
+                        self._iteration % opts.restore_every == 0:
+                    self._periodic_restore()
                 if opts.feedback and self._iteration % 64 == 0:
                     self.coverage.decay_credit()
                 self.stats.record_point(board.machine.cycles,
@@ -280,6 +312,33 @@ class EofEngine:
             raise
         return (board.machine.cycles < opts.budget_cycles
                 and self._iteration < opts.max_iterations)
+
+    def _periodic_restore(self) -> None:
+        """Return to the pristine post-boot state between programs
+        (``restore_every``): stateless-fuzzing mode, and the workload
+        the snapshot-vs-reflash throughput gate measures.  Dirty-page
+        write-back when a snapshot is ready; Algorithm 1 reflash
+        otherwise.  Either way the board is left verified alive."""
+        with self.obs.span("restore"):
+            if self.snapshot is not None and self.snapshot.ready and \
+                    self.snapshot.restore():
+                self._rearm_after_boot()
+                return
+            if self.restoration is not None:
+                self.stats.restorations += 1
+                try:
+                    restored = self.restoration.restore()
+                except (DebugLinkError, DebugLinkTimeout, FlashError):
+                    # e.g. a chaos-corrupted reflash failing its verify
+                    # readback: the ladder's bounded retries handle it.
+                    restored = False
+                if restored:
+                    self._rearm_after_boot()
+                    self.session.consume_boot_chatter()
+                    return
+        # The pristine restore itself failed (corrupt flash, chaos):
+        # climb the ladder like any other recovery.
+        self._escalate(start="reboot", reason="periodic-restore")
 
     def _sync_link_stats(self) -> None:
         """Mirror the link's accounting into the run stats."""
@@ -659,19 +718,41 @@ class EofEngine:
         self._recover()
 
     def _recover(self) -> None:
-        """Post-crash recovery: start at the reboot rung (the crash is
-        real; a bare retry would just re-probe a panicked kernel)."""
-        self._escalate(start="reboot", reason="crash")
+        """Post-crash recovery: snapshot write-back when a trusted
+        snapshot is ready, else start at the reboot rung (the crash is
+        real; a bare retry would just re-probe a panicked kernel — which
+        is also why the snapshot path skips the retry rung on the way
+        down)."""
+        if self.snapshot is not None and self.snapshot.ready:
+            self._escalate(start="snapshot", reason="crash",
+                           skip=("retry",))
+        else:
+            self._escalate(start="reboot", reason="crash")
 
     def _salvage(self) -> None:
-        """Link-loss recovery: climb the full ladder from the cheap end —
+        """Link-loss recovery: climb the ladder from the retry rung —
         under fault injection most timeouts are transient and a backoff
-        retry saves the reflash."""
+        retry saves the reflash.  The snapshot rung is deliberately NOT
+        consulted here: a retry leaves the surviving target state
+        untouched, and a snapshot write-back would rewind it — the two
+        restore modes must recover timeouts identically."""
         self._escalate(start="retry", reason="link-timeout")
 
-    def _escalate(self, start: str, reason: str) -> None:
+    def _escalate(self, start: str, reason: str,
+                  skip: tuple = ()) -> None:
         """Run the recovery ladder; only ever returns with a verified
         live board (breakpoints re-armed, watchdog reset, UART drained).
         Raises :class:`RecoveryExhausted` when the board is dead."""
         with self.obs.span("restore"):
-            self.ladder.recover(start=start, reason=reason)
+            self.ladder.recover(start=start, reason=reason, skip=skip)
+        self._maybe_recapture()
+
+    def _maybe_recapture(self) -> None:
+        """Re-capture after a recovery that left the snapshot invalid
+        (reflash moved the flash epoch, or the verify probe struck it
+        out): the board is verified alive and freshly booted, which is
+        exactly the state a snapshot must be taken from."""
+        if self.snapshot is None or self.snapshot.ready:
+            return
+        with self.obs.span("restore"):
+            self.snapshot.capture()

@@ -47,8 +47,11 @@ RETRY_BACKOFF_CYCLES = 2_000
 MANUAL_INTERVENTION_CYCLES = 80_000
 
 # Bounded attempts per rung (deterministic, so recovery event streams
-# are reproducible run-to-run).
+# are reproducible run-to-run).  The snapshot rung gets exactly one
+# attempt: a failed verify means the snapshot is suspect, and retrying
+# the same suspect image cannot succeed — escalate instead.
 DEFAULT_RUNG_ATTEMPTS = {
+    "snapshot": 1,
     "retry": 2,
     "reboot": 2,
     "reflash": 3,
@@ -114,6 +117,11 @@ class RecoveryLadder:
 
     Rungs, cheapest first:
 
+    0. ``snapshot`` — :class:`repro.fuzz.snapshot.SnapshotManager`:
+       write back dirty RAM pages + registers, verify with the
+       generation word and canary readback.  Skipped silently (no
+       attempt charged) when no manager is attached or its snapshot is
+       not ready, so snapshot-less ladders behave exactly as before.
     1. ``retry``    — deterministic backoff, then probe the link again
        (a transient chaos glitch must not cost a reflash).
     2. ``reboot``   — warm reset + settle; fixes parked PCs with an
@@ -131,13 +139,14 @@ class RecoveryLadder:
     program on a board whose last reboot reported ``boot_failed``.
     """
 
-    RUNGS = ("retry", "reboot", "reflash", "reattach")
+    RUNGS = ("snapshot", "retry", "reboot", "reflash", "reattach")
 
     def __init__(self, session: DebugSession,
                  restoration: StateRestoration,
                  watchdog=None, stats=None, obs=NULL_OBS,
                  rearm=None, use_reflash: bool = True,
-                 attempts: Optional[Dict[str, int]] = None):
+                 attempts: Optional[Dict[str, int]] = None,
+                 snapshot=None):
         self.session = session
         self.restoration = restoration
         self.watchdog = watchdog
@@ -145,14 +154,23 @@ class RecoveryLadder:
         self.obs = obs
         self.rearm = rearm  # callable: re-install breakpoints/monitors
         self.use_reflash = use_reflash
+        self.snapshot = snapshot  # Optional SnapshotManager (rung 0)
         self.attempts = dict(DEFAULT_RUNG_ATTEMPTS)
         if attempts:
             self.attempts.update(attempts)
 
     # -- the ladder ---------------------------------------------------------
 
-    def recover(self, start: str = "retry", reason: str = "") -> str:
+    def recover(self, start: str = "retry", reason: str = "",
+                skip: Tuple[str, ...] = ()) -> str:
         """Climb the ladder from ``start``; returns the winning rung.
+
+        ``skip`` names rungs to pass over without charging attempts —
+        the crash path skips ``retry`` when it falls past the snapshot
+        rung, because re-probing a panicked kernel can answer the link
+        without having recovered anything.  The snapshot rung skips
+        itself (silently, no attempt charged) when no manager is
+        attached or its snapshot is not ready.
 
         Raises :class:`RecoveryExhausted` when every remaining rung's
         attempt budget is spent without the board coming back.
@@ -161,6 +179,11 @@ class RecoveryLadder:
         started_at = board.machine.cycles
         attempted = []
         for rung in self.RUNGS[self.RUNGS.index(start):]:
+            if rung in skip:
+                continue
+            if rung == "snapshot" and (self.snapshot is None
+                                       or not self.snapshot.ready):
+                continue
             for attempt in range(1, self.attempts[rung] + 1):
                 attempted.append(rung)
                 if self.obs.enabled:
@@ -202,6 +225,8 @@ class RecoveryLadder:
     # -- rungs ---------------------------------------------------------------
 
     def _run_rung(self, rung: str, attempt: int) -> bool:
+        if rung == "snapshot":
+            return self._rung_snapshot()
         if rung == "retry":
             return self._rung_retry(attempt)
         if rung == "reboot":
@@ -209,6 +234,18 @@ class RecoveryLadder:
         if rung == "reflash":
             return self._rung_reflash()
         return self._rung_reattach()
+
+    def _rung_snapshot(self) -> bool:
+        """Rung 0: snapshot write-back + verify probe.  The manager's
+        own verify (gen word + canary) decides success; a suspect
+        snapshot fails the rung and the ladder escalates to the reflash
+        tier — no silent corruption can leak into coverage."""
+        try:
+            if not self.snapshot.restore():
+                return False
+        except (DebugLinkError, DebugLinkTimeout):
+            return False
+        return self._verify_alive()
 
     def _rung_retry(self, attempt: int) -> bool:
         # Deterministic exponential backoff, charged to virtual time.

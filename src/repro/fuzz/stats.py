@@ -18,6 +18,17 @@ _INF_EDGES = float("inf")
 #: FuzzStats fields that measure transport cost, not fuzzing outcome.
 LINK_ACCOUNTING_FIELDS = ("link_transactions", "link_bytes")
 
+#: FuzzStats fields that measure *how* state was restored, not what the
+#: run found.  Snapshot-tier and reflash-tier runs of the same seed
+#: necessarily differ here (and in every cycle timestamp downstream of a
+#: recovery), so the restore-equivalence gate compares
+#: ``semantic_dict(restore_invariant=True)``, which drops these and
+#: projects the series onto its edge progression.
+RESTORE_ACCOUNTING_FIELDS = (
+    "restorations", "reboots", "reattaches",
+    "snapshot_captures", "snapshot_restores", "snapshot_fallbacks",
+    "snapshot_pages_written", "start_cycles")
+
 
 def series_edges_at(series: Sequence[Tuple[int, int]], cycles: int) -> int:
     """Coverage at or before ``cycles`` in a (cycles, edges) series.
@@ -45,6 +56,13 @@ class FuzzStats:
     recoveries: int = 0
     reattaches: int = 0
     recovery_failures: int = 0
+    # Snapshot-tier restoration (repro.fuzz.snapshot): captures taken,
+    # dirty-page restores served, verify-probe fallbacks to the reflash
+    # ladder, and total pages written back.
+    snapshot_captures: int = 0
+    snapshot_restores: int = 0
+    snapshot_fallbacks: int = 0
+    snapshot_pages_written: int = 0
     cov_full_traps: int = 0
     rejected_programs: int = 0
     # Cross-worker seeds injected into this engine by campaign sync
@@ -102,17 +120,29 @@ class FuzzStats:
                         for cycles, edges in data.get("series", [])]
         return stats
 
-    def semantic_dict(self) -> Dict[str, object]:
+    def semantic_dict(self, restore_invariant: bool = False) \
+            -> Dict[str, object]:
         """:meth:`to_dict` minus link accounting.
 
         This is the equality domain of the batched-vs-unbatched
         determinism gate: everything the fuzzer *found* (coverage,
         crashes, recoveries, the whole time series) must be
         byte-identical across modes; only the transport cost may differ.
+
+        ``restore_invariant=True`` additionally drops the
+        restore-accounting fields and replaces the ``(cycles, edges)``
+        series with its edge progression — the equality domain of the
+        snapshot-vs-reflash gate, where recovery *latency* is the whole
+        point of the difference but every discovered edge and crash must
+        still match exactly.
         """
         data = self.to_dict()
         for name in LINK_ACCOUNTING_FIELDS:
             data.pop(name, None)
+        if restore_invariant:
+            for name in RESTORE_ACCOUNTING_FIELDS:
+                data.pop(name, None)
+            data["series"] = [edges for _, edges in self.series]
         return data
 
     def coverage_saturation(self) -> float:

@@ -11,6 +11,7 @@ trips watchdog #1 in Algorithm 1.
 
 from __future__ import annotations
 
+import copy
 from typing import Callable, List, Optional, Tuple
 
 from repro.errors import DebugLinkTimeout
@@ -119,6 +120,37 @@ class Board:
             return
         self.runtime = runtime
         self._boot_count += 1
+
+    # -- runtime-image snapshot (repro.fuzz.snapshot) ----------------------------
+
+    def _snapshot_pins(self) -> dict:
+        """Deepcopy memo pinning the live hardware into a runtime copy.
+
+        The runtime object graph (kernel, agent, tracer, contexts) must
+        be copied so a later restore rewinds it, but everything it
+        references *below* the firmware boundary — the board itself, the
+        machine, the memories, the UART — is the one physical device and
+        must stay shared, or the restored runtime would execute against
+        phantom hardware.
+        """
+        pins = (self, self.machine, self.flash, self.ram, self.uart,
+                self.memory)
+        return {id(obj): obj for obj in pins}
+
+    def capture_runtime_image(self):
+        """Deep-copy the booted runtime with the hardware pinned."""
+        if self.runtime is None:
+            raise RuntimeError(f"{self.name}: no runtime to capture")
+        return copy.deepcopy(self.runtime, self._snapshot_pins())
+
+    def restore_runtime_image(self, image) -> None:
+        """Install a fresh copy of a captured runtime.
+
+        The template itself is never installed — each restore gets its
+        own deepcopy, so one snapshot serves arbitrarily many restores.
+        """
+        self.runtime = copy.deepcopy(image, self._snapshot_pins())
+        self.boot_failed = False
 
     # -- run control (used by the debug port) -----------------------------------
 

@@ -42,6 +42,24 @@ class StackFrame:
 
 
 @dataclass
+class RegisterFile:
+    """A point-in-time copy of the CPU's execution state.
+
+    This is what a debug probe reads out of the core register bank for
+    snapshot-based restoration: the PC, the call stack (our stand-in for
+    SP/LR plus the stacked frames) and the wedge latch.  The cycle
+    counter is deliberately absent — virtual time is monotone and a
+    restore must not rewind the clock — and breakpoints live in the
+    debug unit, which a restore never touches.
+    """
+
+    pc: int
+    frames: List[StackFrame] = field(default_factory=list)
+    wedged: bool = False
+    wedge_detail: str = ""
+
+
+@dataclass
 class HaltEvent:
     """The result of running the target until it stops.
 
@@ -103,6 +121,25 @@ class Machine:
         self.wedged = False
         self.wedge_detail = ""
         self._frames = []
+
+    # -- register-file snapshot (repro.fuzz.snapshot) ------------------------
+
+    def capture_registers(self) -> RegisterFile:
+        """Read the core's execution state out through the debug unit."""
+        return RegisterFile(pc=self.pc, frames=list(self._frames),
+                            wedged=self.wedged,
+                            wedge_detail=self.wedge_detail)
+
+    def restore_registers(self, registers: RegisterFile) -> None:
+        """Write a captured register file back into the core.
+
+        Cycles and breakpoints are untouched: time never rewinds, and
+        breakpoint comparators live in the debug unit, not the core.
+        """
+        self.pc = registers.pc
+        self._frames = list(registers.frames)
+        self.wedged = registers.wedged
+        self.wedge_detail = registers.wedge_detail
 
     # -- time ---------------------------------------------------------------
 

@@ -20,7 +20,7 @@ object.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from repro.errors import DebugLinkError
 from repro.link.codec import (
@@ -45,6 +45,19 @@ from repro.link.codec import (
 )
 from repro.link.transport import LinkTransport
 from repro.obs import NULL_OBS
+
+#: Granularity of the host-side dirty log (bytes).  Small enough that a
+#: typical post-boot restore moves a few tens of KB, large enough that
+#: the page set stays a handful of ints per executed program.
+DIRTY_PAGE_SIZE = 1024
+
+
+def pages_for_range(addr: int, length: int) -> range:
+    """Page indices overlapping ``[addr, addr + length)``."""
+    if length <= 0:
+        return range(0)
+    return range(addr // DIRTY_PAGE_SIZE,
+                 (addr + length - 1) // DIRTY_PAGE_SIZE + 1)
 
 
 class PendingReply:
@@ -101,6 +114,16 @@ class DebugLink:
         self._drain_gen: Dict[int, int] = {}
         self.cache_hits = 0
         self.cache_misses = 0
+        # Page-granular write log (repro.fuzz.snapshot): every way target
+        # RAM can change after a snapshot capture lands here — host
+        # writes page-precisely, execution windows via the declared
+        # exec-dirty ranges, resets wholesale.
+        self._dirty_pages: Set[int] = set()
+        self._dirty_all = False
+        self._exec_dirty_pages: FrozenSet[int] = frozenset()
+        # Bumped on every flash write: a snapshot captured against an
+        # older flash image must not be restored over a newer one.
+        self.flash_epoch = 0
 
     # -- accounting ----------------------------------------------------------
 
@@ -189,17 +212,73 @@ class DebugLink:
                 self._cache[(cmd.addr, 4)] = encode_u32(reply.value)
         elif op == OP_WRITE_MEM:
             self._invalidate_range(cmd.addr, len(cmd.data))
+            self._dirty_pages.update(pages_for_range(cmd.addr,
+                                                     len(cmd.data)))
         elif op == OP_WRITE_U32:
             self._invalidate_range(cmd.addr, 4)
-        elif op in (OP_RESUME, OP_RESET, OP_FLASH_WRITE):
-            # The target ran (or flash/sector state moved under us):
-            # nothing cached can be trusted.
+            self._dirty_pages.update(pages_for_range(cmd.addr, 4))
+        elif op == OP_RESUME:
             self.invalidate_cache()
+            # The core ran: everything in the declared execution-dirty
+            # ranges (heap, status, crash, coverage) may have changed.
+            self._dirty_pages.update(self._exec_dirty_pages)
+        elif op == OP_RESET:
+            self.invalidate_cache()
+            self._dirty_all = True
+            # A reset rewinds the tracer's generation word; forgetting
+            # the last drained generation forces the next cov_drain to
+            # be a full one — an ABA-matching generation after reboot
+            # must never read as "nothing changed".
+            self._drain_gen.clear()
+        elif op == OP_FLASH_WRITE:
+            # Flash/sector state moved under us: nothing cached can be
+            # trusted, and any RAM snapshot predates the new image.
+            self.invalidate_cache()
+            self.flash_epoch += 1
         elif op == OP_COV_DRAIN:
             self._invalidate_range(cmd.addr, 4 + cmd.length * 4)
+            self._dirty_pages.update(
+                pages_for_range(cmd.addr, 4 + cmd.length * 4))
             if cmd.gen_addr:
                 self._invalidate_range(cmd.gen_addr, 4)
+                self._dirty_pages.update(pages_for_range(cmd.gen_addr, 4))
                 self._drain_gen[cmd.gen_addr] = reply.value
+
+    # -- dirty-page log (repro.fuzz.snapshot) --------------------------------
+
+    def set_exec_dirty_ranges(self,
+                              ranges: Iterable[Tuple[int, int]]) -> None:
+        """Declare the address ranges execution itself can mutate.
+
+        The host cannot watch the core write RAM, but on this target the
+        writable surface is known statically (kernel heap, agent status,
+        crash block, coverage buffer + generation word): every
+        ``OP_RESUME`` marks these pages dirty.  Page indices are
+        precomputed once so the per-resume cost is one set update.
+        """
+        pages: Set[int] = set()
+        for addr, length in ranges:
+            pages.update(pages_for_range(addr, length))
+        self._exec_dirty_pages = frozenset(pages)
+
+    @property
+    def dirty_all(self) -> bool:
+        """True when a reset made the whole image stale."""
+        return self._dirty_all
+
+    def dirty_pages(self) -> Set[int]:
+        """Copy of the pages written since the last :meth:`clear_dirty`."""
+        return set(self._dirty_pages)
+
+    def clear_dirty(self) -> None:
+        """Start a fresh dirty window (called at capture/after restore)."""
+        self._dirty_pages.clear()
+        self._dirty_all = False
+
+    def forget_drain_state(self) -> None:
+        """Drop per-buffer drain generations so the next coverage drain
+        is a full one (a restore rewound the generation word)."""
+        self._drain_gen.clear()
 
     # -- memory --------------------------------------------------------------
 

@@ -61,6 +61,8 @@ EVENT_REGISTRY = frozenset({
     # -- debug link / liveness / recovery -----------------------------------
     "ddi.command", "link.transaction", "liveness.trip",
     "restore.reboot", "restore.reflash",
+    "restore.snapshot.capture", "restore.snapshot.restore",
+    "restore.snapshot.fallback", "restore.snapshot.invalidate",
     "recovery.escalate", "recovery.complete", "recovery.exhausted",
     # -- fault injection ----------------------------------------------------
     "chaos.inject",

@@ -34,6 +34,8 @@ METRIC_REGISTRY = frozenset({
     "link.txn.cycles", "link.bytes", "uart.lines",
     # -- restore / recovery -------------------------------------------------
     "restore.latency", "recovery.latency",
+    "restore.snapshot.latency", "restore.snapshot.pages",
+    "restore.snapshot.fallbacks",
     # -- multi-board campaigns (repro.farm) ---------------------------------
     "farm.sync.epochs", "farm.merged.edges", "farm.shared.corpus",
     "farm.seeds.shared", "farm.seeds.imported",

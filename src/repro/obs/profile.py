@@ -84,22 +84,33 @@ def build_profile(data: Dict[str, object]) -> Dict[str, object]:
             "cycles": cycles, "spans": int(entry.get("count", 0))}
 
     # The restore phase breaks down further: cycles spent inside
-    # StateRestoration reflashes (the restore.latency histogram) vs the
-    # ladder's own backoff/reboot/verify overhead around them.
+    # StateRestoration reflashes (the restore.latency histogram) and
+    # snapshot-tier restores (the restore.snapshot.latency histogram,
+    # which includes each restore's verify probe) vs the ladder's own
+    # backoff/reboot/verify overhead around them.  The snapshot child
+    # only appears when snapshot restores actually happened, so
+    # snapshot-less profiles keep their historical two-child shape.
     histograms = (data.get("metrics", {}) or {}).get("histograms", {})
     restore = tree.get("restore")
     if restore is not None:
         reflash = int((histograms.get("restore.latency") or {})
                       .get("sum", 0) or 0)
         reflash = min(reflash, restore["cycles"])
+        snapshot_hist = histograms.get("restore.snapshot.latency") or {}
+        snapshot_spans = int(snapshot_hist.get("count", 0) or 0)
+        snapshot = min(int(snapshot_hist.get("sum", 0) or 0),
+                       restore["cycles"] - reflash)
         restore["children"] = {
             "reflash": {"cycles": reflash,
                         "spans": int((histograms.get("restore.latency")
                                       or {}).get("count", 0) or 0)},
             "ladder-overhead": {
-                "cycles": restore["cycles"] - reflash,
+                "cycles": restore["cycles"] - reflash - snapshot,
                 "spans": restore["spans"]},
         }
+        if snapshot_spans > 0:
+            restore["children"]["snapshot"] = {
+                "cycles": snapshot, "spans": snapshot_spans}
 
     attributed = sum(node["cycles"] for node in tree.values())
     if total <= 0:

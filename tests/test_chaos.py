@@ -188,11 +188,11 @@ class GuardedEngine(EofEngine):
 
 
 def make_chaos_engine(profile, seed=2, budget=300_000, obs=None,
-                      cls=GuardedEngine):
+                      cls=GuardedEngine, snapshots=True):
     build = cached_build("pokos", "qemu-virt")
     spec = generate_validated_specs(build)
     options = EngineOptions(seed=seed, budget_cycles=budget,
-                            chaos_profile=profile)
+                            chaos_profile=profile, snapshots=snapshots)
     return cls(build, spec, options, obs=obs)
 
 
@@ -223,7 +223,7 @@ def test_chaos_off_by_default():
 
 @pytest.mark.chaos
 def test_dead_board_exhausts_the_ladder():
-    engine = make_chaos_engine("dead-board")
+    engine = make_chaos_engine("dead-board", snapshots=False)
     engine._attach()
     with pytest.raises(RecoveryExhausted) as exc:
         engine._recover()
@@ -232,6 +232,21 @@ def test_dead_board_exhausts_the_ladder():
     assert set(exc.value.rungs) == {"reboot", "reflash", "reattach"}
     assert engine.stats.recovery_failures == 1
     assert engine.session.board.boot_failed  # and stayed dead
+
+
+@pytest.mark.chaos
+def test_snapshot_rung_sidesteps_a_broken_reset_path():
+    # The snapshot tier restores over the debug link without ever
+    # resetting the core, so a board whose reset logic is gone (every
+    # reboot parks at the vector) is still recoverable after a crash —
+    # the reflash tax *and* the dead reset path are both skipped.
+    engine = make_chaos_engine("dead-board")
+    engine._attach()
+    engine._recover()
+    assert engine.stats.snapshot_restores == 1
+    assert engine.stats.reboots == 0
+    assert engine.stats.recovery_failures == 0
+    assert not engine.session.board.boot_failed
 
 
 @pytest.mark.chaos

@@ -20,8 +20,10 @@ from repro.fuzz.restore import (
     SETTLE_CYCLES,
     StateRestoration,
 )
+from repro.fuzz.snapshot import SUSPECT_THRESHOLD
 from repro.fuzz.stats import FuzzStats
 from repro.fuzz.watchdog import INT_MIN, LivenessWatchdog
+from repro.obs import Observability, RingBufferSink
 from repro.spec.llmgen import generate_validated_specs
 
 from conftest import cached_build
@@ -159,12 +161,13 @@ class TestReflashAccounting:
         assert delta == REFLASH_CYCLES + SETTLE_CYCLES + boot
 
 
-def attached_engine(budget=200_000, seed=2, **option_kwargs):
-    build = cached_build("pokos", "qemu-virt")
+def attached_engine(budget=200_000, seed=2, os_name="pokos",
+                    board="qemu-virt", obs=None, **option_kwargs):
+    build = cached_build(os_name, board)
     spec = generate_validated_specs(build)
     options = EngineOptions(seed=seed, budget_cycles=budget,
                             **option_kwargs)
-    engine = EofEngine(build, spec, options)
+    engine = EofEngine(build, spec, options, obs=obs)
     engine._attach()
     return engine
 
@@ -196,12 +199,128 @@ class TestEngineRecoveryPaths:
         assert rearmed == []
         assert engine.stats.recovery_failures == 1
 
-    def test_recover_crash_path_starts_at_reboot(self):
+    def test_recover_crash_path_restores_the_snapshot(self):
+        # With the snapshot tier armed (the default), a crash is undone
+        # by writing the captured boot state back — no reboot at all.
         engine = attached_engine()
+        engine._recover()
+        assert engine.stats.snapshot_restores == 1
+        assert engine.stats.reboots == 0
+        assert engine.stats.recoveries == 1
+
+    def test_recover_crash_path_starts_at_reboot_without_snapshots(self):
+        engine = attached_engine(snapshots=False)
         before_reboots = engine.stats.reboots
         engine._recover()
         assert engine.stats.reboots == before_reboots + 1
         assert engine.stats.recoveries == 1
+        assert engine.stats.snapshot_restores == 0
+
+
+class TestSnapshotFallback:
+    """A corrupted write-back must be *detected* (verify probe) and
+    *contained* (escalate past the snapshot rung) — never silently fuzz
+    a board whose restored state is wrong."""
+
+    def corrupt(self, engine):
+        # Flip the captured generation word: the next write-back then
+        # resurrects a state the verify probe must reject, exactly as
+        # if the restore path had corrupted RAM in transit.
+        engine.snapshot._gen_value ^= 0xFFFF
+
+    def test_corrupt_writeback_falls_back_to_the_reboot_rung(self):
+        obs = Observability(run_id="snapshot-fallback")
+        obs.attach(RingBufferSink())
+        engine = attached_engine(obs=obs)
+        self.corrupt(engine)
+        engine._recover()
+        counters = obs.metrics.counters
+        assert counters["recovery.rung.snapshot.attempts"].value == 1
+        assert "recovery.rung.snapshot.successes" not in counters
+        assert counters["recovery.rung.reboot.successes"].value == 1
+        assert engine.stats.snapshot_fallbacks == 1
+        assert engine.stats.snapshot_restores == 0
+        assert engine.stats.reboots == 1
+        assert engine.stats.recoveries == 1
+
+    def test_suspect_threshold_invalidates_then_recaptures(self):
+        engine = attached_engine()
+        manager = engine.snapshot
+        self.corrupt(engine)
+        engine._recover()
+        assert manager.suspect_count == 1
+        assert manager.ready  # one strike: still armed
+        engine._recover()
+        # The second strike crossed SUSPECT_THRESHOLD: the snapshot
+        # self-invalidated and the engine re-captured from the verified
+        # post-recovery boot on the way out of the ladder.
+        assert engine.stats.snapshot_fallbacks == SUSPECT_THRESHOLD
+        assert manager.captures == 2
+        assert manager.suspect_count == 0
+        assert manager.ready
+        # The fresh capture is trustworthy again: the next crash is
+        # undone by the snapshot rung, no reboot.
+        reboots = engine.stats.reboots
+        engine._recover()
+        assert engine.stats.snapshot_restores == 1
+        assert engine.stats.reboots == reboots
+
+    def test_permanent_fallback_keeps_the_frontier(self):
+        # Even when *every* restore attempt fails verify, the run's
+        # outcomes match a reflash-only run bit for bit: the fallback
+        # path *is* the reflash path.
+        def run(corrupted):
+            build = cached_build("freertos")
+            spec = generate_validated_specs(build)
+            options = EngineOptions(seed=3, budget_cycles=50_000_000,
+                                    max_iterations=25, restore_every=3,
+                                    snapshots=corrupted)
+            engine = EofEngine(build, spec, options)
+            if corrupted:
+                engine.start()
+                manager = engine.snapshot
+                real_capture = manager.capture
+
+                def corrupt_capture():
+                    ok = real_capture()
+                    if ok:
+                        manager._gen_value ^= 0xFFFF
+                    return ok
+
+                manager.capture = corrupt_capture
+                manager._gen_value ^= 0xFFFF
+            result = engine.run()
+            return engine, result
+
+        snap_eng, snap = run(corrupted=True)
+        flash_eng, flash = run(corrupted=False)
+        assert snap_eng.stats.snapshot_restores == 0
+        assert snap_eng.stats.snapshot_fallbacks > 0
+        assert snap.stats.semantic_dict(restore_invariant=True) == \
+            flash.stats.semantic_dict(restore_invariant=True)
+        assert snap.coverage.edges == flash.coverage.edges
+
+
+@pytest.mark.chaos
+class TestSnapshotUnderChaos:
+    def test_field_profile_completes_with_consistent_accounting(self):
+        build = cached_build("pokos", "qemu-virt")
+        spec = generate_validated_specs(build)
+        options = EngineOptions(seed=5, budget_cycles=400_000,
+                                restore_every=2, chaos_profile="field")
+        engine = EofEngine(build, spec, options)
+        try:
+            engine.run()
+        except RecoveryExhausted:
+            # Loud quarantine is acceptable under injected faults.
+            assert engine.stats.recovery_failures == 1
+            return
+        manager = engine.snapshot
+        assert engine.stats.snapshot_captures == manager.captures
+        assert engine.stats.snapshot_restores == manager.restores
+        assert engine.stats.snapshot_fallbacks == manager.fallbacks
+        assert engine.stats.snapshot_pages_written == manager.pages_written
+        assert engine.stats.recovery_failures == 0
 
 
 class TestHeapProbeUnderLinkLoss:

@@ -52,9 +52,9 @@ BUDGET = 300_000
 
 def run_telemetry_engine(seed=2, budget=BUDGET, interval=20_000,
                          os_name="pokos", board="qemu-virt",
-                         ts_path=None, flight_dir=None):
+                         ts_path=None, flight_dir=None, **option_kwargs):
     """One observed engine run with a sampler (and optionally a flight
-    recorder) riding along; returns (result, obs)."""
+    recorder) riding along; returns (result, obs, engine)."""
     build = cached_build(os_name, board)
     spec = generate_validated_specs(build)
     obs = Observability(run_id=f"telemetry-{os_name}-seed{seed}")
@@ -63,11 +63,12 @@ def run_telemetry_engine(seed=2, budget=BUDGET, interval=20_000,
     if flight_dir is not None:
         obs.attach_flight(FlightRecorder(str(flight_dir)))
     engine = EofEngine(build, spec,
-                       EngineOptions(seed=seed, budget_cycles=budget),
+                       EngineOptions(seed=seed, budget_cycles=budget,
+                                     **option_kwargs),
                        obs=obs)
     result = engine.run()
     obs.sampler.close()
-    return result, obs
+    return result, obs, engine
 
 
 class TestTimeSeriesSampler:
@@ -300,7 +301,7 @@ class TestFlightRecorder:
 class TestEngineTelemetry:
     def test_sampler_rides_the_fuzz_loop(self, tmp_path):
         path = str(tmp_path / "timeseries.jsonl")
-        result, obs = run_telemetry_engine(ts_path=path)
+        result, obs, _ = run_telemetry_engine(ts_path=path)
         rows = load_timeseries(path)
         assert len(rows) >= 10
         epochs = [row["epoch"] for row in rows]
@@ -317,7 +318,7 @@ class TestEngineTelemetry:
         paths = [str(tmp_path / f"ts{i}.jsonl") for i in (0, 1)]
         profiles = []
         for path in paths:
-            result, obs = run_telemetry_engine(ts_path=path)
+            result, obs, _ = run_telemetry_engine(ts_path=path)
             data = collect_run_data(obs, stats=result.stats)
             profiles.append(json.dumps(build_profile(data),
                                        sort_keys=True))
@@ -331,7 +332,7 @@ class TestEngineTelemetry:
         ("zephyr", "stm32f407"), ("nuttx", "stm32f407"),
         ("pokos", "qemu-virt")])
     def test_attribution_at_least_95_percent(self, os_name, board):
-        result, obs = run_telemetry_engine(seed=1, budget=200_000,
+        result, obs, _ = run_telemetry_engine(seed=1, budget=200_000,
                                            os_name=os_name, board=board)
         data = collect_run_data(obs, stats=result.stats)
         profile = build_profile(data)
@@ -339,6 +340,40 @@ class TestEngineTelemetry:
         assert profile["attribution"] >= 0.95
         # collect_run_data also stamped the ratio as a gauge.
         assert data["metrics"]["gauges"]["profile.attribution"] >= 0.95
+
+    @pytest.mark.parametrize("os_name,board", [
+        ("freertos", "stm32f407"), ("rt-thread", "stm32f407"),
+        ("zephyr", "stm32f407"), ("nuttx", "stm32f407"),
+        ("pokos", "qemu-virt")])
+    def test_attribution_holds_under_snapshot_restores(self, os_name,
+                                                       board):
+        # Snapshot captures and restores run inside span("restore"),
+        # so the >=95% attribution gate must survive the new tier even
+        # when periodic restores make it the dominant recovery path.
+        result, obs, engine = run_telemetry_engine(
+            seed=1, budget=200_000, os_name=os_name, board=board,
+            restore_every=2)
+        assert engine.stats.snapshot_restores > 0, os_name
+        data = collect_run_data(obs, stats=result.stats)
+        profile = build_profile(data)
+        assert profile["total_cycles"] > 0
+        assert profile["attribution"] >= 0.95
+        assert data["metrics"]["gauges"]["profile.attribution"] >= 0.95
+
+    def test_profile_breaks_out_the_snapshot_child(self):
+        result, obs, engine = run_telemetry_engine(
+            seed=1, budget=200_000, restore_every=2)
+        assert engine.stats.snapshot_restores > 0
+        data = collect_run_data(obs, stats=result.stats)
+        profile = build_profile(data)
+        by_name = {p["name"]: p for p in profile["phases"]}
+        children = {c["name"]: c for c in by_name["restore"]["children"]}
+        assert children["snapshot"]["spans"] == \
+            engine.stats.snapshot_restores
+        assert children["snapshot"]["cycles"] > 0
+        # Three restore children now; the table indents each of them.
+        assert any(row[0] == "  snapshot"
+                   for row in profile_table_rows(profile))
 
     def test_disabled_obs_never_samples(self):
         build = cached_build("pokos", "qemu-virt")
@@ -427,7 +462,7 @@ class TestSchemaVersioning:
         assert data["schema_version"] == SCHEMA_VERSION
 
     def test_artifact_round_trip(self, tmp_path):
-        result, obs = run_telemetry_engine(budget=100_000)
+        result, obs, _ = run_telemetry_engine(budget=100_000)
         data = collect_run_data(obs, stats=result.stats,
                                 meta={"target": "pokos"})
         write_run_artifacts(str(tmp_path), data)
@@ -460,7 +495,7 @@ class TestSchemaVersioning:
 
 class TestRenderers:
     def artifact_data(self, tmp_path):
-        result, obs = run_telemetry_engine(
+        result, obs, _ = run_telemetry_engine(
             budget=150_000, ts_path=str(tmp_path / "timeseries.jsonl"))
         return collect_run_data(obs, stats=result.stats,
                                 meta={"target": "pokos"})
