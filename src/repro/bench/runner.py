@@ -301,7 +301,9 @@ def make_campaign(target: TargetConfig, workers: int,
                   resume: bool = False,
                   warm_start_dir: Optional[str] = None,
                   checkpoint_every: int = 4,
-                  snapshots: bool = True):
+                  snapshots: bool = True,
+                  backend: str = "thread",
+                  corpus_shards: Optional[int] = None):
     """Build (but do not run) one multi-board campaign orchestrator.
 
     Splitting construction from :meth:`~repro.farm.CampaignOrchestrator.run`
@@ -311,9 +313,14 @@ def make_campaign(target: TargetConfig, workers: int,
     with ``resume`` the campaign fast-forwards deterministically to the
     store's last committed epoch and continues.  ``warm_start_dir``
     pre-seeds the shared corpus from *another* campaign's store.
+    ``backend`` picks where workers execute (``thread``, ``process``,
+    ``socket``); remote backends build their engines in the worker,
+    so ``worker_obs`` only applies to the thread backend.
     """
-    from repro.farm import CampaignOptions, CampaignOrchestrator
+    from repro.farm import (CampaignOptions, CampaignOrchestrator,
+                            WorkerSpec)
     from repro.farm.orchestrator import campaign_config
+    from repro.farm.state import DEFAULT_SHARDS
 
     def factory(index: int, seed: int, budget_cycles: int) -> EofEngine:
         # Each worker engine constructs its own SnapshotManager against
@@ -332,7 +339,14 @@ def make_campaign(target: TargetConfig, workers: int,
         import_cap=import_cap,
         import_min_novelty=import_min_novelty,
         replay_imports=replay_imports,
-        share_frontier=share_frontier)
+        share_frontier=share_frontier,
+        backend=backend,
+        corpus_shards=(DEFAULT_SHARDS if corpus_shards is None
+                       else corpus_shards))
+    worker_spec = None
+    if backend != "thread":
+        worker_spec = WorkerSpec(target=target.name,
+                                 snapshots=snapshots)
     store = None
     if state_dir is not None:
         from repro.db import CampaignStore
@@ -346,7 +360,8 @@ def make_campaign(target: TargetConfig, workers: int,
             warm_start_dir, obs=obs).corpus_entries()
     orchestrator = CampaignOrchestrator(factory, options, obs=obs,
                                         store=store,
-                                        warm_entries=warm_entries)
+                                        warm_entries=warm_entries,
+                                        worker_spec=worker_spec)
     orchestrator.epoch_hook = epoch_hook
     return orchestrator
 

@@ -197,9 +197,17 @@ def _cmd_campaign(args) -> int:
             print(render_dashboard(
                 summary, ansi=sys.stdout.isatty()))
 
-    print(f"campaign on {target.name}: {args.workers} workers, "
-          f"total budget {args.budget} cycles, sync every "
-          f"{args.sync_interval} cycles, seed {args.seed} ...")
+    if args.backend != "thread" and worker_obs is not None:
+        # Remote workers build their engines in the child; per-worker
+        # observability bundles cannot cross the transport.
+        print(f"note: per-worker traces need the thread backend; "
+              f"the {args.backend} backend writes campaign-level "
+              f"artifacts only", file=sys.stderr)
+        worker_obs = None
+    print(f"campaign on {target.name}: {args.workers} workers "
+          f"({args.backend} backend), total budget {args.budget} "
+          f"cycles, sync every {args.sync_interval} cycles, "
+          f"seed {args.seed} ...")
     # First SIGINT/SIGTERM asks for a clean stop at the next epoch
     # barrier (state checkpointed, exit code 3); a second one aborts
     # hard.  The handler only sets a flag — all real work happens on
@@ -234,7 +242,9 @@ def _cmd_campaign(args) -> int:
                 epoch_hook=epoch_hook, state_dir=args.state_dir,
                 resume=args.resume, warm_start_dir=args.warm_start,
                 checkpoint_every=args.checkpoint_every,
-                snapshots=not args.no_snapshot)
+                snapshots=not args.no_snapshot,
+                backend=args.backend,
+                corpus_shards=args.shards)
         except StoreError as exc:
             print(f"campaign store: {exc}", file=sys.stderr)
             return 1
@@ -498,6 +508,18 @@ def main(argv=None) -> int:
     campaign_p.add_argument("--import-cap", type=int, default=2,
                             help="max cross-worker seeds imported per "
                                  "worker per sync epoch")
+    campaign_p.add_argument("--backend", default="thread",
+                            choices=["thread", "process", "socket"],
+                            help="where workers execute: in-process "
+                                 "threads (default, the determinism "
+                                 "reference), one child process per "
+                                 "board, or loopback sockets speaking "
+                                 "EOFL host frames")
+    campaign_p.add_argument("--shards", type=int, default=None,
+                            metavar="N",
+                            help="shared-corpus shard count "
+                                 "(default: 8; any count is "
+                                 "observationally equivalent)")
     campaign_p.add_argument("--trace-dir", default=None,
                             help="write campaign artifacts plus "
                                  "worker-<i>/ trace subdirectories "

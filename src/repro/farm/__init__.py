@@ -1,14 +1,28 @@
 """``repro.farm``: parallel multi-board fuzzing campaigns.
 
 The paper runs each 24-hour configuration on several physical boards at
-once; this package reproduces that as N worker engines (one virtual
-board each) pooling a deduplicated shared corpus, a merged coverage
-frontier and a cross-worker crash triage table, with cycle-based sync
-epochs keeping the whole campaign deterministic given
-``(campaign_seed, workers, sync_interval)``.
+once; this package reproduces that as N workers (one virtual board
+each) pooling a deduplicated shared corpus, a merged coverage frontier
+and a cross-worker crash triage table, with cycle-based sync epochs
+keeping the whole campaign deterministic given ``(campaign_seed,
+workers, sync_interval)``.
+
+Workers run behind the transport-agnostic :class:`WorkerHandle`
+interface: in-process threads (the determinism reference), one child
+process per board (pipe frames), or EOFL host frames over a socket —
+selected by ``CampaignOptions.backend``.
 """
 
-from repro.farm.orchestrator import (  # noqa: F401 (re-exported surface)
+from repro.farm.handles import (  # noqa: F401 (re-exported surface)
+    InThreadHandle,
+    ProcessHandle,
+    SocketHandle,
+    WorkerHandle,
+    WorkerLost,
+    build_worker_handles,
+)
+from repro.farm.orchestrator import (  # noqa: F401
+    BACKENDS,
     CampaignOptions,
     CampaignOrchestrator,
     CampaignResult,
@@ -19,13 +33,26 @@ from repro.farm.state import (  # noqa: F401
     SeedProvenance,
     TriagedCrash,
 )
+from repro.farm.wire import (  # noqa: F401
+    WorkerSpec,
+    WorkerTransportError,
+)
 
 __all__ = [
+    "BACKENDS",
     "CampaignOptions",
     "CampaignOrchestrator",
     "CampaignResult",
     "CampaignState",
+    "InThreadHandle",
+    "ProcessHandle",
     "SeedProvenance",
+    "SocketHandle",
     "TriagedCrash",
+    "WorkerHandle",
+    "WorkerLost",
+    "WorkerSpec",
+    "WorkerTransportError",
+    "build_worker_handles",
     "derive_worker_seed",
 ]

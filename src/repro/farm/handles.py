@@ -1,0 +1,574 @@
+"""Transport-agnostic worker handles: thread, subprocess, socket.
+
+The orchestrator drives every worker through one interface,
+:class:`WorkerHandle` — begin/join an epoch, inspect what the worker
+knows, deliver imports, collect the final result — so *where* the
+engine runs (a pool thread, a child process, the far end of a socket)
+is a transport decision, not an orchestration one.
+
+Backends:
+
+* :class:`InThreadHandle` — the engine lives in this process and runs
+  on the orchestrator's thread pool.  This is the determinism
+  reference: its bookkeeping is exactly the pre-refactor
+  orchestrator's, so fixed ``(campaign_seed, workers, sync_interval)``
+  campaigns stay byte-identical.
+* :class:`ProcessHandle` — one engine per child process
+  (``python -m repro.farm.procworker``), epoch results exchanged as
+  canonical-JSON frames over pipes under the journal's CRC discipline
+  (:mod:`repro.farm.wire`).
+* :class:`SocketHandle` — the same protocol over the EOFL host framing
+  (:mod:`repro.link.host`); the handle spawns a loopback worker, but
+  the stream would carry across hosts unchanged.
+
+Remote handles mirror the worker's offered/delivered digest sets and
+edge frontier on the coordinator, updating them from each epoch's
+*delta*.  At a barrier the mirror equals the live engine state the
+in-thread backend reads directly: pushes always precede pulls within a
+barrier, imports injected via replay only execute in the *next* epoch
+(so they arrive in the next delta), and a DONE worker's later deltas
+are empty.  That equality is what makes the process/socket backends
+produce the same merged frontier, corpus digests and crash signatures
+as the in-thread reference — with O(delta) traffic.
+
+A dead transport surfaces as :class:`WorkerLost`; the orchestrator
+degrades the board to quarantined instead of hanging the barrier.
+"""
+
+from __future__ import annotations
+
+import os
+import subprocess
+import sys
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Set
+
+from repro.errors import RecoveryExhausted
+from repro.fuzz.corpus import CorpusEntry, entry_to_record
+from repro.fuzz.crash import CrashDb, CrashReport
+from repro.fuzz.engine import EofEngine, FuzzResult
+from repro.fuzz.feedback import CoverageMap
+from repro.fuzz.stats import FuzzStats
+from repro.farm.wire import (
+    PipeFrameIO,
+    SocketFrameIO,
+    WorkerSpec,
+    WorkerTransportError,
+    decode_epoch_result,
+    frame_size,
+)
+
+#: Worker liveness states across epochs (shared with the orchestrator).
+LIVE, DONE, ABORTED = "live", "done", "aborted"
+
+#: The summary fields every backend reports at each barrier.
+SUMMARY_FIELDS = ("edges", "execs", "crashes", "restores",
+                  "snapshot_restores", "snapshot_fallbacks")
+
+
+class WorkerLost(WorkerTransportError):
+    """A worker's transport died mid-campaign."""
+
+    def __init__(self, index: int, reason: str):
+        super().__init__(f"worker {index} lost: {reason}")
+        self.index = index
+        self.reason = reason
+
+
+@dataclass
+class EpochOutcome:
+    """What one worker brought to one epoch barrier."""
+
+    status: str
+    entries: List[CorpusEntry] = field(default_factory=list)
+    edges: Set[int] = field(default_factory=set)
+    crashes: List[CrashReport] = field(default_factory=list)
+    summary: Dict[str, int] = field(default_factory=dict)
+    cycles: int = 0
+    #: Bytes the epoch result cost on the wire (measured for remote
+    #: backends, computed-equivalent for the in-thread one).
+    wire_bytes: int = 0
+
+
+class WorkerHandle:
+    """One worker as the orchestrator sees it, wherever it runs."""
+
+    backend = "thread"
+
+    def __init__(self, index: int):
+        self.index = index
+
+    # -- lifecycle (begin/join split so remote boots overlap) ---------------
+
+    def begin_start(self) -> None:
+        raise NotImplementedError
+
+    def join_start(self) -> None:
+        raise NotImplementedError
+
+    def begin_epoch(self, epoch: int, target_cycles: int) -> None:
+        raise NotImplementedError
+
+    def join_epoch(self) -> EpochOutcome:
+        raise NotImplementedError
+
+    # -- barrier-time state (what sync needs to push and pull) --------------
+
+    def known_digests(self) -> Set[str]:
+        raise NotImplementedError
+
+    def local_edges(self) -> Set[int]:
+        raise NotImplementedError
+
+    def deliver(self, entries: List[CorpusEntry], replay: bool) -> None:
+        raise NotImplementedError
+
+    def absorb_frontier(self, edges: Set[int]) -> None:
+        raise NotImplementedError
+
+    def summary(self) -> Dict[str, int]:
+        raise NotImplementedError
+
+    def cycles(self) -> int:
+        raise NotImplementedError
+
+    # -- wrap-up ------------------------------------------------------------
+
+    def finish(self) -> FuzzResult:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class InThreadHandle(WorkerHandle):
+    """The engine runs in-process on the orchestrator's pool.
+
+    Byte-identity with the pre-refactor orchestrator comes from keeping
+    its exact bookkeeping: the epoch body (worker context) only runs
+    the engine; every digest/crash-offset update happens in
+    :meth:`join_epoch` on the coordinator, at the barrier.
+    """
+
+    backend = "thread"
+
+    #: Concurrency contract (EOF401): coordinator bookkeeping, touched
+    #: only between epochs while the pool is joined — never from worker
+    #: or signal context.  The epoch body writes no handle state.
+    GUARDED_BY = {
+        "_future": "@barrier",
+        "_offered": "@barrier",
+        "_delivered": "@barrier",
+        "_reported_edges": "@barrier",
+        "_crash_offset": "@barrier",
+    }
+
+    def __init__(self, index: int, engine: EofEngine,
+                 worker_budget: int):
+        super().__init__(index)
+        self.engine = engine
+        self.worker_budget = worker_budget
+        #: The orchestrator's pool, installed before the first epoch.
+        self.executor = None
+        self._future = None
+        self._offered: Set[str] = set()
+        self._delivered: Set[str] = set()
+        self._reported_edges: Set[int] = set()
+        self._crash_offset = 0
+
+    def begin_start(self) -> None:
+        # Boot happens here, sequentially with the other workers'
+        # begin_start calls: bring-up mutates per-board state only, but
+        # keeping it on one thread makes boot-order effects (shared
+        # build caches, clamp tallies) reproducible.
+        self.engine.start()
+
+    def join_start(self) -> None:
+        return None
+
+    def begin_epoch(self, epoch: int, target_cycles: int) -> None:
+        self._future = self.executor.submit(self._epoch_body,
+                                            target_cycles)
+
+    def _epoch_body(self, target_cycles: int) -> str:
+        # Worker context: runs only the engine; handle bookkeeping
+        # waits for the barrier.
+        engine = self.engine
+        try:
+            if engine.run_until(target_cycles):
+                cycles = engine.session.board.machine.cycles
+                return LIVE if cycles < self.worker_budget else DONE
+            return DONE
+        except RecoveryExhausted:
+            # Quarantined board: the worker is dead, its findings are
+            # not — the barrier still merges them.
+            return ABORTED
+
+    def join_epoch(self) -> EpochOutcome:
+        status = self._future.result()
+        self._future = None
+        engine = self.engine
+        delta = [entry for entry in engine.corpus.entries
+                 if entry.digest not in self._offered]
+        self._offered.update(entry.digest for entry in delta)
+        fresh_edges = engine.coverage.edges - self._reported_edges
+        self._reported_edges |= fresh_edges
+        unique = engine.crash_db.unique_crashes()
+        crashes = unique[self._crash_offset:]
+        self._crash_offset = len(unique)
+        return EpochOutcome(status=status, entries=delta,
+                            edges=fresh_edges, crashes=crashes,
+                            summary=self.summary(),
+                            cycles=self.cycles())
+
+    def known_digests(self) -> Set[str]:
+        return (self._offered | self._delivered
+                | set(self.engine.corpus.digests()))
+
+    def local_edges(self) -> Set[int]:
+        return self.engine.coverage.edges
+
+    def deliver(self, entries: List[CorpusEntry], replay: bool) -> None:
+        self._delivered.update(entry.digest for entry in entries)
+        if replay:
+            self.engine.inject_programs(
+                [entry.program for entry in entries])
+        else:
+            self.engine.import_entries(entries)
+
+    def absorb_frontier(self, edges: Set[int]) -> None:
+        self.engine.absorb_frontier(edges)
+
+    def summary(self) -> Dict[str, int]:
+        stats = self.engine.stats
+        return {
+            "edges": self.engine.coverage.edge_count,
+            "execs": stats.programs_executed,
+            "crashes": stats.unique_crashes,
+            "restores": stats.restorations,
+            "snapshot_restores": stats.snapshot_restores,
+            "snapshot_fallbacks": stats.snapshot_fallbacks,
+        }
+
+    def cycles(self) -> int:
+        engine = self.engine
+        if engine.session is None:
+            return 0
+        return engine.session.board.machine.cycles
+
+    def finish(self) -> FuzzResult:
+        return self.engine.finish()
+
+    def close(self) -> None:
+        return None
+
+
+class _RemoteHandle(WorkerHandle):
+    """Shared protocol driver for process and socket workers.
+
+    All I/O happens on the coordinator thread; the fields below are
+    coordinator-side mirrors of the worker, advanced by epoch deltas.
+    """
+
+    #: Concurrency contract (EOF401): every field is coordinator-only
+    #: barrier bookkeeping, like the in-thread handle's.
+    GUARDED_BY = {
+        "_known": "@barrier",
+        "_edges": "@barrier",
+        "_summary": "@barrier",
+        "_cycles": "@barrier",
+        "_pending_epoch": "@barrier",
+        "_lost_reason": "@barrier",
+        "_final": "@barrier",
+    }
+
+    def __init__(self, index: int, spec: WorkerSpec):
+        super().__init__(index)
+        self.spec = spec
+        self._io = None
+        self._known: Set[str] = set()
+        self._edges: Set[int] = set()
+        self._summary: Dict[str, int] = {
+            key: 0 for key in SUMMARY_FIELDS}
+        self._cycles = 0
+        self._pending_epoch = False
+        self._lost_reason = ""
+        self._final: Optional[FuzzResult] = None
+
+    # -- transport ----------------------------------------------------------
+
+    def _open_transport(self) -> None:
+        raise NotImplementedError
+
+    def _close_transport(self) -> None:
+        raise NotImplementedError
+
+    def _send(self, kind: str, payload: Dict[str, object]) -> None:
+        if self._lost_reason:
+            raise WorkerLost(self.index, self._lost_reason)
+        try:
+            self._io.send(kind, payload)
+        except WorkerTransportError as exc:
+            self._lost_reason = str(exc)
+            raise WorkerLost(self.index, self._lost_reason) from exc
+
+    def _recv(self, expected: str) -> Dict[str, object]:
+        if self._lost_reason:
+            raise WorkerLost(self.index, self._lost_reason)
+        try:
+            kind, payload = self._io.recv()
+        except WorkerTransportError as exc:
+            self._lost_reason = str(exc)
+            raise WorkerLost(self.index, self._lost_reason) from exc
+        if kind == "error":
+            # The worker reported a real failure (bad spec, boot
+            # exception).  That is a campaign bug, not a lost
+            # transport: surface it.
+            raise RuntimeError(
+                f"worker {self.index} failed: "
+                f"{payload.get('message', 'unknown error')}")
+        if kind != expected:
+            self._lost_reason = (f"protocol violation: expected "
+                                 f"{expected!r}, got {kind!r}")
+            raise WorkerLost(self.index, self._lost_reason)
+        return payload
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def begin_start(self) -> None:
+        self._open_transport()
+        self._send("hello", {"spec": self.spec.to_dict()})
+        self._send("start", {})
+
+    def join_start(self) -> None:
+        self._recv("started")
+
+    def begin_epoch(self, epoch: int, target_cycles: int) -> None:
+        self._send("epoch", {"epoch": epoch, "target": target_cycles})
+        self._pending_epoch = True
+
+    def join_epoch(self) -> EpochOutcome:
+        payload = self._recv("epoch_result")
+        self._pending_epoch = False
+        status, entries, edges, crashes, summary, cycles = \
+            decode_epoch_result(payload)
+        self._known.update(entry.digest for entry in entries)
+        self._edges |= edges
+        self._summary = summary
+        self._cycles = cycles
+        return EpochOutcome(status=status, entries=entries, edges=edges,
+                            crashes=crashes, summary=summary,
+                            cycles=cycles,
+                            wire_bytes=self._io.last_frame_bytes)
+
+    def known_digests(self) -> Set[str]:
+        return set(self._known)
+
+    def local_edges(self) -> Set[int]:
+        return self._edges
+
+    def deliver(self, entries: List[CorpusEntry], replay: bool) -> None:
+        records = []
+        for entry in entries:
+            record = entry_to_record(entry)
+            if record is not None:
+                records.append(record)
+        self._known.update(entry.digest for entry in entries)
+        self._send("deliver", {"entries": records, "replay": replay})
+        self._recv("delivered")
+
+    def absorb_frontier(self, edges: Set[int]) -> None:
+        self._send("frontier", {"edges": sorted(edges)})
+        self._recv("frontier_ok")
+
+    def summary(self) -> Dict[str, int]:
+        return dict(self._summary)
+
+    def cycles(self) -> int:
+        return self._cycles
+
+    def finish(self) -> FuzzResult:
+        if self._final is not None:
+            return self._final
+        if self._lost_reason:
+            self._final = self._degraded_result()
+            return self._final
+        try:
+            self._send("finish", {})
+            payload = self._recv("finished")
+        except WorkerLost:
+            self._final = self._degraded_result()
+            return self._final
+        stats = FuzzStats.from_dict(dict(payload.get("stats", {})))
+        coverage = CoverageMap()
+        coverage.add_edges(int(edge) for edge in
+                           payload.get("edges", []))
+        crash_db = CrashDb()
+        for record in payload.get("crashes", []):
+            crash_db.add(CrashReport.from_dict(dict(record)))
+        self._final = FuzzResult(
+            name=str(payload.get("name", self.spec.name)),
+            os_name=str(payload.get("os_name", "")),
+            stats=stats, coverage=coverage, crash_db=crash_db,
+            corpus_size=int(payload.get("corpus_size", 0)))
+        return self._final
+
+    def _degraded_result(self) -> FuzzResult:
+        """Best-effort result for a lost worker, from the last barrier
+        mirror: the frontier it had reported is real coverage; the
+        epoch that died is discarded wholesale."""
+        stats = FuzzStats(
+            programs_executed=self._summary.get("execs", 0),
+            unique_crashes=self._summary.get("crashes", 0),
+            restorations=self._summary.get("restores", 0),
+            snapshot_restores=self._summary.get(
+                "snapshot_restores", 0),
+            snapshot_fallbacks=self._summary.get(
+                "snapshot_fallbacks", 0))
+        if self._edges:
+            stats.record_point(self._cycles, len(self._edges))
+        coverage = CoverageMap()
+        coverage.add_edges(self._edges)
+        return FuzzResult(name=self.spec.name, os_name="",
+                          stats=stats, coverage=coverage,
+                          crash_db=CrashDb(), corpus_size=0)
+
+    def close(self) -> None:
+        if self._io is not None and not self._lost_reason:
+            try:
+                self._io.send("exit", {})
+            except WorkerTransportError:
+                pass
+        self._close_transport()
+
+
+def _worker_argv(transport: str, extra: List[str]) -> List[str]:
+    return ([sys.executable, "-m", "repro.farm.procworker",
+             "--transport", transport] + extra)
+
+
+def _worker_env() -> Dict[str, str]:
+    """Child environment with this repro package importable."""
+    import repro
+    src_root = os.path.dirname(os.path.dirname(
+        os.path.abspath(repro.__file__)))
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH", "")
+    if src_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (src_root + os.pathsep + existing
+                             if existing else src_root)
+    return env
+
+
+class ProcessHandle(_RemoteHandle):
+    """One engine in a child process, frames over stdin/stdout pipes."""
+
+    backend = "process"
+
+    def __init__(self, index: int, spec: WorkerSpec):
+        super().__init__(index, spec)
+        self._proc: Optional[subprocess.Popen] = None
+
+    def _open_transport(self) -> None:
+        try:
+            self._proc = subprocess.Popen(
+                _worker_argv("pipe", []),
+                stdin=subprocess.PIPE, stdout=subprocess.PIPE,
+                env=_worker_env())
+        except OSError as exc:
+            raise WorkerLost(self.index,
+                             f"spawn failed: {exc}") from exc
+        self._io = PipeFrameIO(self._proc.stdout, self._proc.stdin)
+
+    def _close_transport(self) -> None:
+        if self._io is not None:
+            self._io.close()
+        if self._proc is not None:
+            try:
+                self._proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait()
+
+
+class SocketHandle(_RemoteHandle):
+    """The same worker protocol over EOFL host frames on a socket.
+
+    Spawns a loopback worker that connects back to an ephemeral
+    listener; the framing (``repro.link.host``) is host-agnostic, so
+    the handle is the template for real cross-host fleets.
+    """
+
+    backend = "socket"
+
+    def __init__(self, index: int, spec: WorkerSpec):
+        super().__init__(index, spec)
+        self._proc: Optional[subprocess.Popen] = None
+        self._stream = None
+
+    def _open_transport(self) -> None:
+        import socket as socket_module
+
+        from repro.link.host import HostFrameStream
+        listener = socket_module.socket(socket_module.AF_INET,
+                                        socket_module.SOCK_STREAM)
+        try:
+            listener.bind(("127.0.0.1", 0))
+            listener.listen(1)
+            port = listener.getsockname()[1]
+            try:
+                self._proc = subprocess.Popen(
+                    _worker_argv("socket", ["--connect", str(port)]),
+                    env=_worker_env())
+            except OSError as exc:
+                raise WorkerLost(self.index,
+                                 f"spawn failed: {exc}") from exc
+            listener.settimeout(60.0)
+            try:
+                conn, _ = listener.accept()
+            except OSError as exc:
+                raise WorkerLost(
+                    self.index,
+                    f"worker never connected: {exc}") from exc
+        finally:
+            listener.close()
+        self._stream = HostFrameStream(conn)
+        self._io = SocketFrameIO(self._stream)
+
+    def _close_transport(self) -> None:
+        if self._stream is not None:
+            self._stream.close()
+        if self._proc is not None:
+            try:
+                self._proc.wait(timeout=10)
+            except subprocess.TimeoutExpired:
+                self._proc.kill()
+                self._proc.wait()
+
+
+def build_worker_handles(backend: str, workers: int,
+                         spec_template: WorkerSpec,
+                         seeds: List[int],
+                         worker_budget: int) -> List[WorkerHandle]:
+    """Per-worker remote handles from one spec template."""
+    cls = {"process": ProcessHandle, "socket": SocketHandle}[backend]
+    handles: List[WorkerHandle] = []
+    for index in range(workers):
+        spec = replace(spec_template, index=index, seed=seeds[index],
+                       budget_cycles=worker_budget,
+                       name=f"eof-w{index}")
+        handles.append(cls(index, spec))
+    return handles
+
+
+def estimate_outcome_bytes(outcome: EpochOutcome) -> int:
+    """Wire size the outcome *would* cost as a pipe frame.
+
+    Only the in-thread backend calls this (and only with observability
+    enabled): remote backends report measured frame bytes instead.
+    """
+    from repro.farm.wire import encode_epoch_result
+    payload = encode_epoch_result(
+        outcome.status, outcome.entries, outcome.edges,
+        outcome.crashes, outcome.summary, outcome.cycles)
+    return frame_size("epoch_result", payload)

@@ -1,10 +1,18 @@
 """Multi-board campaign orchestration (the paper's §5 parallel setup).
 
-The orchestrator steps N worker engines — one virtual board each —
-through cycle-based **sync epochs**: every worker fuzzes independently
-until its own cycle clock crosses the epoch boundary, then a barrier
-merges worker state into the shared :class:`CampaignState` and delivers
+The orchestrator steps N workers — one virtual board each — through
+cycle-based **sync epochs**: every worker fuzzes independently until
+its own cycle clock crosses the epoch boundary, then a barrier merges
+worker state into the shared :class:`CampaignState` and delivers
 cross-worker seed imports, and the next epoch begins.
+
+Workers run behind the transport-agnostic :class:`WorkerHandle`
+interface (:mod:`repro.farm.handles`): the ``thread`` backend keeps
+every engine in-process (the determinism reference), ``process`` runs
+one engine per child process with epoch deltas framed over pipes, and
+``socket`` speaks the same protocol over EOFL host frames.  The store
+stays coordinator-only under every backend, so persistence and resume
+are backend-independent.
 
 Determinism argument
 --------------------
@@ -17,14 +25,19 @@ sync_interval)``:
   is already deterministic in virtual time;
 * the epoch barrier is a full join — shared-state merging happens on
   the coordinator thread in worker-index order, never concurrently with
-  execution — so thread scheduling cannot reorder any observable
-  merge;
+  execution — so neither thread scheduling nor process scheduling can
+  reorder any observable merge;
 * sync points are **cycle-based** (epoch ``k`` ends at ``k *
-  sync_interval`` virtual cycles per worker), never wall-clock-based.
+  sync_interval`` virtual cycles per worker), never wall-clock-based;
+* remote backends ship only *deltas* (new seeds, new edges, new
+  crashes since the last barrier), and merging a delta stream is
+  state-identical to merging the full sets the in-thread backend
+  reads directly.
 
-Workers run in a :class:`~concurrent.futures.ThreadPoolExecutor`
-(per-worker ``EngineOptions`` as usual); the barrier design means the
-pool is an execution convenience, not a correctness ingredient.
+A worker whose transport dies mid-epoch is treated like a quarantined
+board: the un-synced epoch is discarded, a ``farm.worker.lost`` event
+(plus flight-recorder dump) marks the loss, and the campaign continues
+with the remaining workers instead of hanging the barrier.
 """
 
 from __future__ import annotations
@@ -33,8 +46,19 @@ from concurrent.futures import ThreadPoolExecutor
 from dataclasses import asdict, dataclass, field
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Set
 
-from repro.errors import RecoveryExhausted
-from repro.farm.state import CampaignState, TriagedCrash
+from repro.farm.handles import (
+    ABORTED,
+    DONE,
+    LIVE,
+    EpochOutcome,
+    InThreadHandle,
+    WorkerHandle,
+    WorkerLost,
+    build_worker_handles,
+    estimate_outcome_bytes,
+)
+from repro.farm.state import DEFAULT_SHARDS, CampaignState, TriagedCrash
+from repro.farm.wire import WorkerSpec
 from repro.fuzz.corpus import MAX_CORPUS, CorpusEntry
 from repro.fuzz.crash import CrashReport
 from repro.fuzz.engine import EofEngine, FuzzResult
@@ -44,8 +68,19 @@ from repro.obs import NULL_OBS, Observability
 if TYPE_CHECKING:
     from repro.db.store import CampaignStore
 
-#: Worker liveness states across epochs.
-_LIVE, _DONE, _ABORTED = "live", "done", "aborted"
+#: Worker liveness states across epochs (shared with the handles).
+_LIVE, _DONE, _ABORTED = LIVE, DONE, ABORTED
+
+#: The campaign backends ``--backend`` may name, with the numeric code
+#: the ``farm.backend`` gauge reports.
+BACKENDS = ("thread", "process", "socket")
+
+#: Sync-delta size buckets, in bytes: a lone seed frame lands in the
+#: low hundreds, a busy epoch in the tens of KiB, and anything past a
+#: MiB means a worker pushed corpus-scale state (the smell the O(delta)
+#: contract exists to prevent).
+DELTA_BYTE_BUCKETS = (256, 1_024, 4_096, 16_384, 65_536,
+                      262_144, 1_048_576, 4_194_304)
 
 
 def derive_worker_seed(campaign_seed: int, index: int) -> int:
@@ -106,6 +141,15 @@ class CampaignOptions:
     share_frontier: bool = False
     shared_corpus_max: int = MAX_CORPUS
     name: str = "eof-farm"
+    #: Where worker engines execute: ``thread`` (in-process, the
+    #: determinism reference), ``process`` (one child process per
+    #: board, pipe frames), ``socket`` (EOFL host frames).  Every
+    #: backend replays the same campaign.
+    backend: str = "thread"
+    #: Content-hash buckets of the shared corpus; push/pull contends
+    #: only on the shards a delta lands in.  Observationally
+    #: equivalent at any count (property-tested).
+    corpus_shards: int = DEFAULT_SHARDS
 
 
 @dataclass
@@ -133,12 +177,18 @@ def campaign_config(options: CampaignOptions,
                     target: str = "") -> Dict[str, object]:
     """The option set a campaign store persists and re-checks on resume.
 
-    Every :class:`CampaignOptions` field is included: a resumed
-    campaign is a deterministic *replay*, so any knob that steers
-    execution — not just the seed triple — must match for the replay
-    to reproduce the interrupted run.
+    Every :class:`CampaignOptions` field that steers *execution* is
+    included: a resumed campaign is a deterministic replay, so any knob
+    that changes what the workers do — not just the seed triple — must
+    match for the replay to reproduce the interrupted run.  ``backend``
+    and ``corpus_shards`` are deliberately excluded: transport and
+    partitioning choices replay the same campaign (the backend
+    acceptance gate), so a store written under one backend may resume
+    under another.
     """
     config: Dict[str, object] = asdict(options)
+    config.pop("backend", None)
+    config.pop("corpus_shards", None)
     config["target"] = target
     return config
 
@@ -154,16 +204,15 @@ class CampaignOrchestrator:
     #: flag is written from the CLI signal handler and read at the
     #: barrier, so writes must stay single constant stores (GIL-atomic).
     #: ``@barrier`` — coordinator bookkeeping touched only between
-    #: epochs, while the pool is joined; never from worker or signal
-    #: context.
+    #: epochs, while every worker future has been joined; never from
+    #: worker or signal context.
     GUARDED_BY = {
         "_stop_requested": "@atomic",
         "_interrupted": "@barrier",
         "_last_imported": "@barrier",
+        "_last_delta_bytes": "@barrier",
         "_status": "@barrier",
-        "_offered": "@barrier",
-        "_delivered": "@barrier",
-        "_crash_offsets": "@barrier",
+        "_lost": "@barrier",
         "_epochs_run": "@barrier",
     }
 
@@ -172,40 +221,62 @@ class CampaignOrchestrator:
     #: mutation (e.g. folding store state back into ``state``) here.
     EPOCH_BARRIERS = ("_sync", "_persist_epoch")
 
-    def __init__(self, factory: EngineFactory,
+    def __init__(self, factory: Optional[EngineFactory],
                  options: Optional[CampaignOptions] = None,
                  obs: Optional[Observability] = None,
                  store: Optional["CampaignStore"] = None,
-                 warm_entries: Optional[List[CorpusEntry]] = None):
+                 warm_entries: Optional[List[CorpusEntry]] = None,
+                 worker_spec: Optional[WorkerSpec] = None):
         self.options = options or CampaignOptions()
         if self.options.workers < 1:
             raise ValueError("a campaign needs at least one worker")
+        if self.options.backend not in BACKENDS:
+            raise ValueError(
+                f"unknown campaign backend {self.options.backend!r} "
+                f"(expected one of {', '.join(BACKENDS)})")
         self.obs = obs or NULL_OBS
         #: Opened campaign store (ownership transfers here: the
         #: orchestrator checkpoints and closes it when the run ends).
         #: A store opened with ``resume`` sets the fast-forward point.
+        #: The store lives on the coordinator under every backend.
         self.store = store
         self._resume_epoch = store.resumed_from_epoch if store else 0
         self._stop_requested = False
         self._interrupted = False
         self._last_imported = 0
+        self._last_delta_bytes = 0
         self.state = CampaignState(
-            max_corpus=self.options.shared_corpus_max)
+            max_corpus=self.options.shared_corpus_max,
+            shards=self.options.corpus_shards)
         if warm_entries:
             self.state.warm_start(warm_entries)
-        self.engines: List[EofEngine] = []
         per_worker = max(
             self.options.total_budget_cycles // self.options.workers, 1)
         self.worker_budget = per_worker
-        for index in range(self.options.workers):
-            seed = derive_worker_seed(self.options.campaign_seed, index)
-            self.engines.append(factory(index, seed, per_worker))
-        # Per-worker digests already offered to / delivered from the
-        # shared pool, so sync never re-ships a seed.
-        self._offered: List[Set[str]] = [set() for _ in self.engines]
-        self._delivered: List[Set[str]] = [set() for _ in self.engines]
-        self._crash_offsets = [0 for _ in self.engines]
-        self._status = [_LIVE for _ in self.engines]
+        seeds = [derive_worker_seed(self.options.campaign_seed, index)
+                 for index in range(self.options.workers)]
+        self.engines: List[EofEngine] = []
+        if self.options.backend == "thread":
+            if factory is None:
+                raise ValueError(
+                    "the thread backend needs an engine factory")
+            handles: List[WorkerHandle] = []
+            for index in range(self.options.workers):
+                engine = factory(index, seeds[index], per_worker)
+                self.engines.append(engine)
+                handles.append(InThreadHandle(index, engine,
+                                              per_worker))
+            self.handles = handles
+        else:
+            if worker_spec is None:
+                raise ValueError(
+                    f"the {self.options.backend} backend needs a "
+                    f"worker spec template")
+            self.handles = build_worker_handles(
+                self.options.backend, self.options.workers,
+                worker_spec, seeds, per_worker)
+        self._status = [_LIVE for _ in self.handles]
+        self._lost: Set[int] = set()
         self._epochs_run = 0
         #: Optional live-dashboard callback, invoked on the coordinator
         #: thread at every epoch barrier with a summary dict (see
@@ -218,37 +289,85 @@ class CampaignOrchestrator:
     def run(self) -> CampaignResult:
         """Run every epoch to completion and return the merged result."""
         opts = self.options
-        # Boot sequentially: bring-up mutates per-board state only, but
-        # keeping it on one thread makes boot-order effects (shared
-        # build caches, clamp tallies) reproducible.
-        for engine in self.engines:
-            engine.start()
-        if self.obs.enabled:
-            self.obs.bind_clock(self._campaign_clock)
-            self.obs.emit("farm.campaign.start", workers=opts.workers,
-                          sync_interval=opts.sync_interval,
-                          total_budget=opts.total_budget_cycles,
-                          campaign_seed=opts.campaign_seed)
-        with ThreadPoolExecutor(max_workers=opts.workers) as pool:
-            while any(status == _LIVE for status in self._status):
-                self._epochs_run += 1
-                target = self._epoch_target(self._epochs_run)
-                futures = {
-                    index: pool.submit(self._run_worker_epoch, index,
-                                       target)
-                    for index in range(opts.workers)
-                    if self._status[index] == _LIVE}
-                for index in sorted(futures):
-                    self._status[index] = futures[index].result()
-                self._sync(self._epochs_run)
-                self._persist_epoch(self._epochs_run)
-                if self._stop_requested:
-                    # Honoured only at the barrier, *after* the epoch
-                    # persisted: the run stops on a committed epoch, so
-                    # a resume continues exactly where it left off.
-                    self._interrupted = True
-                    break
-        return self._collect()
+        try:
+            self._start_workers()
+            if self.obs.enabled:
+                self.obs.bind_clock(self._campaign_clock)
+                self.obs.emit("farm.campaign.start",
+                              workers=opts.workers,
+                              sync_interval=opts.sync_interval,
+                              total_budget=opts.total_budget_cycles,
+                              campaign_seed=opts.campaign_seed,
+                              backend=opts.backend,
+                              shards=self.state.shard_count)
+                self.obs.gauge("farm.backend").set(
+                    BACKENDS.index(opts.backend))
+                self.obs.gauge("farm.shards").set(
+                    self.state.shard_count)
+            if opts.backend == "thread":
+                with ThreadPoolExecutor(max_workers=opts.workers) \
+                        as pool:
+                    for handle in self.handles:
+                        handle.executor = pool
+                    self._epoch_loop()
+            else:
+                self._epoch_loop()
+            return self._collect()
+        finally:
+            for handle in self.handles:
+                handle.close()
+
+    def _start_workers(self) -> None:
+        """Boot every worker; remote boots overlap, in-thread boots run
+        sequentially inside ``begin_start`` (reproducible boot-order
+        effects are part of the determinism reference)."""
+        for index, handle in enumerate(self.handles):
+            try:
+                handle.begin_start()
+            except WorkerLost as lost:
+                self._mark_lost(0, lost)
+        for index, handle in enumerate(self.handles):
+            if self._status[index] != _LIVE:
+                continue
+            try:
+                handle.join_start()
+            except WorkerLost as lost:
+                self._mark_lost(0, lost)
+        if all(status == _ABORTED for status in self._status):
+            raise RuntimeError("every campaign worker failed to start")
+
+    def _epoch_loop(self) -> None:
+        while any(status == _LIVE for status in self._status):
+            self._epochs_run += 1
+            epoch = self._epochs_run
+            target = self._epoch_target(epoch)
+            live = [index for index in range(len(self.handles))
+                    if self._status[index] == _LIVE]
+            began = []
+            for index in live:
+                try:
+                    self.handles[index].begin_epoch(epoch, target)
+                    began.append(index)
+                except WorkerLost as lost:
+                    self._mark_lost(epoch, lost)
+            outcomes: Dict[int, EpochOutcome] = {}
+            for index in began:
+                try:
+                    outcomes[index] = self.handles[index].join_epoch()
+                except WorkerLost as lost:
+                    # The epoch died with the worker: its un-synced
+                    # results are discarded, the campaign continues.
+                    self._mark_lost(epoch, lost)
+                    continue
+                self._status[index] = outcomes[index].status
+            self._sync(epoch, outcomes)
+            self._persist_epoch(epoch)
+            if self._stop_requested:
+                # Honoured only at the barrier, *after* the epoch
+                # persisted: the run stops on a committed epoch, so
+                # a resume continues exactly where it left off.
+                self._interrupted = True
+                break
 
     def request_stop(self) -> None:
         """Ask the campaign to stop at the next epoch barrier.
@@ -259,13 +378,24 @@ class CampaignOrchestrator:
         """
         self._stop_requested = True
 
+    def _mark_lost(self, epoch: int, lost: WorkerLost) -> None:
+        """Degrade a dead transport to a quarantined board."""
+        self._status[lost.index] = _ABORTED
+        self._lost.add(lost.index)
+        if self.obs.enabled:
+            self.obs.counter("farm.workers.lost").inc()
+            self.obs.emit("farm.worker.lost", worker=lost.index,
+                          epoch=epoch, reason=lost.reason)
+            if self.obs.flight is not None:
+                self.obs.flight.dump("worker-lost",
+                                     f"worker-{lost.index}",
+                                     obs=self.obs)
+
     def _campaign_clock(self) -> int:
         """Campaign virtual time: the furthest worker clock."""
         cycles = 0
-        for engine in self.engines:
-            if engine.session is not None:
-                cycles = max(cycles,
-                             engine.session.board.machine.cycles)
+        for handle in self.handles:
+            cycles = max(cycles, handle.cycles())
         return cycles
 
     def _epoch_target(self, epoch: int) -> int:
@@ -274,40 +404,42 @@ class CampaignOrchestrator:
         return min(epoch * self.options.sync_interval,
                    self.worker_budget)
 
-    def _run_worker_epoch(self, index: int, target_cycles: int) -> str:
-        engine = self.engines[index]
-        try:
-            if engine.run_until(target_cycles):
-                # Budget remains; done with this epoch only.
-                cycles = engine.session.board.machine.cycles
-                return _LIVE if cycles < self.worker_budget else _DONE
-            return _DONE
-        except RecoveryExhausted:
-            # Quarantined board: the worker is dead, its findings are
-            # not — the next sync still merges them.
-            return _ABORTED
-
     # -- the barrier --------------------------------------------------------
 
-    def _sync(self, epoch: int) -> None:
-        """Merge worker state into the campaign, in worker order, then
-        deliver imports.  Runs on the coordinator thread only."""
+    def _sync(self, epoch: int,
+              outcomes: Dict[int, EpochOutcome]) -> None:
+        """Merge worker outcomes into the campaign, in worker order,
+        then deliver imports.  Runs on the coordinator thread only."""
+        delta_bytes = 0
+        shards_touched: Set[int] = set()
         with self.obs.span("sync"):
-            for index, engine in enumerate(self.engines):
-                self._push_worker(index, epoch, engine)
+            for index in sorted(outcomes):
+                self._push_outcome(index, epoch, outcomes[index],
+                                   shards_touched)
             imported_total = 0
-            for index, engine in enumerate(self.engines):
+            for index, handle in enumerate(self.handles):
                 if self._status[index] != _LIVE:
                     continue
-                imported_total += self._pull_worker(index, engine)
+                imported_total += self._pull_worker(index, handle)
                 if self.options.share_frontier:
-                    engine.absorb_frontier(self.state.edges)
+                    handle.absorb_frontier(self.state.edges)
         if self.obs.enabled:
             self.obs.counter("farm.sync.epochs").inc()
             self.obs.gauge("farm.merged.edges").set(
                 len(self.state.edges))
             self.obs.gauge("farm.shared.corpus").set(
                 len(self.state.corpus))
+            if shards_touched:
+                self.obs.counter("farm.shard.touched").inc(
+                    len(shards_touched))
+            histogram = self.obs.histogram("farm.sync.delta.bytes",
+                                           buckets=DELTA_BYTE_BUCKETS)
+            for index in sorted(outcomes):
+                outcome = outcomes[index]
+                size = outcome.wire_bytes or \
+                    estimate_outcome_bytes(outcome)
+                delta_bytes += size
+                histogram.record(size)
             self.obs.emit("farm.epoch", epoch=epoch,
                           merged_edges=len(self.state.edges),
                           shared_seeds=len(self.state.corpus),
@@ -319,6 +451,7 @@ class CampaignOrchestrator:
         # row per epoch, timestamped with the epoch's target cycles (a
         # pure function of epoch and sync_interval, so replays match).
         self._last_imported = imported_total
+        self._last_delta_bytes = delta_bytes
         summary = None
         if self.obs.sampler is not None or self.epoch_hook is not None:
             summary = self._epoch_summary(epoch, imported_total)
@@ -331,21 +464,47 @@ class CampaignOrchestrator:
         if self.epoch_hook is not None:
             self.epoch_hook(summary)
 
+    def _push_outcome(self, index: int, epoch: int,
+                      outcome: EpochOutcome,
+                      shards_touched: Set[int]) -> None:
+        """Merge one worker's epoch delta (seeds, edges, crashes)."""
+        # Push before merging the frontier delta: admission tests each
+        # seed's footprint against *other* workers' edges; merging this
+        # worker's coverage first would reject its own discoveries.
+        admitted = self.state.push(index, epoch, outcome.entries)
+        for entry in outcome.entries:
+            if entry.digest:
+                shards_touched.add(self.state.shard_index(entry.digest))
+        self.state.merge_edges(outcome.edges)
+        for report in outcome.crashes:
+            if self.state.record_crash(index, epoch, report):
+                if self.obs.enabled:
+                    self.obs.emit("farm.crash.new", worker=index,
+                                  epoch=epoch, kind=report.kind,
+                                  signature=report.signature())
+        if self.obs.enabled and admitted:
+            self.obs.counter("farm.seeds.shared").inc(admitted)
+
+    def _pull_worker(self, index: int, handle: WorkerHandle) -> int:
+        entries = self.state.pull(
+            index, known_digests=handle.known_digests(),
+            local_edges=handle.local_edges(),
+            limit=self.options.import_cap,
+            min_novelty=self.options.import_min_novelty)
+        if not entries:
+            return 0
+        handle.deliver(entries, self.options.replay_imports)
+        if self.obs.enabled:
+            self.obs.counter("farm.seeds.imported").inc(len(entries))
+        return len(entries)
+
     def _epoch_summary(self, epoch: int, imported: int) -> dict:
         """Deterministic barrier snapshot (sampler + dashboard feed)."""
         workers = []
-        for index, engine in enumerate(self.engines):
-            workers.append({
-                "edges": engine.coverage.edge_count,
-                "execs": engine.stats.programs_executed,
-                "crashes": engine.stats.unique_crashes,
-                "restores": engine.stats.restorations,
-                # Per-worker snapshot tier (each worker owns its own
-                # SnapshotManager; nothing here is shared state).
-                "snapshot_restores": engine.stats.snapshot_restores,
-                "snapshot_fallbacks": engine.stats.snapshot_fallbacks,
-                "status": self._status[index],
-            })
+        for index, handle in enumerate(self.handles):
+            worker = handle.summary()
+            worker["status"] = self._status[index]
+            workers.append(worker)
         return {
             "epoch": epoch,
             "edges": len(self.state.edges),
@@ -360,7 +519,7 @@ class CampaignOrchestrator:
                         if status == _LIVE),
             "live_workers": sum(1 for status in self._status
                                 if status == _LIVE),
-            "workers_total": len(self.engines),
+            "workers_total": len(self.handles),
             "workers": workers,
         }
 
@@ -415,55 +574,12 @@ class CampaignOrchestrator:
                               f"drift_{key}": value
                               for key, value in mismatch.items()})
 
-    def _push_worker(self, index: int, epoch: int,
-                     engine: EofEngine) -> None:
-        offered = self._offered[index]
-        delta = [entry for entry in engine.corpus.entries
-                 if entry.digest not in offered]
-        # Push before merging the full frontier: admission tests each
-        # seed's footprint against *other* workers' edges; merging this
-        # worker's coverage first would reject its own discoveries.
-        admitted = self.state.push(index, epoch, delta)
-        offered.update(entry.digest for entry in delta)
-        self.state.merge_edges(engine.coverage.edges)
-        fresh_crashes = 0
-        unique = engine.crash_db.unique_crashes()
-        for report in unique[self._crash_offsets[index]:]:
-            if self.state.record_crash(index, epoch, report):
-                fresh_crashes += 1
-                if self.obs.enabled:
-                    self.obs.emit("farm.crash.new", worker=index,
-                                  epoch=epoch, kind=report.kind,
-                                  signature=report.signature())
-        self._crash_offsets[index] = len(unique)
-        if self.obs.enabled and admitted:
-            self.obs.counter("farm.seeds.shared").inc(admitted)
-
-    def _pull_worker(self, index: int, engine: EofEngine) -> int:
-        known = (self._offered[index] | self._delivered[index]
-                 | set(engine.corpus.digests()))
-        entries = self.state.pull(
-            index, known_digests=known,
-            local_edges=engine.coverage.edges,
-            limit=self.options.import_cap,
-            min_novelty=self.options.import_min_novelty)
-        if not entries:
-            return 0
-        self._delivered[index].update(entry.digest for entry in entries)
-        if self.options.replay_imports:
-            engine.inject_programs([entry.program for entry in entries])
-        else:
-            engine.import_entries(entries)
-        if self.obs.enabled:
-            self.obs.counter("farm.seeds.imported").inc(len(entries))
-        return len(entries)
-
     # -- wrap-up ------------------------------------------------------------
 
     def _collect(self) -> CampaignResult:
         results = []
-        for index, engine in enumerate(self.engines):
-            result = engine.finish()
+        for index, handle in enumerate(self.handles):
+            result = handle.finish()
             results.append(result)
             if self.obs.enabled:
                 self.obs.emit("farm.worker.done", worker=index,

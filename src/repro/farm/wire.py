@@ -1,0 +1,258 @@
+"""Worker wire protocol: specs, framing and epoch-result payloads.
+
+Everything a campaign moves across a process or host boundary goes
+through this module, in exactly the serialized forms the stack already
+trusts:
+
+* **payloads** are canonical JSON built from the existing round-trip
+  codecs — :func:`repro.fuzz.corpus.entry_to_record`,
+  :meth:`repro.fuzz.crash.CrashReport.to_dict`,
+  :meth:`repro.fuzz.stats.FuzzStats.to_dict`;
+* **pipe framing** reuses the campaign journal's CRC record format
+  (:func:`repro.db.journal.encode_record`), so a torn or corrupt frame
+  is detected the same way a torn journal is;
+* **socket framing** reuses the EOFL link codec via
+  :class:`repro.link.host.HostFrameStream` — one codec for target and
+  fleet traffic.
+
+Both framings speak the same ``(kind, payload)`` message surface, so
+the process and socket backends share one protocol driver
+(:mod:`repro.farm.handles` / :mod:`repro.farm.procworker`).  Transport
+death — EOF, broken pipe, CRC failure — always surfaces as
+:class:`WorkerTransportError`; the orchestrator maps it to a lost
+worker, never a hung barrier.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass
+from typing import BinaryIO, Dict, List, Sequence, Set, Tuple
+
+from repro.db.journal import MAGIC, MAX_PAYLOAD, encode_record
+from repro.db.journal import decode_record as _decode_journal_record
+from repro.fuzz.corpus import CorpusEntry, entry_from_record, entry_to_record
+from repro.fuzz.crash import CrashReport
+from repro.link.host import HostFrameStream, host_command, host_payload
+
+__all__ = ["WorkerSpec", "WorkerTransportError", "PipeFrameIO",
+           "SocketFrameIO", "encode_epoch_result", "decode_epoch_result",
+           "frame_size"]
+
+#: Record-type letter of a worker frame in the journal CRC format.
+WIRE_RECORD_TYPE = "W"
+
+#: Journal frame header: u16 magic | u8 version | u8 type | u32 length
+#: | u32 crc (repro.db.journal).  The reader only needs magic and
+#: length offsets; full verification goes through ``decode_record``.
+_HEADER_SIZE = 12
+
+
+@dataclass(frozen=True)
+class WorkerSpec:
+    """Everything a remote worker needs to rebuild its engine.
+
+    The coordinator derives ``index``/``seed``/``budget_cycles`` per
+    worker from the campaign options (the same splitmix64 derivation
+    the in-thread backend uses), so a campaign stays a pure function of
+    ``(campaign_seed, workers, sync_interval)`` no matter where its
+    engines run.
+    """
+
+    target: str
+    index: int = 0
+    seed: int = 0
+    budget_cycles: int = 0
+    snapshots: bool = True
+    name: str = ""
+
+    def to_dict(self) -> Dict[str, object]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "WorkerSpec":
+        return cls(target=str(data.get("target", "")),
+                   index=int(data.get("index", 0)),
+                   seed=int(data.get("seed", 0)),
+                   budget_cycles=int(data.get("budget_cycles", 0)),
+                   snapshots=bool(data.get("snapshots", True)),
+                   name=str(data.get("name", "")))
+
+
+class WorkerTransportError(RuntimeError):
+    """The worker's transport died (EOF, broken pipe, corrupt frame)."""
+
+
+class PipeFrameIO:
+    """Journal-CRC frames over a pair of byte streams (stdin/stdout).
+
+    One message is one journal record whose payload is
+    ``{"kind": verb, "body": {...}}``; CRC failure or a short read is a
+    dead worker, not a parse error to retry.
+    """
+
+    def __init__(self, rfile: BinaryIO, wfile: BinaryIO):
+        self._rfile = rfile
+        self._wfile = wfile
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        #: Size of the most recent frame in either direction — the
+        #: sync-delta-bytes histogram samples this after each epoch
+        #: result.
+        self.last_frame_bytes = 0
+
+    def send(self, kind: str, payload: Dict[str, object]) -> int:
+        frame = encode_record(WIRE_RECORD_TYPE,
+                              {"kind": kind, "body": payload})
+        try:
+            self._wfile.write(frame)
+            self._wfile.flush()
+        except (OSError, ValueError) as exc:
+            raise WorkerTransportError(
+                f"worker pipe write failed: {exc}") from exc
+        self.bytes_sent += len(frame)
+        self.last_frame_bytes = len(frame)
+        return len(frame)
+
+    def recv(self) -> Tuple[str, Dict[str, object]]:
+        header = self._read_exact(_HEADER_SIZE)
+        if int.from_bytes(header[0:2], "little") != MAGIC:
+            raise WorkerTransportError("bad worker frame magic")
+        length = int.from_bytes(header[4:8], "little")
+        if length > MAX_PAYLOAD:
+            raise WorkerTransportError(
+                f"worker frame length {length} exceeds bound")
+        body = self._read_exact(length)
+        record = _decode_journal_record(header + body)
+        if record is None:
+            raise WorkerTransportError("worker frame failed CRC")
+        self.bytes_received += _HEADER_SIZE + length
+        self.last_frame_bytes = _HEADER_SIZE + length
+        payload = record.payload
+        kind = str(payload.get("kind", ""))
+        message = payload.get("body")
+        if not kind or not isinstance(message, dict):
+            raise WorkerTransportError("malformed worker message")
+        return kind, message
+
+    def _read_exact(self, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            try:
+                chunk = self._rfile.read(count - len(chunks))
+            except (OSError, ValueError) as exc:
+                raise WorkerTransportError(
+                    f"worker pipe read failed: {exc}") from exc
+            if not chunk:
+                raise WorkerTransportError("worker pipe closed")
+            chunks += chunk
+        return bytes(chunks)
+
+    def close(self) -> None:
+        for stream in (self._wfile, self._rfile):
+            try:
+                stream.close()
+            except (OSError, ValueError):
+                pass
+
+
+class SocketFrameIO:
+    """The same ``(kind, payload)`` surface over an EOFL host stream."""
+
+    def __init__(self, stream: HostFrameStream):
+        self._stream = stream
+        self.last_frame_bytes = 0
+
+    @property
+    def bytes_sent(self) -> int:
+        return self._stream.bytes_sent
+
+    @property
+    def bytes_received(self) -> int:
+        return self._stream.bytes_received
+
+    def send(self, kind: str, payload: Dict[str, object]) -> int:
+        from repro.errors import ProtocolError
+        try:
+            sent = self._stream.send([host_command(kind, payload)])
+        except ProtocolError as exc:
+            raise WorkerTransportError(str(exc)) from exc
+        self.last_frame_bytes = sent
+        return sent
+
+    def recv(self) -> Tuple[str, Dict[str, object]]:
+        from repro.errors import ProtocolError
+        before = self._stream.bytes_received
+        try:
+            commands = self._stream.recv()
+        except ProtocolError as exc:
+            raise WorkerTransportError(str(exc)) from exc
+        if len(commands) != 1:
+            raise WorkerTransportError(
+                f"expected one host command, got {len(commands)}")
+        self.last_frame_bytes = self._stream.bytes_received - before
+        try:
+            return host_payload(commands[0])
+        except ProtocolError as exc:
+            raise WorkerTransportError(str(exc)) from exc
+
+    def close(self) -> None:
+        self._stream.close()
+
+
+# -- epoch-result payload ----------------------------------------------------
+
+def encode_epoch_result(status: str, entries: Sequence[CorpusEntry],
+                        edges: Sequence[int],
+                        crashes: Sequence[CrashReport],
+                        summary: Dict[str, int],
+                        cycles: int) -> Dict[str, object]:
+    """One epoch barrier's worth of worker state, JSON-friendly.
+
+    Entries whose programs the protocol cannot encode (hostile-test
+    constructions only; generated programs always encode) are counted
+    in ``dropped`` rather than half-shipped.
+    """
+    records = []
+    dropped = 0
+    for entry in entries:
+        record = entry_to_record(entry)
+        if record is None:
+            dropped += 1
+            continue
+        records.append(record)
+    return {
+        "status": status,
+        "entries": records,
+        "dropped": dropped,
+        "edges": sorted(int(edge) for edge in edges),
+        "crashes": [report.to_dict() for report in crashes],
+        "summary": {key: int(value) for key, value in summary.items()},
+        "cycles": int(cycles),
+    }
+
+
+def decode_epoch_result(payload: Dict[str, object]
+                        ) -> Tuple[str, List[CorpusEntry], Set[int],
+                                   List[CrashReport], Dict[str, int],
+                                   int]:
+    """Inverse of :func:`encode_epoch_result`."""
+    entries = [entry_from_record(dict(record))
+               for record in payload.get("entries", [])]
+    edges = {int(edge) for edge in payload.get("edges", [])}
+    crashes = [CrashReport.from_dict(dict(record))
+               for record in payload.get("crashes", [])]
+    summary = {str(key): int(value) for key, value
+               in dict(payload.get("summary", {})).items()}
+    return (str(payload.get("status", "aborted")), entries, edges,
+            crashes, summary, int(payload.get("cycles", 0)))
+
+
+def frame_size(kind: str, payload: Dict[str, object]) -> int:
+    """Pipe-frame size of one message without shipping it.
+
+    The in-thread backend uses this to report the *would-be* sync delta
+    bytes, so the ``farm.sync.delta.bytes`` histogram is comparable
+    across backends.
+    """
+    return len(encode_record(WIRE_RECORD_TYPE,
+                             {"kind": kind, "body": payload}))

@@ -1,0 +1,158 @@
+"""Host<->host framing for fleet transport, on the EOFL codec.
+
+The link codec frames everything that crosses the *target* debug port;
+this module reuses it for traffic between campaign hosts (coordinator
+<-> socket workers, ``repro.farm``), so one codec serves both target
+and fleet traffic.  A fleet message is one EOFL command batch whose
+single :class:`~repro.link.codec.Command` carries
+
+* a **host opcode** (``OP_EPOCH_RESULT`` / ``OP_SEED_PUSH`` /
+  ``OP_FRONTIER_DELTA`` / ``OP_HOST_CTRL``),
+* the message kind in ``label`` (the farm protocol's verb), and
+* a canonical-JSON payload in ``data`` (UTF-8, sorted keys, tight
+  separators — the same canonical form the campaign journal uses).
+
+Since EOFL frames are not self-delimiting on a byte stream, each batch
+travels behind a little-endian ``u32`` length prefix; a short read at
+any point raises :class:`HostLinkClosed` so the coordinator can treat
+the peer as a lost worker rather than block forever.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+from typing import Dict, List, Sequence, Tuple
+
+from repro.errors import ProtocolError
+from repro.link.codec import (
+    OP_EPOCH_RESULT,
+    OP_FRONTIER_DELTA,
+    OP_HOST_CTRL,
+    OP_SEED_PUSH,
+    Command,
+    decode_batch,
+    decode_u32,
+    encode_batch,
+    encode_u32,
+)
+
+__all__ = ["HostFrameStream", "HostLinkClosed", "host_command",
+           "host_payload", "loopback_pair", "HOST_KIND_OPS"]
+
+#: Farm protocol verbs that get a dedicated host opcode; every other
+#: verb (start/finish/exit handshakes) rides under ``OP_HOST_CTRL``.
+HOST_KIND_OPS: Dict[str, int] = {
+    "epoch_result": OP_EPOCH_RESULT,
+    "deliver": OP_SEED_PUSH,
+    "delivered": OP_SEED_PUSH,
+    "frontier": OP_FRONTIER_DELTA,
+    "frontier_ok": OP_FRONTIER_DELTA,
+}
+
+#: Host opcodes a fleet stream accepts; a target opcode arriving here
+#: is a protocol violation, not a command to execute.
+_HOST_OPS = frozenset(
+    {OP_EPOCH_RESULT, OP_SEED_PUSH, OP_FRONTIER_DELTA, OP_HOST_CTRL})
+
+#: One payload bound (matches the journal's MAX_PAYLOAD): a length
+#: prefix beyond this is framing corruption, not a huge message.
+MAX_HOST_FRAME = 64 * 1024 * 1024
+
+
+class HostLinkClosed(ProtocolError):
+    """The peer's byte stream ended mid-conversation."""
+
+
+def host_command(kind: str, payload: Dict[str, object]) -> Command:
+    """Wrap one farm protocol message as an EOFL command."""
+    data = json.dumps(payload, sort_keys=True,
+                      separators=(",", ":")).encode("utf-8")
+    return Command(op=HOST_KIND_OPS.get(kind, OP_HOST_CTRL),
+                   length=len(data), label=kind, data=data)
+
+
+def host_payload(cmd: Command) -> Tuple[str, Dict[str, object]]:
+    """Inverse of :func:`host_command`: ``(kind, payload)``."""
+    if cmd.op not in _HOST_OPS:
+        raise ProtocolError(
+            f"target opcode {cmd.op} on a host link")
+    try:
+        payload = json.loads(cmd.data.decode("utf-8")) if cmd.data \
+            else {}
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"undecodable host payload: {exc}") from exc
+    if not isinstance(payload, dict):
+        raise ProtocolError("host payload must be a JSON object")
+    return cmd.label, payload
+
+
+class HostFrameStream:
+    """Length-prefixed EOFL batches over one connected socket.
+
+    Owns the socket; :meth:`close` is idempotent.  Keeps send/receive
+    byte tallies so the farm's sync-delta-bytes histogram reports what
+    actually crossed the wire, frame overhead included.
+    """
+
+    def __init__(self, sock: socket.socket):
+        self._sock = sock
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.frames_sent = 0
+        self.frames_received = 0
+        self._closed = False
+
+    def send(self, commands: Sequence[Command]) -> int:
+        """Ship one batch; returns the bytes put on the wire."""
+        raw = encode_batch(commands)
+        frame = encode_u32(len(raw)) + raw
+        try:
+            self._sock.sendall(frame)
+        except OSError as exc:
+            raise HostLinkClosed(f"host link send failed: {exc}") \
+                from exc
+        self.bytes_sent += len(frame)
+        self.frames_sent += 1
+        return len(frame)
+
+    def recv(self) -> List[Command]:
+        """Read exactly one batch (blocking)."""
+        head = self._read_exact(4)
+        length = decode_u32(head)
+        if length > MAX_HOST_FRAME:
+            raise ProtocolError(
+                f"host frame length {length} exceeds bound")
+        raw = self._read_exact(length)
+        commands = decode_batch(raw)
+        self.bytes_received += 4 + length
+        self.frames_received += 1
+        return commands
+
+    def _read_exact(self, count: int) -> bytes:
+        chunks = bytearray()
+        while len(chunks) < count:
+            try:
+                chunk = self._sock.recv(count - len(chunks))
+            except OSError as exc:
+                raise HostLinkClosed(
+                    f"host link read failed: {exc}") from exc
+            if not chunk:
+                raise HostLinkClosed("host link closed by peer")
+            chunks += chunk
+        return bytes(chunks)
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        try:
+            self._sock.close()
+        except OSError:
+            pass
+
+
+def loopback_pair() -> Tuple[HostFrameStream, HostFrameStream]:
+    """Two connected streams on one host (tests, loopback transport)."""
+    left, right = socket.socketpair()
+    return HostFrameStream(left), HostFrameStream(right)

@@ -68,7 +68,7 @@ EVENT_REGISTRY = frozenset({
     "chaos.inject",
     # -- multi-board campaigns (repro.farm) ---------------------------------
     "farm.campaign.start", "farm.campaign.end", "farm.epoch",
-    "farm.crash.new", "farm.worker.done",
+    "farm.crash.new", "farm.worker.done", "farm.worker.lost",
     # -- telemetry pipeline (timeseries / flight recorder) ------------------
     "ts.sample", "flight.dump",
     # -- campaign store (repro.db) ------------------------------------------

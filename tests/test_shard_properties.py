@@ -1,0 +1,150 @@
+"""Property: sharded CampaignState == unsharded, at any shard count.
+
+The sharded shared corpus exists purely for lock granularity: dedup,
+admission order, pull ranking, eviction winners and every counter are
+defined globally, so running one operation sequence against
+``shards=1`` and ``shards=k`` must leave the two states observationally
+identical.  Hypothesis drives randomized operation sequences (pushes
+from several workers, novelty-ranked pulls, warm starts, crash
+records) against both and compares the full observable surface —
+including under a tiny ``max_corpus`` so global eviction fires and the
+victim choice itself is pinned.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import given, settings, strategies as st  # noqa: E402
+
+from repro.agent.protocol import ArgImm, Call, TestProgram  # noqa: E402
+from repro.farm import CampaignState  # noqa: E402
+from repro.fuzz.corpus import CorpusEntry, program_hash  # noqa: E402
+from repro.fuzz.crash import KIND_PANIC, CrashReport  # noqa: E402
+
+pytestmark = pytest.mark.property
+
+
+def seed_entry(value, edges, crashed=False):
+    program = TestProgram(calls=[Call(1, (ArgImm(value),))])
+    return CorpusEntry(program=program, new_edges=len(edges),
+                       crashed=crashed, digest=program_hash(program),
+                       edge_footprint=frozenset(edges))
+
+
+edge_sets = st.sets(st.integers(min_value=0, max_value=40),
+                    min_size=1, max_size=4)
+
+push_ops = st.tuples(st.just("push"),
+                     st.integers(min_value=0, max_value=3),   # worker
+                     st.integers(min_value=0, max_value=200),  # program
+                     edge_sets,
+                     st.booleans())                            # crashed
+pull_ops = st.tuples(st.just("pull"),
+                     st.integers(min_value=0, max_value=3),
+                     st.integers(min_value=1, max_value=3),    # limit
+                     st.integers(min_value=1, max_value=3))    # novelty
+crash_ops = st.tuples(st.just("crash"),
+                      st.integers(min_value=0, max_value=3),
+                      st.integers(min_value=0, max_value=5))   # cause id
+merge_ops = st.tuples(st.just("merge"), edge_sets)
+
+operations = st.lists(st.one_of(push_ops, pull_ops, crash_ops,
+                                merge_ops),
+                      min_size=1, max_size=40)
+
+
+def apply_ops(state: CampaignState, ops) -> list:
+    """Run one op sequence; returns every operation's visible output."""
+    out = []
+    pulled = [set(), set(), set(), set()]
+    for op in ops:
+        if op[0] == "push":
+            _, worker, value, edges, crashed = op
+            entry = seed_entry(value, edges, crashed=crashed)
+            out.append(state.push(worker, epoch=1, entries=[entry]))
+        elif op[0] == "pull":
+            _, worker, limit, novelty = op
+            entries = state.pull(worker,
+                                 known_digests=set(pulled[worker]),
+                                 local_edges=set(), limit=limit,
+                                 min_novelty=novelty)
+            pulled[worker].update(e.digest for e in entries)
+            out.append([e.digest for e in entries])
+        elif op[0] == "crash":
+            _, worker, cause = op
+            report = CrashReport(os_name="freertos", kind=KIND_PANIC,
+                                 cause=f"panic-{cause}")
+            out.append(state.record_crash(worker, epoch=1,
+                                          report=report))
+        else:
+            out.append(state.merge_edges(op[1]))
+    return out
+
+
+def observable(state: CampaignState) -> dict:
+    return {
+        "edges": sorted(state.edges),
+        "order": state.snapshot_digests(),
+        "corpus_len": len(state.corpus),
+        "corpus_digests": state.corpus.digests(),
+        "entries": [(e.digest, e.new_edges, e.crashed,
+                     sorted(e.edge_footprint))
+                    for e in state.corpus.entries],
+        "provenance": {d: (p.worker, p.epoch)
+                       for d, p in state.provenance.items()},
+        "crashes": state.crash_signatures(),
+        "shared": state.seeds_shared,
+        "imported": state.seeds_imported,
+        "warmed": state.seeds_warmed,
+    }
+
+
+@given(ops=operations,
+       shards=st.integers(min_value=2, max_value=13))
+@settings(max_examples=60, deadline=None)
+def test_sharded_state_equals_unsharded(ops, shards):
+    flat = CampaignState(shards=1)
+    sharded = CampaignState(shards=shards)
+    assert apply_ops(flat, ops) == apply_ops(sharded, ops)
+    assert observable(flat) == observable(sharded)
+
+
+@given(ops=operations,
+       shards=st.integers(min_value=2, max_value=13),
+       cap=st.integers(min_value=2, max_value=6))
+@settings(max_examples=60, deadline=None)
+def test_eviction_winners_are_shard_invariant(ops, shards, cap):
+    # A tiny cap forces the global eviction policy to fire constantly;
+    # the victim (lowest weight, earliest admitted on ties) must not
+    # depend on which shard it happens to live in.
+    flat = CampaignState(max_corpus=cap, shards=1)
+    sharded = CampaignState(max_corpus=cap, shards=shards)
+    assert apply_ops(flat, ops) == apply_ops(sharded, ops)
+    assert observable(flat) == observable(sharded)
+    assert len(flat.corpus) <= cap
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=300),
+                       min_size=1, max_size=30, unique=True),
+       shards=st.integers(min_value=1, max_value=13))
+@settings(max_examples=40, deadline=None)
+def test_warm_start_is_shard_invariant(values, shards):
+    entries = [seed_entry(v, {v % 17, v % 23}) for v in values]
+    flat = CampaignState(shards=1)
+    sharded = CampaignState(shards=shards)
+    assert flat.warm_start(entries) == sharded.warm_start(entries)
+    assert observable(flat) == observable(sharded)
+    # Warm-start footprints never pre-claim the frontier.
+    assert flat.edges == set()
+
+
+@given(digest=st.text(min_size=0, max_size=40),
+       shards=st.integers(min_value=1, max_value=16))
+@settings(max_examples=100, deadline=None)
+def test_shard_routing_is_total_and_stable(digest, shards):
+    state = CampaignState(shards=shards)
+    index = state.shard_index(digest)
+    assert 0 <= index < shards
+    assert state.shard_index(digest) == index
